@@ -1,0 +1,28 @@
+//! Ablation benchmarks: regenerate the design-choice trade-off curves
+//! called out in DESIGN.md (Kademlia α, PBFT batching, gossip fanout,
+//! block size) and time them.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use decent_core::ablations;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("kademlia_parallelism", |b| {
+        b.iter(|| black_box(ablations::kademlia_parallelism(200, 30, 0.4, 1)))
+    });
+    group.bench_function("pbft_batching", |b| {
+        b.iter(|| black_box(ablations::pbft_batching(4, 2)))
+    });
+    group.bench_function("gossip_fanout", |b| {
+        b.iter(|| black_box(ablations::gossip_fanout(200, 3)))
+    });
+    group.bench_function("block_size", |b| {
+        b.iter(|| black_box(ablations::block_size(30, 4.0, 4)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

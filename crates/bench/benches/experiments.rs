@@ -1,0 +1,26 @@
+//! One Criterion benchmark per experiment (E1–E18), each running its
+//! CI-sized configuration end to end. These are the regeneration
+//! targets promised in DESIGN.md: `cargo bench --bench experiments`
+//! re-derives every table/figure (at quick scale) and times it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use decent_core::experiments;
+
+fn bench_all_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    for id in experiments::ALL {
+        group.bench_function(format!("bench_{}", id.to_lowercase()), |b| {
+            b.iter(|| {
+                let report = experiments::run_by_id(id, true).expect("known id");
+                assert!(report.all_hold(), "findings must hold during benches");
+                report
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_all_experiments);
+criterion_main!(benches);

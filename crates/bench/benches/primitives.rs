@@ -1,0 +1,103 @@
+//! Micro-benchmarks of the simulation primitives: raw engine event
+//! throughput, DHT lookups, block relay, PBFT rounds, and the
+//! selfish-mining Monte Carlo.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use decent_bft::pbft::{saturation_run, PbftConfig};
+use decent_chain::selfish;
+use decent_overlay::id::Key;
+use decent_overlay::kademlia::{build_network, KadConfig};
+use decent_sim::prelude::*;
+
+/// A node that forwards a token around a ring (pure engine overhead).
+struct RingHop {
+    next: NodeId,
+}
+
+impl Node for RingHop {
+    type Msg = u64;
+    fn on_message(&mut self, _from: NodeId, msg: u64, ctx: &mut Context<'_, u64>) {
+        if msg > 0 {
+            ctx.send(self.next, msg - 1);
+        }
+    }
+}
+
+fn bench_engine_events(c: &mut Criterion) {
+    c.bench_function("engine_100k_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(1, ConstantLatency::from_millis(1.0));
+            let n = 64;
+            let ids: Vec<NodeId> = (0..n)
+                .map(|i| sim.add_node(RingHop { next: (i + 1) % n }))
+                .collect();
+            sim.inject(ids[0], 100_000, SimDuration::ZERO);
+            sim.run_until(SimTime::MAX);
+            black_box(sim.events_processed())
+        })
+    });
+}
+
+fn bench_kademlia_lookup(c: &mut Criterion) {
+    c.bench_function("kademlia_lookup_500", |b| {
+        let mut sim = Simulation::new(2, UniformLatency::from_millis(20.0, 80.0));
+        let ids = build_network(&mut sim, 500, &KadConfig::default(), 0.0, 8, 3);
+        sim.run_until(SimTime::from_secs(1.0));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let origin = ids[(i as usize * 7) % ids.len()];
+            let target = Key::from_u64(i);
+            sim.invoke(origin, |n, ctx| n.start_lookup(target, false, ctx));
+            let deadline = sim.now() + SimDuration::from_secs(30.0);
+            sim.run_until(deadline);
+            black_box(sim.node(origin).results.len())
+        })
+    });
+}
+
+fn bench_pbft_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pbft_saturation_1s");
+    group.sample_size(10);
+    for n in [4usize, 16] {
+        group.bench_function(format!("n{n}"), |b| {
+            b.iter(|| {
+                let cfg = PbftConfig {
+                    n,
+                    ..PbftConfig::default()
+                };
+                black_box(saturation_run(
+                    &cfg,
+                    100_000 / n as u64,
+                    SimDuration::from_secs(1.0),
+                    7,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_selfish_mc(c: &mut Criterion) {
+    c.bench_function("selfish_mining_1m_blocks", |b| {
+        b.iter(|| black_box(selfish::simulate(0.35, 0.5, 1_000_000, 9)))
+    });
+}
+
+fn bench_graph_generation(c: &mut Criterion) {
+    c.bench_function("random_outbound_graph_10k", |b| {
+        let mut rng = rng_from_seed(11);
+        b.iter(|| black_box(Graph::random_outbound(10_000, 8, &mut rng).edge_count()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_engine_events,
+    bench_kademlia_lookup,
+    bench_pbft_round,
+    bench_selfish_mc,
+    bench_graph_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Regenerates every experiment report (the paper's "tables and
+//! figures") and prints them as markdown.
+//!
+//! ```text
+//! repro [--quick] [--exp E7[,E9,...]] [--csv DIR] [--claims]
+//! ```
+//!
+//! `--quick` runs CI-sized configurations (seconds); the default runs
+//! paper-sized configurations (minutes). `--csv DIR` additionally
+//! writes every result table as `DIR/<exp>_<n>.csv`. `--claims` prints
+//! the claim catalog and exits.
+
+use std::process::ExitCode;
+
+use decent_core::{claims, experiments};
+
+fn usage() -> ! {
+    eprintln!("usage: repro [--quick] [--exp E1,E2,...] [--csv DIR] [--claims]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut selected: Option<Vec<String>> = None;
+    let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--csv" => {
+                let dir = args.next().unwrap_or_else(|| usage());
+                csv_dir = Some(std::path::PathBuf::from(dir));
+            }
+            "--claims" => {
+                println!("| id | section | claim | experiment |");
+                println!("|---|---|---|---|");
+                for c in claims::CLAIMS {
+                    println!(
+                        "| {} | {} | {} | {} |",
+                        c.id, c.section, c.statement, c.experiment
+                    );
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--exp" => {
+                let list = args.next().unwrap_or_else(|| usage());
+                selected = Some(list.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            _ => usage(),
+        }
+    }
+    let ids: Vec<String> = selected.unwrap_or_else(|| {
+        experiments::ALL.iter().map(|s| s.to_string()).collect()
+    });
+    println!(
+        "# decent — reproduction of ICDCS'19 \"Please, do not decentralize \
+         the Internet with (permissionless) blockchains!\"\n"
+    );
+    println!(
+        "Mode: {} ({} experiments)\n",
+        if quick { "quick" } else { "full" },
+        ids.len()
+    );
+    let mut failures = 0;
+    for id in &ids {
+        let started = std::time::Instant::now();
+        match experiments::run_by_id(id, quick) {
+            Some(report) => {
+                println!("{report}");
+                if let Some(dir) = &csv_dir {
+                    if let Err(e) = std::fs::create_dir_all(dir) {
+                        eprintln!("cannot create {}: {e}", dir.display());
+                        return ExitCode::FAILURE;
+                    }
+                    for (i, table) in report.tables.iter().enumerate() {
+                        let path = dir.join(format!("{}_{}.csv", id.to_lowercase(), i));
+                        if let Err(e) = std::fs::write(&path, table.to_csv()) {
+                            eprintln!("cannot write {}: {e}", path.display());
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                println!(
+                    "_{id} completed in {:.1} s wall-clock._\n",
+                    started.elapsed().as_secs_f64()
+                );
+                if !report.all_hold() {
+                    failures += 1;
+                    eprintln!("{id}: some findings DO NOT hold");
+                }
+            }
+            None => {
+                eprintln!("unknown experiment id: {id}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) had findings that do not hold");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,8 @@
+//! # decent-bench — benchmark harness
+//!
+//! - The `repro` binary regenerates every experiment report
+//!   (`cargo run --release -p decent-bench --bin repro -- --quick`).
+//! - Criterion benches (`cargo bench`) time the simulation primitives
+//!   and each experiment at CI scale.
+
+#![warn(missing_docs)]

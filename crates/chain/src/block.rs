@@ -1,0 +1,309 @@
+//! Blocks and the fork tree (block DAG restricted to a tree).
+//!
+//! Every node keeps a [`ChainView`] — the set of blocks it has accepted,
+//! the parent links between them, and the current best tip under the
+//! most-work rule (ties broken by first arrival, as in Bitcoin).
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use decent_sim::engine::NodeId;
+use decent_sim::time::SimTime;
+
+/// Unique identifier of a block (stands in for its hash).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u64);
+
+/// Unique identifier of a transaction.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxId(pub u64);
+
+/// A mined block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Block {
+    /// This block's id.
+    pub id: BlockId,
+    /// Parent block id (`None` only for the genesis block).
+    pub parent: Option<BlockId>,
+    /// Distance from genesis.
+    pub height: u64,
+    /// Simulation node that mined it.
+    pub miner: NodeId,
+    /// Simulated time of creation.
+    pub mined_at: SimTime,
+    /// Transactions included.
+    pub txs: Vec<TxId>,
+    /// Serialized size in bytes (drives propagation delay).
+    pub size_bytes: u64,
+    /// Difficulty (expected hashes) this block was mined at.
+    pub difficulty: f64,
+}
+
+impl Block {
+    /// The conventional genesis block.
+    pub fn genesis(difficulty: f64) -> Rc<Block> {
+        Rc::new(Block {
+            id: BlockId(0),
+            parent: None,
+            height: 0,
+            miner: usize::MAX,
+            mined_at: SimTime::ZERO,
+            txs: Vec::new(),
+            size_bytes: 285,
+            difficulty,
+        })
+    }
+}
+
+/// A node's local view of the block tree and its best chain.
+///
+/// Fork choice follows Bitcoin's actual rule: the chain with the most
+/// cumulative *work* (sum of per-block difficulty) wins, with ties
+/// broken by first arrival. At constant difficulty this coincides with
+/// the longest chain; across retarget boundaries it does not, and the
+/// work rule is what prevents low-difficulty fork spam.
+#[derive(Clone, Debug, Default)]
+pub struct ChainView {
+    blocks: HashMap<BlockId, Rc<Block>>,
+    /// Arrival time of each block at this node.
+    arrivals: HashMap<BlockId, SimTime>,
+    /// Cumulative work (sum of difficulties) from genesis to each block.
+    work: HashMap<BlockId, f64>,
+    tip: Option<BlockId>,
+}
+
+impl ChainView {
+    /// Creates a view containing only `genesis`.
+    pub fn new(genesis: Rc<Block>) -> Self {
+        let id = genesis.id;
+        let mut blocks = HashMap::new();
+        let mut work = HashMap::new();
+        work.insert(id, genesis.difficulty.max(0.0));
+        blocks.insert(id, genesis);
+        let mut arrivals = HashMap::new();
+        arrivals.insert(id, SimTime::ZERO);
+        ChainView {
+            blocks,
+            arrivals,
+            work,
+            tip: Some(id),
+        }
+    }
+
+    /// Whether `id` has been accepted.
+    pub fn contains(&self, id: BlockId) -> bool {
+        self.blocks.contains_key(&id)
+    }
+
+    /// The block with the given id, if accepted.
+    pub fn get(&self, id: BlockId) -> Option<&Rc<Block>> {
+        self.blocks.get(&id)
+    }
+
+    /// When `id` arrived at this node, if accepted.
+    pub fn arrival(&self, id: BlockId) -> Option<SimTime> {
+        self.arrivals.get(&id).copied()
+    }
+
+    /// The current best tip (most cumulative work, first-seen tie-break).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty view (construct with [`ChainView::new`]).
+    pub fn tip(&self) -> &Rc<Block> {
+        let id = self.tip.expect("view always holds genesis");
+        &self.blocks[&id]
+    }
+
+    /// Height of the best tip.
+    pub fn height(&self) -> u64 {
+        self.tip().height
+    }
+
+    /// Total number of accepted blocks (including stale forks).
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Returns true if the view holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Accepts a block whose parent is already known. Returns `true` if
+    /// the best tip changed (chain extension or reorg).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parent is unknown (buffer orphans at the caller) or
+    /// the block is a duplicate.
+    pub fn accept(&mut self, block: Rc<Block>, now: SimTime) -> bool {
+        let parent = block
+            .parent
+            .expect("only genesis lacks a parent; accept() is for mined blocks");
+        assert!(
+            self.blocks.contains_key(&parent),
+            "parent must be accepted first"
+        );
+        assert!(
+            !self.blocks.contains_key(&block.id),
+            "duplicate block {:?}",
+            block.id
+        );
+        let id = block.id;
+        let cumulative = self.work[&parent] + block.difficulty.max(0.0);
+        self.blocks.insert(id, block);
+        self.arrivals.insert(id, now);
+        self.work.insert(id, cumulative);
+        // Most cumulative work, first-seen wins ties (strictly greater).
+        if cumulative > self.tip_work() {
+            self.tip = Some(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Cumulative work of the current best tip.
+    pub fn tip_work(&self) -> f64 {
+        self.work[&self.tip.expect("view always holds genesis")]
+    }
+
+    /// Cumulative work from genesis to `id`, if accepted.
+    pub fn work_of(&self, id: BlockId) -> Option<f64> {
+        self.work.get(&id).copied()
+    }
+
+    /// Iterates the best chain from the tip back to genesis.
+    pub fn best_chain(&self) -> Vec<&Rc<Block>> {
+        let mut out = Vec::new();
+        let mut cur = Some(self.tip().id);
+        while let Some(id) = cur {
+            let b = &self.blocks[&id];
+            out.push(b);
+            cur = b.parent;
+        }
+        out
+    }
+
+    /// Ids of blocks not on the best chain (stale/orphaned forks).
+    pub fn stale_blocks(&self) -> Vec<BlockId> {
+        let main: std::collections::HashSet<BlockId> =
+            self.best_chain().iter().map(|b| b.id).collect();
+        self.blocks
+            .keys()
+            .filter(|id| !main.contains(id))
+            .copied()
+            .collect()
+    }
+
+    /// Fraction of accepted blocks that are stale (excluding genesis).
+    pub fn stale_rate(&self) -> f64 {
+        let total = self.blocks.len().saturating_sub(1);
+        if total == 0 {
+            return 0.0;
+        }
+        self.stale_blocks().len() as f64 / total as f64
+    }
+
+    /// The block `depth` levels below the tip on the best chain, if the
+    /// chain is that long.
+    pub fn confirmed(&self, depth: u64) -> Option<&Rc<Block>> {
+        let chain = self.best_chain();
+        chain.get(depth as usize).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(id: u64, parent: BlockId, height: u64) -> Rc<Block> {
+        mk_d(id, parent, height, 1.0)
+    }
+
+    fn mk_d(id: u64, parent: BlockId, height: u64, difficulty: f64) -> Rc<Block> {
+        Rc::new(Block {
+            id: BlockId(id),
+            parent: Some(parent),
+            height,
+            miner: 0,
+            mined_at: SimTime::from_secs(height as f64),
+            txs: Vec::new(),
+            size_bytes: 100,
+            difficulty,
+        })
+    }
+
+    #[test]
+    fn accepts_linear_chain() {
+        let g = Block::genesis(1.0);
+        let mut v = ChainView::new(g.clone());
+        assert!(v.accept(mk(1, g.id, 1), SimTime::from_secs(1.0)));
+        assert!(v.accept(mk(2, BlockId(1), 2), SimTime::from_secs(2.0)));
+        assert_eq!(v.height(), 2);
+        assert_eq!(v.best_chain().len(), 3);
+        assert_eq!(v.stale_rate(), 0.0);
+    }
+
+    #[test]
+    fn fork_resolution_prefers_first_seen_then_longer() {
+        let g = Block::genesis(1.0);
+        let mut v = ChainView::new(g.clone());
+        v.accept(mk(1, g.id, 1), SimTime::from_secs(1.0));
+        // Competing block at the same height does not displace the tip.
+        assert!(!v.accept(mk(2, g.id, 1), SimTime::from_secs(1.1)));
+        assert_eq!(v.tip().id, BlockId(1));
+        // Extending the competitor triggers a reorg.
+        assert!(v.accept(mk(3, BlockId(2), 2), SimTime::from_secs(2.0)));
+        assert_eq!(v.tip().id, BlockId(3));
+        assert_eq!(v.stale_blocks(), vec![BlockId(1)]);
+        assert!((v.stale_rate() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn confirmed_depth() {
+        let g = Block::genesis(1.0);
+        let mut v = ChainView::new(g.clone());
+        let mut parent = g.id;
+        for h in 1..=10 {
+            v.accept(mk(h, parent, h), SimTime::from_secs(h as f64));
+            parent = BlockId(h);
+        }
+        assert_eq!(v.confirmed(0).unwrap().id, BlockId(10));
+        assert_eq!(v.confirmed(6).unwrap().id, BlockId(4));
+        assert!(v.confirmed(11).is_none());
+    }
+
+    #[test]
+    fn fork_choice_follows_work_not_height() {
+        let g = Block::genesis(1.0);
+        let mut v = ChainView::new(g.clone());
+        // A two-block low-difficulty branch...
+        v.accept(mk_d(1, g.id, 1, 1.0), SimTime::from_secs(1.0));
+        v.accept(mk_d(2, BlockId(1), 2, 1.0), SimTime::from_secs(2.0));
+        assert_eq!(v.tip().id, BlockId(2));
+        // ...loses to a single block carrying more total work.
+        assert!(v.accept(mk_d(3, g.id, 1, 5.0), SimTime::from_secs(3.0)));
+        assert_eq!(v.tip().id, BlockId(3));
+        assert_eq!(v.height(), 1, "the work winner is shorter");
+        assert!(v.work_of(BlockId(3)).unwrap() > v.work_of(BlockId(2)).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "parent must be accepted first")]
+    fn orphan_rejected() {
+        let g = Block::genesis(1.0);
+        let mut v = ChainView::new(g);
+        v.accept(mk(5, BlockId(99), 1), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate block")]
+    fn duplicate_rejected() {
+        let g = Block::genesis(1.0);
+        let mut v = ChainView::new(g.clone());
+        v.accept(mk(1, g.id, 1), SimTime::ZERO);
+        v.accept(mk(1, g.id, 1), SimTime::ZERO);
+    }
+}

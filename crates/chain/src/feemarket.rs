@@ -1,0 +1,230 @@
+//! The fee market under congestion: the CryptoKitties incident.
+//!
+//! Paper (III-C Problem 3): "in 2017, a game called CryptoKitties
+//! (built using smart contracts) went viral and traffic on Ethereum's
+//! network rose sixfold provoking the failure of many transactions" —
+//! and (Problem 4) "storing state in a smart contract may be extremely
+//! expensive due to the inherent costs of the Ethereum network".
+//!
+//! The model: a block-by-block auction. Users bid fees drawn from a
+//! log-normal; blocks take the highest bids up to capacity; a
+//! transaction not included within its deadline fails. A viral dapp
+//! multiplies demand for a window of blocks; we track the clearing fee
+//! and the failure rate before, during and after.
+
+use decent_sim::dist::{LogNormal, Sample};
+use decent_sim::metrics::Histogram;
+use decent_sim::rng::{rng_from_seed, SimRng};
+
+/// Fee-market parameters.
+#[derive(Clone, Debug)]
+pub struct FeeMarketConfig {
+    /// Baseline transaction demand per block.
+    pub base_demand_per_block: usize,
+    /// Block capacity in transactions.
+    pub block_capacity: usize,
+    /// Demand multiplier while the dapp is viral (the paper's "sixfold").
+    pub viral_multiplier: f64,
+    /// Blocks before the viral window starts.
+    pub warmup_blocks: usize,
+    /// Length of the viral window in blocks.
+    pub viral_blocks: usize,
+    /// Blocks after the window (recovery phase).
+    pub cooldown_blocks: usize,
+    /// Median fee users are willing to pay (arbitrary units).
+    pub median_fee: f64,
+    /// Log-normal sigma of willingness to pay.
+    pub fee_sigma: f64,
+    /// A transaction fails if not mined within this many blocks.
+    pub deadline_blocks: usize,
+}
+
+impl Default for FeeMarketConfig {
+    fn default() -> Self {
+        FeeMarketConfig {
+            base_demand_per_block: 150,
+            block_capacity: 200,
+            viral_multiplier: 6.0,
+            warmup_blocks: 100,
+            viral_blocks: 200,
+            cooldown_blocks: 100,
+            median_fee: 1.0,
+            fee_sigma: 1.0,
+            deadline_blocks: 10,
+        }
+    }
+}
+
+/// Per-phase statistics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PhaseStats {
+    /// Transactions submitted.
+    pub submitted: u64,
+    /// Transactions mined before their deadline.
+    pub mined: u64,
+    /// Transactions that expired unmined.
+    pub failed: u64,
+    /// Fees actually paid by mined transactions.
+    pub paid_fees: Histogram,
+}
+
+impl PhaseStats {
+    /// Fraction of submitted transactions that failed.
+    pub fn failure_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.failed as f64 / self.submitted as f64
+        }
+    }
+
+    /// Median fee paid by the transactions that made it in.
+    pub fn median_paid_fee(&mut self) -> f64 {
+        self.paid_fees.percentile(0.5)
+    }
+}
+
+/// Result of a congestion run: before / during / after the viral window.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CongestionReport {
+    /// Stats before the dapp goes viral.
+    pub before: PhaseStats,
+    /// Stats during the viral window.
+    pub during: PhaseStats,
+    /// Stats after demand subsides.
+    pub after: PhaseStats,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PendingTx {
+    fee: f64,
+    submitted_at: usize,
+    phase: usize,
+}
+
+/// Runs the block-auction simulation.
+pub fn simulate_congestion(cfg: &FeeMarketConfig, seed: u64) -> CongestionReport {
+    let mut rng: SimRng = rng_from_seed(seed);
+    let fee_dist = LogNormal::with_mean(
+        cfg.median_fee * (cfg.fee_sigma * cfg.fee_sigma / 2.0).exp(),
+        cfg.fee_sigma,
+    );
+    let total_blocks = cfg.warmup_blocks + cfg.viral_blocks + cfg.cooldown_blocks;
+    let mut mempool: Vec<PendingTx> = Vec::new();
+    let mut report = CongestionReport::default();
+    for block in 0..total_blocks {
+        let phase = if block < cfg.warmup_blocks {
+            0
+        } else if block < cfg.warmup_blocks + cfg.viral_blocks {
+            1
+        } else {
+            2
+        };
+        let demand = if phase == 1 {
+            (cfg.base_demand_per_block as f64 * cfg.viral_multiplier) as usize
+        } else {
+            cfg.base_demand_per_block
+        };
+        for _ in 0..demand {
+            let fee = fee_dist.sample(&mut rng);
+            mempool.push(PendingTx {
+                fee,
+                submitted_at: block,
+                phase,
+            });
+            report.phase_mut(phase).submitted += 1;
+        }
+        // Miners take the highest-fee transactions.
+        mempool.sort_by(|a, b| b.fee.partial_cmp(&a.fee).expect("no NaN"));
+        let take = mempool.len().min(cfg.block_capacity);
+        for tx in mempool.drain(..take) {
+            let stats = report.phase_mut(tx.phase);
+            stats.mined += 1;
+            stats.paid_fees.record(tx.fee);
+        }
+        // Expire transactions past their deadline.
+        mempool.retain(|tx| {
+            let expired = block - tx.submitted_at >= cfg.deadline_blocks;
+            if expired {
+                report.phase_mut(tx.phase).failed += 1;
+            }
+            !expired
+        });
+    }
+    // Whatever is still pending at the end counts as failed.
+    for tx in mempool.drain(..) {
+        report.phase_mut(tx.phase).failed += 1;
+    }
+    report
+}
+
+impl CongestionReport {
+    fn phase_mut(&mut self, phase: usize) -> &mut PhaseStats {
+        match phase {
+            0 => &mut self.before,
+            1 => &mut self.during,
+            _ => &mut self.after,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn viral_load_spikes_fees_and_failures() {
+        let mut r = simulate_congestion(&FeeMarketConfig::default(), 1);
+        let calm_fail = r.before.failure_rate();
+        let viral_fail = r.during.failure_rate();
+        assert!(calm_fail < 0.02, "calm failure rate {calm_fail}");
+        assert!(
+            viral_fail > 0.5,
+            "6x demand on a 1.33x-provisioned chain must fail most txs: {viral_fail}"
+        );
+        let calm_fee = r.before.median_paid_fee();
+        let viral_fee = r.during.median_paid_fee();
+        assert!(
+            viral_fee > 2.0 * calm_fee,
+            "congestion must move the clearing fee: {calm_fee} -> {viral_fee}"
+        );
+    }
+
+    #[test]
+    fn market_recovers_after_the_fad() {
+        let mut r = simulate_congestion(&FeeMarketConfig::default(), 2);
+        // Recovery is not instant (backlog drains), but the cooldown
+        // phase is far healthier than the viral one.
+        assert!(r.after.failure_rate() < r.during.failure_rate() / 2.0);
+        assert!(r.after.median_paid_fee() < r.during.median_paid_fee());
+    }
+
+    #[test]
+    fn capacity_headroom_prevents_the_incident() {
+        let cfg = FeeMarketConfig {
+            block_capacity: 1200, // provisioned for the spike
+            ..FeeMarketConfig::default()
+        };
+        let r = simulate_congestion(&cfg, 3);
+        assert!(
+            r.during.failure_rate() < 0.01,
+            "with headroom nothing fails: {}",
+            r.during.failure_rate()
+        );
+    }
+
+    #[test]
+    fn accounting_is_conserved() {
+        let r = simulate_congestion(&FeeMarketConfig::default(), 4);
+        for phase in [&r.before, &r.during, &r.after] {
+            assert_eq!(phase.mined + phase.failed, phase.submitted);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = simulate_congestion(&FeeMarketConfig::default(), 5);
+        let b = simulate_congestion(&FeeMarketConfig::default(), 5);
+        assert_eq!(a, b);
+    }
+}

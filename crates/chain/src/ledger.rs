@@ -1,0 +1,396 @@
+//! UTXO ledger with double-spend detection.
+//!
+//! The decentralized-verification core the paper describes in Section
+//! III-A: every full node replays every transaction against its UTXO set
+//! to "intercept and avoid double spending". Amounts are in integer
+//! satoshis so value conservation is exact.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A public-key stand-in identifying an owner.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Address(pub u64);
+
+/// Reference to an unspent output: `(creating tx, output index)`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct OutPoint {
+    /// Id of the transaction that created the output.
+    pub tx: u64,
+    /// Index of the output within that transaction.
+    pub index: u32,
+}
+
+/// A transaction output.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TxOut {
+    /// Receiving address.
+    pub to: Address,
+    /// Amount in satoshis.
+    pub amount: u64,
+}
+
+/// A transaction: consumes outpoints, creates outputs.
+///
+/// A coinbase transaction has no inputs and may create up to
+/// `subsidy + fees` of new value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Transaction {
+    /// Unique id (stands in for the tx hash).
+    pub id: u64,
+    /// Outpoints consumed (empty for coinbase).
+    pub inputs: Vec<OutPoint>,
+    /// Outputs created.
+    pub outputs: Vec<TxOut>,
+}
+
+impl Transaction {
+    /// Total value created by the outputs.
+    pub fn output_value(&self) -> u64 {
+        self.outputs.iter().map(|o| o.amount).sum()
+    }
+
+    /// Whether this is a coinbase (no inputs).
+    pub fn is_coinbase(&self) -> bool {
+        self.inputs.is_empty()
+    }
+}
+
+/// Why a transaction or block was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LedgerError {
+    /// An input references an output that does not exist or was spent.
+    MissingInput(OutPoint),
+    /// The same output is consumed twice (within or across transactions).
+    DoubleSpend(OutPoint),
+    /// Outputs exceed inputs for a non-coinbase transaction.
+    ValueCreated {
+        /// Transaction at fault.
+        tx: u64,
+        /// Total input value.
+        input: u64,
+        /// Total output value.
+        output: u64,
+    },
+    /// Coinbase exceeds subsidy plus collected fees.
+    ExcessCoinbase {
+        /// Maximum allowed value.
+        allowed: u64,
+        /// Claimed value.
+        claimed: u64,
+    },
+    /// Duplicate transaction id.
+    DuplicateTx(u64),
+}
+
+impl fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LedgerError::MissingInput(op) => {
+                write!(f, "input {}:{} missing or already spent", op.tx, op.index)
+            }
+            LedgerError::DoubleSpend(op) => {
+                write!(f, "output {}:{} spent twice", op.tx, op.index)
+            }
+            LedgerError::ValueCreated { tx, input, output } => write!(
+                f,
+                "transaction {tx} creates value ({output} out of {input} in)"
+            ),
+            LedgerError::ExcessCoinbase { allowed, claimed } => {
+                write!(f, "coinbase claims {claimed}, allowed {allowed}")
+            }
+            LedgerError::DuplicateTx(id) => write!(f, "duplicate transaction id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+/// The UTXO set and validation rules.
+///
+/// # Examples
+///
+/// ```
+/// use decent_chain::ledger::{Address, Ledger, OutPoint, Transaction, TxOut};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut ledger = Ledger::new(50_0000_0000); // 50 BTC subsidy
+/// let coinbase = Transaction {
+///     id: 1,
+///     inputs: vec![],
+///     outputs: vec![TxOut { to: Address(7), amount: 50_0000_0000 }],
+/// };
+/// ledger.apply_block(&[coinbase], 0)?;
+/// assert_eq!(ledger.balance(Address(7)), 50_0000_0000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Ledger {
+    utxos: HashMap<OutPoint, TxOut>,
+    seen_txs: std::collections::HashSet<u64>,
+    subsidy: u64,
+    /// Total value ever minted via coinbases.
+    pub minted: u64,
+}
+
+impl Ledger {
+    /// Creates an empty ledger with the given block subsidy.
+    pub fn new(subsidy: u64) -> Self {
+        Ledger {
+            subsidy,
+            ..Ledger::default()
+        }
+    }
+
+    /// Number of unspent outputs.
+    pub fn utxo_count(&self) -> usize {
+        self.utxos.len()
+    }
+
+    /// Sum of all unspent values (total circulating supply).
+    pub fn total_supply(&self) -> u64 {
+        self.utxos.values().map(|o| o.amount).sum()
+    }
+
+    /// Balance of `addr` across all unspent outputs.
+    pub fn balance(&self, addr: Address) -> u64 {
+        self.utxos
+            .values()
+            .filter(|o| o.to == addr)
+            .map(|o| o.amount)
+            .sum()
+    }
+
+    /// Validates a single non-coinbase transaction against the current
+    /// set, without applying it. Returns the fee on success.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LedgerError`] describing the first violated rule.
+    pub fn validate(&self, tx: &Transaction) -> Result<u64, LedgerError> {
+        if self.seen_txs.contains(&tx.id) {
+            return Err(LedgerError::DuplicateTx(tx.id));
+        }
+        let mut input_value = 0u64;
+        let mut used = std::collections::HashSet::new();
+        for op in &tx.inputs {
+            if !used.insert(*op) {
+                return Err(LedgerError::DoubleSpend(*op));
+            }
+            match self.utxos.get(op) {
+                Some(out) => input_value += out.amount,
+                None => return Err(LedgerError::MissingInput(*op)),
+            }
+        }
+        let output_value = tx.output_value();
+        if output_value > input_value {
+            return Err(LedgerError::ValueCreated {
+                tx: tx.id,
+                input: input_value,
+                output: output_value,
+            });
+        }
+        Ok(input_value - output_value)
+    }
+
+    /// Validates and applies a block of transactions. The first
+    /// transaction may be a coinbase claiming `subsidy + fees`.
+    ///
+    /// On error the ledger is left unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first rule violated by any transaction, including
+    /// cross-transaction double spends within the block.
+    pub fn apply_block(
+        &mut self,
+        txs: &[Transaction],
+        _height: u64,
+    ) -> Result<(), LedgerError> {
+        // Two-phase: validate everything against a scratch copy, then
+        // commit. Blocks are small enough that cloning the diff is cheap
+        // relative to clarity.
+        let mut scratch = self.clone();
+        let mut fees = 0u64;
+        let mut coinbase: Option<&Transaction> = None;
+        for (i, tx) in txs.iter().enumerate() {
+            if tx.is_coinbase() {
+                if i != 0 {
+                    return Err(LedgerError::DuplicateTx(tx.id));
+                }
+                coinbase = Some(tx);
+                continue;
+            }
+            let fee = scratch.validate(tx)?;
+            fees += fee;
+            scratch.apply_unchecked(tx);
+        }
+        if let Some(cb) = coinbase {
+            let allowed = self.subsidy + fees;
+            if cb.output_value() > allowed {
+                return Err(LedgerError::ExcessCoinbase {
+                    allowed,
+                    claimed: cb.output_value(),
+                });
+            }
+            if scratch.seen_txs.contains(&cb.id) {
+                return Err(LedgerError::DuplicateTx(cb.id));
+            }
+            scratch.apply_unchecked(cb);
+            scratch.minted += cb.output_value().min(self.subsidy);
+        }
+        *self = scratch;
+        Ok(())
+    }
+
+    fn apply_unchecked(&mut self, tx: &Transaction) {
+        for op in &tx.inputs {
+            self.utxos.remove(op);
+        }
+        for (i, out) in tx.outputs.iter().enumerate() {
+            self.utxos.insert(
+                OutPoint {
+                    tx: tx.id,
+                    index: i as u32,
+                },
+                *out,
+            );
+        }
+        self.seen_txs.insert(tx.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COIN: u64 = 100_000_000;
+
+    fn coinbase(id: u64, to: u64, amount: u64) -> Transaction {
+        Transaction {
+            id,
+            inputs: vec![],
+            outputs: vec![TxOut {
+                to: Address(to),
+                amount,
+            }],
+        }
+    }
+
+    fn spend(id: u64, from: OutPoint, to: u64, amount: u64, change_to: u64, change: u64) -> Transaction {
+        Transaction {
+            id,
+            inputs: vec![from],
+            outputs: vec![
+                TxOut {
+                    to: Address(to),
+                    amount,
+                },
+                TxOut {
+                    to: Address(change_to),
+                    amount: change,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn mint_and_spend() {
+        let mut l = Ledger::new(50 * COIN);
+        l.apply_block(&[coinbase(1, 10, 50 * COIN)], 0).unwrap();
+        let op = OutPoint { tx: 1, index: 0 };
+        let tx = spend(2, op, 11, 30 * COIN, 10, 20 * COIN);
+        l.apply_block(&[coinbase(3, 12, 50 * COIN), tx], 1).unwrap();
+        assert_eq!(l.balance(Address(11)), 30 * COIN);
+        assert_eq!(l.balance(Address(10)), 20 * COIN);
+        assert_eq!(l.total_supply(), 100 * COIN);
+    }
+
+    #[test]
+    fn double_spend_across_blocks_rejected() {
+        let mut l = Ledger::new(50 * COIN);
+        l.apply_block(&[coinbase(1, 10, 50 * COIN)], 0).unwrap();
+        let op = OutPoint { tx: 1, index: 0 };
+        l.apply_block(&[spend(2, op, 11, 50 * COIN, 10, 0)], 1)
+            .unwrap();
+        let err = l
+            .apply_block(&[spend(3, op, 12, 50 * COIN, 10, 0)], 2)
+            .unwrap_err();
+        assert_eq!(err, LedgerError::MissingInput(op));
+    }
+
+    #[test]
+    fn double_spend_within_block_rejected() {
+        let mut l = Ledger::new(50 * COIN);
+        l.apply_block(&[coinbase(1, 10, 50 * COIN)], 0).unwrap();
+        let op = OutPoint { tx: 1, index: 0 };
+        let a = spend(2, op, 11, 50 * COIN, 10, 0);
+        let b = spend(3, op, 12, 50 * COIN, 10, 0);
+        let err = l.apply_block(&[a, b], 1).unwrap_err();
+        assert_eq!(err, LedgerError::MissingInput(op));
+        // Ledger unchanged: the first spend was rolled back too.
+        assert_eq!(l.balance(Address(11)), 0);
+        assert_eq!(l.balance(Address(10)), 50 * COIN);
+    }
+
+    #[test]
+    fn same_outpoint_twice_in_one_tx() {
+        let mut l = Ledger::new(50 * COIN);
+        l.apply_block(&[coinbase(1, 10, 50 * COIN)], 0).unwrap();
+        let op = OutPoint { tx: 1, index: 0 };
+        let tx = Transaction {
+            id: 2,
+            inputs: vec![op, op],
+            outputs: vec![TxOut {
+                to: Address(11),
+                amount: 100 * COIN,
+            }],
+        };
+        assert_eq!(l.validate(&tx), Err(LedgerError::DoubleSpend(op)));
+    }
+
+    #[test]
+    fn value_creation_rejected() {
+        let mut l = Ledger::new(50 * COIN);
+        l.apply_block(&[coinbase(1, 10, 50 * COIN)], 0).unwrap();
+        let op = OutPoint { tx: 1, index: 0 };
+        let tx = spend(2, op, 11, 60 * COIN, 10, 0);
+        assert!(matches!(
+            l.validate(&tx),
+            Err(LedgerError::ValueCreated { .. })
+        ));
+    }
+
+    #[test]
+    fn coinbase_bounded_by_subsidy_plus_fees() {
+        let mut l = Ledger::new(50 * COIN);
+        l.apply_block(&[coinbase(1, 10, 50 * COIN)], 0).unwrap();
+        let op = OutPoint { tx: 1, index: 0 };
+        // Spend paying a 1-coin fee.
+        let tx = spend(2, op, 11, 49 * COIN, 10, 0);
+        // Coinbase claiming subsidy + fee is fine.
+        l.apply_block(&[coinbase(3, 12, 51 * COIN), tx], 1).unwrap();
+        // Claiming more than allowed is not.
+        let mut l2 = Ledger::new(50 * COIN);
+        l2.apply_block(&[coinbase(1, 10, 50 * COIN)], 0).unwrap();
+        let tx2 = spend(2, OutPoint { tx: 1, index: 0 }, 11, 49 * COIN, 10, 0);
+        let err = l2.apply_block(&[coinbase(3, 12, 52 * COIN), tx2], 1);
+        assert!(matches!(err, Err(LedgerError::ExcessCoinbase { .. })));
+    }
+
+    #[test]
+    fn replayed_tx_rejected() {
+        let mut l = Ledger::new(50 * COIN);
+        l.apply_block(&[coinbase(1, 10, 50 * COIN)], 0).unwrap();
+        let err = l.apply_block(&[coinbase(1, 10, 50 * COIN)], 1);
+        // A repeated coinbase id is a duplicate.
+        assert!(matches!(err, Err(LedgerError::DuplicateTx(1))));
+    }
+
+    #[test]
+    fn errors_display() {
+        let msg = LedgerError::DoubleSpend(OutPoint { tx: 5, index: 1 }).to_string();
+        assert!(msg.contains("spent twice"));
+    }
+}

@@ -1,0 +1,19 @@
+//! # decent-chain — the permissionless blockchain of Section III
+//!
+//! Blocks and fork resolution, a UTXO ledger with double-spend
+//! detection, proof-of-work as a stochastic race with difficulty
+//! retargeting, full/miner/light nodes relaying over a random overlay,
+//! selfish mining, and the mining-market economics behind pool
+//! centralization and energy consumption.
+
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod ledger;
+pub mod node;
+pub mod pow;
+pub mod economics;
+pub mod selfish;
+pub mod pos;
+pub mod channels;
+pub mod feemarket;

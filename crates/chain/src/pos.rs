@@ -1,0 +1,295 @@
+//! Proof-of-stake and the nothing-at-stake problem.
+//!
+//! Paper (III-C Problem 2, citing Houy \[32\]): "Alternative approaches
+//! based on proof-of-X, where X could be stake, space, activity, etc.
+//! seem not be able to fully address this problem" — Houy's title being
+//! *"It will cost you nothing to 'kill' a proof-of-stake
+//! crypto-currency"*.
+//!
+//! The model: slot-based PoS where the slot leader is drawn with
+//! probability proportional to stake. Creating a block is free, so a
+//! *rational* validator signs **every** fork head (nothing-at-stake),
+//! whereas a PoW miner must split real hashpower between branches.
+//! We measure how the probability of reversing a k-confirmed payment
+//! depends on the fraction of rational (multi-minting) validators — and
+//! contrast it with the PoW attacker, who pays for every hash.
+
+use rand::Rng;
+
+use decent_sim::rng::rng_from_seed;
+
+/// Validator behaviour in the fork race.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Discipline {
+    /// Follows the protocol: extends only the first-seen longest branch.
+    Honest,
+    /// Nothing-at-stake: extends every branch head (it costs nothing).
+    Rational,
+}
+
+/// Parameters of the double-spend race.
+#[derive(Clone, Debug)]
+pub struct PosAttack {
+    /// Attacker's share of total stake (mints only on its own branch).
+    pub attacker_stake: f64,
+    /// Fraction of the *remaining* stake that multi-mints.
+    pub rational_fraction: f64,
+    /// Confirmations the victim waits for.
+    pub confirmations: u64,
+    /// Give up after this many slots past the confirmation point.
+    pub horizon_slots: u64,
+}
+
+impl Default for PosAttack {
+    fn default() -> Self {
+        PosAttack {
+            attacker_stake: 0.1,
+            rational_fraction: 0.5,
+            confirmations: 6,
+            horizon_slots: 600,
+        }
+    }
+}
+
+/// Outcome of a batch of double-spend attempts.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PosOutcome {
+    /// Attempts in which the attacker's branch overtook the public one.
+    pub reversals: u64,
+    /// Total attempts.
+    pub attempts: u64,
+    /// Mean slots a successful reversal needed.
+    pub mean_slots_to_reversal: f64,
+}
+
+impl PosOutcome {
+    /// Probability that a k-confirmed payment is reversed.
+    pub fn reversal_probability(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.reversals as f64 / self.attempts as f64
+        }
+    }
+}
+
+/// Runs `attempts` independent double-spend races under nothing-at-stake.
+///
+/// Branch A carries the payment; the attacker secretly extends branch B
+/// from the fork point. Each slot one staker wins: the attacker extends
+/// B, an honest validator extends the currently longer branch (A on
+/// ties — first seen), and a rational validator extends *both* (free
+/// blocks), which keeps B exactly level with its own A-progress and so
+/// only the honest-vs-attacker differential decides the race.
+///
+/// # Panics
+///
+/// Panics if `attacker_stake` is not in `(0, 1)` or `rational_fraction`
+/// not in `[0, 1]`.
+pub fn simulate_pos_attack(cfg: &PosAttack, attempts: u64, seed: u64) -> PosOutcome {
+    assert!(
+        cfg.attacker_stake > 0.0 && cfg.attacker_stake < 1.0,
+        "attacker stake must be in (0,1)"
+    );
+    assert!((0.0..=1.0).contains(&cfg.rational_fraction));
+    let mut rng = rng_from_seed(seed);
+    let p_attacker = cfg.attacker_stake;
+    let p_rational = (1.0 - cfg.attacker_stake) * cfg.rational_fraction;
+    let mut out = PosOutcome::default();
+    let mut slots_sum = 0u64;
+    for _ in 0..attempts {
+        out.attempts += 1;
+        // Lengths of the public branch (a) and the attacker branch (b),
+        // measured from the fork point.
+        let mut a = 0u64;
+        let mut b = 0u64;
+        let mut slot = 0u64;
+        let mut confirmed = false;
+        loop {
+            slot += 1;
+            let u: f64 = rng.gen();
+            if u < p_attacker {
+                b += 1; // attacker extends its secret branch only
+            } else if u < p_attacker + p_rational {
+                // Nothing-at-stake: extends every known head. Before the
+                // attacker publishes, only A is public — but rational
+                // validators also sign the attacker's branch when bribed
+                // with a share of the double spend (Houy's argument), so
+                // both branches advance.
+                a += 1;
+                b += 1;
+            } else {
+                a += 1; // honest: first-seen longest branch = A
+            }
+            if !confirmed && a >= cfg.confirmations {
+                confirmed = true; // victim releases the goods
+            }
+            if confirmed && b > a {
+                out.reversals += 1;
+                slots_sum += slot;
+                break;
+            }
+            if slot > cfg.horizon_slots {
+                break;
+            }
+        }
+    }
+    if out.reversals > 0 {
+        out.mean_slots_to_reversal = slots_sum as f64 / out.reversals as f64;
+    }
+    out
+}
+
+/// The PoW comparison: the classic Nakamoto race where an attacker with
+/// `alpha` of the hashpower tries to overtake `k` confirmations.
+/// Returns the reversal probability from `attempts` Monte Carlo races.
+///
+/// PoW miners cannot multi-mint: each hash commits to one branch, so
+/// the honest majority all works against the attacker.
+pub fn simulate_pow_attack(alpha: f64, confirmations: u64, attempts: u64, seed: u64) -> f64 {
+    assert!(alpha > 0.0 && alpha < 0.5);
+    let mut rng = rng_from_seed(seed);
+    let mut reversals = 0u64;
+    for _ in 0..attempts {
+        let mut deficit: i64 = 0; // b - a
+        let mut a = 0u64;
+        let mut slot = 0u64;
+        loop {
+            slot += 1;
+            if rng.gen::<f64>() < alpha {
+                deficit += 1;
+            } else {
+                a += 1;
+                deficit -= 1;
+            }
+            if a >= confirmations && deficit > 0 {
+                reversals += 1;
+                break;
+            }
+            // The attacker abandons hopeless races (standard analysis).
+            if slot > 600 || deficit < -(confirmations as i64 * 4) {
+                break;
+            }
+        }
+    }
+    reversals as f64 / attempts as f64
+}
+
+/// Marginal cost of one attack attempt, in arbitrary energy units:
+/// PoW pays for every hash; PoS mints for free.
+pub fn attack_cost_units(pow: bool, slots: u64, hashes_per_slot: f64) -> f64 {
+    if pow {
+        slots as f64 * hashes_per_slot
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rational_stake_makes_small_attackers_win() {
+        let honest_only = simulate_pos_attack(
+            &PosAttack {
+                attacker_stake: 0.1,
+                rational_fraction: 0.0,
+                ..PosAttack::default()
+            },
+            4000,
+            1,
+        );
+        let mostly_rational = simulate_pos_attack(
+            &PosAttack {
+                attacker_stake: 0.1,
+                rational_fraction: 0.9,
+                ..PosAttack::default()
+            },
+            4000,
+            2,
+        );
+        assert!(
+            honest_only.reversal_probability() < 0.02,
+            "10% attacker vs honest validators must fail: {}",
+            honest_only.reversal_probability()
+        );
+        assert!(
+            mostly_rational.reversal_probability() > 0.5,
+            "with 90% nothing-at-stake, 10% suffices: {}",
+            mostly_rational.reversal_probability()
+        );
+    }
+
+    #[test]
+    fn reversal_probability_is_monotone_in_rationality() {
+        let mut prev = -1.0;
+        for (i, frac) in [0.0, 0.3, 0.6, 0.9].iter().enumerate() {
+            let out = simulate_pos_attack(
+                &PosAttack {
+                    attacker_stake: 0.15,
+                    rational_fraction: *frac,
+                    ..PosAttack::default()
+                },
+                4000,
+                10 + i as u64,
+            );
+            assert!(
+                out.reversal_probability() >= prev - 0.03,
+                "monotonicity violated at {frac}"
+            );
+            prev = out.reversal_probability();
+        }
+    }
+
+    #[test]
+    fn pow_race_matches_nakamoto_intuition() {
+        // 10% attacker vs 6 confirmations: well under 1%.
+        let p10 = simulate_pow_attack(0.10, 6, 20_000, 3);
+        assert!(p10 < 0.01, "p10 {p10}");
+        // 40% attacker: sizable.
+        let p40 = simulate_pow_attack(0.40, 6, 20_000, 4);
+        assert!(p40 > 0.2, "p40 {p40}");
+        assert!(p40 > p10);
+    }
+
+    #[test]
+    fn pos_attack_is_free_pow_is_not() {
+        assert_eq!(attack_cost_units(false, 1000, 1e12), 0.0);
+        assert!(attack_cost_units(true, 1000, 1e12) > 0.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = simulate_pos_attack(&PosAttack::default(), 1000, 9);
+        let b = simulate_pos_attack(&PosAttack::default(), 1000, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_confirmations_help_only_against_disciplined_stake() {
+        let deep = |rational: f64, k: u64, seed: u64| {
+            simulate_pos_attack(
+                &PosAttack {
+                    attacker_stake: 0.2,
+                    rational_fraction: rational,
+                    confirmations: k,
+                    ..PosAttack::default()
+                },
+                3000,
+                seed,
+            )
+            .reversal_probability()
+        };
+        // Honest validators: 60 confirmations crush the attacker.
+        assert!(deep(0.0, 60, 21) < deep(0.0, 3, 22) + 1e-9);
+        assert!(deep(0.0, 60, 23) < 0.01);
+        // Rational validators: depth barely matters (branches grow in
+        // lockstep; the attacker only needs one lucky excursion).
+        assert!(
+            deep(0.95, 60, 24) > 0.4,
+            "nothing-at-stake defeats confirmation depth: {}",
+            deep(0.95, 60, 24)
+        );
+    }
+}

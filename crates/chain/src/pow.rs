@@ -1,0 +1,185 @@
+//! Proof-of-work as a stochastic race, plus difficulty retargeting.
+//!
+//! We do not grind SHA-256: what matters for every claim in the paper is
+//! the *race* — block inter-arrival is exponential with rate
+//! `hashrate / difficulty`, the winner is hashrate-weighted, and the
+//! difficulty is periodically adjusted to hold the target interval.
+
+use decent_sim::dist::{Exp, Sample};
+use decent_sim::rng::SimRng;
+use decent_sim::time::{SimDuration, SimTime};
+
+/// Difficulty and retargeting rules.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PowParams {
+    /// Target block interval (Bitcoin: 600 s; Ethereum ~13 s).
+    pub target_interval: SimDuration,
+    /// Blocks between retargets (Bitcoin: 2016).
+    pub retarget_window: u64,
+    /// Clamp factor per retarget (Bitcoin clamps to 4x either way).
+    pub max_adjust: f64,
+}
+
+impl Default for PowParams {
+    fn default() -> Self {
+        PowParams {
+            target_interval: SimDuration::from_secs(600.0),
+            retarget_window: 2016,
+            max_adjust: 4.0,
+        }
+    }
+}
+
+impl PowParams {
+    /// Bitcoin mainnet parameters.
+    pub fn bitcoin() -> Self {
+        PowParams::default()
+    }
+
+    /// Ethereum-like parameters (pre-merge PoW).
+    pub fn ethereum() -> Self {
+        PowParams {
+            target_interval: SimDuration::from_secs(13.0),
+            retarget_window: 100,
+            max_adjust: 2.0,
+        }
+    }
+
+    /// The difficulty (expected hashes per block) that yields the target
+    /// interval at the given total hashrate (hashes/second).
+    pub fn difficulty_for(&self, total_hashrate: f64) -> f64 {
+        total_hashrate * self.target_interval.as_secs()
+    }
+
+    /// New difficulty after a window that took `actual` instead of
+    /// `window * target_interval`, clamped to `max_adjust`.
+    pub fn retarget(&self, old_difficulty: f64, actual: SimDuration) -> f64 {
+        let expected = self.target_interval.as_secs() * self.retarget_window as f64;
+        let ratio = (expected / actual.as_secs().max(1e-9))
+            .clamp(1.0 / self.max_adjust, self.max_adjust);
+        old_difficulty * ratio
+    }
+
+    /// Samples the time for a miner with `hashrate` to find the next
+    /// block at `difficulty`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hashrate` or `difficulty` is not positive.
+    pub fn sample_block_time(
+        &self,
+        hashrate: f64,
+        difficulty: f64,
+        rng: &mut SimRng,
+    ) -> SimDuration {
+        assert!(hashrate > 0.0 && difficulty > 0.0);
+        let rate = hashrate / difficulty;
+        SimDuration::from_secs(Exp::new(rate).sample(rng))
+    }
+}
+
+/// Tracks per-window timing to drive retargets.
+#[derive(Clone, Debug, Default)]
+pub struct RetargetClock {
+    window_start: SimTime,
+}
+
+impl RetargetClock {
+    /// Creates a clock with the window starting at time zero.
+    pub fn new() -> Self {
+        RetargetClock::default()
+    }
+
+    /// Called when a block at `height` is appended at `now`; returns the
+    /// new difficulty if this block closes a retarget window.
+    pub fn on_block(
+        &mut self,
+        params: &PowParams,
+        height: u64,
+        now: SimTime,
+        difficulty: f64,
+    ) -> Option<f64> {
+        if height == 0 || !height.is_multiple_of(params.retarget_window) {
+            return None;
+        }
+        let actual = now.saturating_since(self.window_start);
+        self.window_start = now;
+        Some(params.retarget(difficulty, actual))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decent_sim::rng::rng_from_seed;
+
+    #[test]
+    fn difficulty_matches_interval() {
+        let p = PowParams::bitcoin();
+        // 40 EH/s network.
+        let d = p.difficulty_for(40e18);
+        let mut rng = rng_from_seed(1);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| p.sample_block_time(40e18, d, &mut rng).as_secs())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 600.0).abs() < 15.0, "mean interval {mean}");
+    }
+
+    #[test]
+    fn retarget_restores_interval_after_hashrate_jump() {
+        let p = PowParams::bitcoin();
+        let mut d = p.difficulty_for(10e18);
+        // Hashrate doubles: the window completes in half the time.
+        let actual = SimDuration::from_secs(600.0 * 2016.0 / 2.0);
+        d = p.retarget(d, actual);
+        assert!((d / p.difficulty_for(20e18) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retarget_is_clamped() {
+        let p = PowParams::bitcoin();
+        let d = 100.0;
+        let crazy_fast = SimDuration::from_secs(1.0);
+        assert_eq!(p.retarget(d, crazy_fast), 400.0);
+        let crazy_slow = SimDuration::from_secs(600.0 * 2016.0 * 100.0);
+        assert_eq!(p.retarget(d, crazy_slow), 25.0);
+    }
+
+    #[test]
+    fn retarget_clock_fires_on_window_boundaries() {
+        let p = PowParams {
+            retarget_window: 10,
+            ..PowParams::bitcoin()
+        };
+        let mut clock = RetargetClock::new();
+        let d = 1000.0;
+        assert!(clock
+            .on_block(&p, 5, SimTime::from_secs(3000.0), d)
+            .is_none());
+        let new = clock.on_block(&p, 10, SimTime::from_secs(3000.0), d);
+        // 10 blocks took 3000 s against a 6000 s target: blocks came
+        // twice too fast, so difficulty doubles.
+        assert!((new.unwrap() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn winner_is_hashrate_weighted() {
+        // With two miners at 3:1 hashrate, the faster one wins ~75%.
+        let p = PowParams::bitcoin();
+        let d = p.difficulty_for(4.0);
+        let mut rng = rng_from_seed(2);
+        let mut wins = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            let a = p.sample_block_time(3.0, d, &mut rng);
+            let b = p.sample_block_time(1.0, d, &mut rng);
+            if a < b {
+                wins += 1;
+            }
+        }
+        let share = wins as f64 / n as f64;
+        assert!((share - 0.75).abs() < 0.02, "share {share}");
+    }
+}

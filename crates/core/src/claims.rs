@@ -1,0 +1,180 @@
+//! The catalog of quantitative claims made by the paper, mapped to the
+//! experiments that reproduce them.
+//!
+//! A position paper has no tables; this catalog *is* its evaluation
+//! section, extracted claim by claim.
+
+/// One quantitative claim from the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Claim {
+    /// Stable identifier.
+    pub id: &'static str,
+    /// Paper section the claim appears in.
+    pub section: &'static str,
+    /// The claim as stated.
+    pub statement: &'static str,
+    /// The experiment that reproduces it.
+    pub experiment: &'static str,
+}
+
+/// Every claim the laboratory reproduces.
+pub const CLAIMS: &[Claim] = &[
+    Claim {
+        id: "C1",
+        section: "II-A",
+        statement: "Lookups completed within 5 s 90% of the time in eMule's KAD, \
+                    but median lookup time was around a minute in BitTorrent DHTs \
+                    (Jiménez et al.)",
+        experiment: "E1",
+    },
+    Claim {
+        id: "C2",
+        section: "II-B P1",
+        statement: "Free riding was extensively reported on Gnutella: most peers \
+                    share nothing and a tiny fraction serves most queries",
+        experiment: "E2",
+    },
+    Claim {
+        id: "C3",
+        section: "II-B P1",
+        statement: "BitTorrent mitigated free riding with tit-for-tat: peers that \
+                    do not contribute are not reciprocated",
+        experiment: "E3",
+    },
+    Claim {
+        id: "C4",
+        section: "II-B P2",
+        statement: "Churn and instability cause performance problems; stable cloud \
+                    servers have no rival in P2P networks",
+        experiment: "E4",
+    },
+    Claim {
+        id: "C5",
+        section: "II-B P3",
+        statement: "Open overlays where peers assign their own identities are prone \
+                    to sybil attacks",
+        experiment: "E5",
+    },
+    Claim {
+        id: "C6",
+        section: "II-B",
+        statement: "For networks of 10K-100K nodes, full membership and one-hop \
+                    routing is feasible and preferable to multi-hop lookups",
+        experiment: "E6",
+    },
+    Claim {
+        id: "C7",
+        section: "III-C P2",
+        statement: "VISA processes 24,000 tx/s; Bitcoin 3.3-7 tx/s; Ethereum ~15 tx/s",
+        experiment: "E7",
+    },
+    Claim {
+        id: "C8",
+        section: "III-C P1",
+        statement: "In 2013 six mining pools controlled 75% of Bitcoin hashing \
+                    power; desktop mining became impractical",
+        experiment: "E8",
+    },
+    Claim {
+        id: "C9",
+        section: "III-C P1",
+        statement: "A minority colluding pool can obtain more revenue than its fair \
+                    share (selfish mining, Eyal & Sirer)",
+        experiment: "E9",
+    },
+    Claim {
+        id: "C10",
+        section: "III-B",
+        statement: "Bitcoin energy consumption peaked at ~70 TWh/yr in 2018, \
+                    roughly Austria's consumption",
+        experiment: "E10",
+    },
+    Claim {
+        id: "C11",
+        section: "III-C P2",
+        statement: "The scalability trilemma: a blockchain can only have two of \
+                    scalability, decentralization, security (Buterin)",
+        experiment: "E11",
+    },
+    Claim {
+        id: "C12",
+        section: "IV",
+        statement: "Permissioned BFT replication avoids proof-of-work and performs; \
+                    consensus can run among a subset of nodes (Fabric)",
+        experiment: "E12",
+    },
+    Claim {
+        id: "C13",
+        section: "V / Fig. 1",
+        statement: "Edge-centric computing with permissioned blockchains moves \
+                    control to the edge and beats the centralized cloud on latency",
+        experiment: "E13",
+    },
+    Claim {
+        id: "C14",
+        section: "III-A",
+        statement: "Ephemeral forks quickly disappear; difficulty adjusts to keep a \
+                    10-minute block interval",
+        experiment: "E14",
+    },
+    Claim {
+        id: "C15",
+        section: "III-C P1",
+        statement: "As transaction history grows, full nodes need ever more storage \
+                    and bandwidth; light clients do not validate",
+        experiment: "E15",
+    },
+    Claim {
+        id: "C16",
+        section: "III-C P2",
+        statement: "Proof-of-X alternatives (stake, space, activity) do not fully \
+                    address the problem: it costs nothing to 'kill' a \
+                    proof-of-stake currency (Houy)",
+        experiment: "E16",
+    },
+    Claim {
+        id: "C17",
+        section: "III-C P2",
+        statement: "Layer-2 / off-chain solutions (Lightning, Plasma, EOS) increase \
+                    performance by processing transactions on a much smaller set \
+                    of peers — a more centralized design",
+        experiment: "E17",
+    },
+    Claim {
+        id: "C18",
+        section: "III-C P3",
+        statement: "CryptoKitties went viral, traffic rose sixfold, and many \
+                    transactions failed; on-chain state is extremely expensive",
+        experiment: "E18",
+    },
+];
+
+/// Looks up a claim by id.
+pub fn claim(id: &str) -> Option<&'static Claim> {
+    CLAIMS.iter().find(|c| c.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_complete_and_unique() {
+        assert_eq!(CLAIMS.len(), 18);
+        let mut ids: Vec<&str> = CLAIMS.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 18);
+        // Every claim maps to a distinct experiment E1..E18.
+        let mut exps: Vec<&str> = CLAIMS.iter().map(|c| c.experiment).collect();
+        exps.sort_unstable();
+        exps.dedup();
+        assert_eq!(exps.len(), 18);
+    }
+
+    #[test]
+    fn lookup_works() {
+        assert_eq!(claim("C7").unwrap().experiment, "E7");
+        assert!(claim("C99").is_none());
+    }
+}

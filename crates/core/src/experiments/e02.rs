@@ -1,0 +1,178 @@
+//! E2 — Free riding on Gnutella.
+//!
+//! Paper (II-B Problem 1, citing Adar & Huberman \[21\]): free riding was
+//! extensively reported on Gnutella. The original study found that
+//! about two thirds of peers share no files and that the top 1% of
+//! sharing hosts serve roughly a third to a half of all responses.
+
+use std::collections::HashSet;
+
+use decent_overlay::flood::{build_network, FloodConfig};
+use decent_sim::prelude::*;
+
+use crate::report::{ExperimentReport, Table};
+
+/// Experiment parameters.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Overlay size.
+    pub nodes: usize,
+    /// Number of flooded queries.
+    pub queries: usize,
+    /// Query TTL.
+    pub ttl: u32,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            nodes: 2000,
+            queries: 3000,
+            ttl: 5,
+            seed: 0xE2,
+        }
+    }
+}
+
+impl Config {
+    /// A CI-sized configuration.
+    pub fn quick() -> Self {
+        Config {
+            nodes: 500,
+            queries: 500,
+            ..Config::default()
+        }
+    }
+}
+
+/// Runs E2 and produces the report.
+pub fn run(cfg: &Config) -> ExperimentReport {
+    let flood_cfg = FloodConfig::default();
+    let mut sim = Simulation::new(cfg.seed, UniformLatency::from_millis(30.0, 120.0));
+    let ids = build_network(&mut sim, cfg.nodes, &flood_cfg, cfg.seed ^ 2);
+    sim.run_until(SimTime::from_secs(0.1));
+    let zipf = Zipf::new(flood_cfg.catalog_size, flood_cfg.popularity_exponent);
+    for q in 0..cfg.queries as u64 {
+        let origin = ids[(q as usize * 17) % ids.len()];
+        let file = {
+            let rng = sim.rng();
+            zipf.sample_rank(rng) as u32
+        };
+        let ttl = cfg.ttl;
+        sim.invoke(origin, |n, ctx| n.query(q, file, ttl, ctx));
+        let next = sim.now() + SimDuration::from_millis(40.0);
+        sim.run_until(next);
+    }
+    sim.run_until(sim.now() + SimDuration::from_secs(60.0));
+
+    // Population and load statistics.
+    let free_riders = ids
+        .iter()
+        .filter(|&&i| sim.node(i).is_free_rider())
+        .count();
+    let mut served: Vec<f64> = ids
+        .iter()
+        .map(|&i| sim.node(i).hits_served as f64)
+        .collect();
+    let total_hits: f64 = served.iter().sum();
+    served.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+    let share_of_top = |frac: f64| -> f64 {
+        let k = ((ids.len() as f64 * frac).ceil() as usize).max(1);
+        if total_hits == 0.0 {
+            0.0
+        } else {
+            served.iter().take(k).sum::<f64>() / total_hits
+        }
+    };
+    // Adar & Huberman's headline number counts *files provided*: the
+    // share of all shared file instances held by the top hosts.
+    let mut libraries: Vec<f64> = ids
+        .iter()
+        .map(|&i| sim.node(i).shared_count() as f64)
+        .collect();
+    let total_instances: f64 = libraries.iter().sum();
+    libraries.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+    let files_top = |frac: f64| -> f64 {
+        let k = ((ids.len() as f64 * frac).ceil() as usize).max(1);
+        libraries.iter().take(k).sum::<f64>() / total_instances.max(1.0)
+    };
+    let answered: HashSet<u64> = ids
+        .iter()
+        .flat_map(|&i| sim.node(i).hits_received.iter().map(|&(q, _, _)| q))
+        .collect();
+    let success = answered.len() as f64 / cfg.queries as f64;
+    let relay_load: f64 = ids
+        .iter()
+        .map(|&i| sim.node(i).queries_relayed as f64)
+        .sum::<f64>()
+        / cfg.queries as f64;
+
+    let mut report = ExperimentReport::new("E2", "Free riding on Gnutella (II-B P1)");
+    let mut t = Table::new(
+        "Population and answer concentration",
+        &["metric", "value"],
+    );
+    t.row(["peers".to_string(), cfg.nodes.to_string()]);
+    t.row([
+        "free riders (share nothing)".to_string(),
+        fmt_pct(free_riders as f64 / ids.len() as f64),
+    ]);
+    t.row(["queries answered".to_string(), fmt_pct(success)]);
+    t.row([
+        "files provided by top 1% of peers".to_string(),
+        fmt_pct(files_top(0.01)),
+    ]);
+    t.row([
+        "answers served by top 1% of peers".to_string(),
+        fmt_pct(share_of_top(0.01)),
+    ]);
+    t.row([
+        "answers served by top 5% of peers".to_string(),
+        fmt_pct(share_of_top(0.05)),
+    ]);
+    t.row([
+        "answers served by top 25% of peers".to_string(),
+        fmt_pct(share_of_top(0.25)),
+    ]);
+    t.row([
+        "mean nodes relaying each query".to_string(),
+        fmt_f(relay_load),
+    ]);
+    report.table(t);
+    report.finding(
+        "most peers share nothing",
+        "~66-70% of Gnutella peers shared no files",
+        fmt_pct(free_riders as f64 / ids.len() as f64),
+        (0.55..0.8).contains(&(free_riders as f64 / ids.len() as f64)),
+    );
+    report.finding(
+        "a tiny elite provides most content",
+        "top 1% of hosts provide ~37% of all shared files (Adar & Huberman)",
+        format!(
+            "top 1% hold {} of file instances and serve {} of answers",
+            fmt_pct(files_top(0.01)),
+            fmt_pct(share_of_top(0.01))
+        ),
+        files_top(0.01) >= 0.25 && share_of_top(0.01) >= 0.1,
+    );
+    report.finding(
+        "flooding burdens everyone",
+        "flooding is slow and inefficient (II)",
+        format!("each query touches {} peers on average", fmt_f(relay_load)),
+        relay_load > cfg.nodes as f64 * 0.3,
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_reproduces_free_riding() {
+        let r = run(&Config::quick());
+        assert!(r.all_hold(), "{r}");
+    }
+}

@@ -1,0 +1,123 @@
+//! E3 — Tit-for-tat incentives in BitTorrent.
+//!
+//! Paper (II-B Problem 1): "BitTorrent mitigated the free riding
+//! problem by designing the protocol including incentives (tit-for-
+//! tat). If peers do not contribute, others would not reciprocate. But
+//! again, collaboration is only enforced during the download process."
+
+use decent_overlay::swarm::{SwarmConfig, SwarmSim};
+
+use crate::report::{ExperimentReport, Table};
+use decent_sim::report::fmt_f;
+
+/// Experiment parameters.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Leechers in the swarm.
+    pub leechers: usize,
+    /// Fraction of leechers that never upload.
+    pub free_rider_fraction: f64,
+    /// Initial seeds.
+    pub seeds: usize,
+    /// Pieces in the torrent.
+    pub pieces: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            leechers: 300,
+            free_rider_fraction: 0.25,
+            seeds: 3,
+            pieces: 200,
+            seed: 0xE3,
+        }
+    }
+}
+
+impl Config {
+    /// A CI-sized configuration.
+    pub fn quick() -> Self {
+        Config {
+            leechers: 120,
+            pieces: 100,
+            ..Config::default()
+        }
+    }
+}
+
+/// Runs E3 and produces the report.
+pub fn run(cfg: &Config) -> ExperimentReport {
+    let mut report = ExperimentReport::new("E3", "Tit-for-tat incentives (II-B P1)");
+    let mut t = Table::new(
+        "Completion time by peer class",
+        &[
+            "choking",
+            "contributor p50 (s)",
+            "free rider p50 (s)",
+            "rider/contributor ratio",
+            "unfinished",
+        ],
+    );
+    let mut ratios = Vec::new();
+    for tft in [true, false] {
+        let swarm_cfg = SwarmConfig {
+            pieces: cfg.pieces,
+            tit_for_tat: tft,
+            ..SwarmConfig::default()
+        };
+        let mut swarm = SwarmSim::with_population(
+            swarm_cfg,
+            cfg.leechers,
+            cfg.free_rider_fraction,
+            cfg.seeds,
+            cfg.seed,
+        );
+        let mut r = swarm.run(4000);
+        let c50 = r.contributor_times.percentile(0.5);
+        let f50 = r.free_rider_times.percentile(0.5);
+        let ratio = if c50 > 0.0 { f50 / c50 } else { 0.0 };
+        t.row([
+            if tft { "tit-for-tat" } else { "random (no incentives)" }.to_string(),
+            fmt_f(c50),
+            fmt_f(f50),
+            fmt_f(ratio),
+            r.unfinished.to_string(),
+        ]);
+        ratios.push(ratio);
+    }
+    report.table(t);
+    report.finding(
+        "tit-for-tat punishes free riders",
+        "peers that do not contribute are not reciprocated",
+        format!("free riders take {}x longer under tit-for-tat", fmt_f(ratios[0])),
+        ratios[0] >= 1.5,
+    );
+    report.finding(
+        "without incentives, free riding is free",
+        "free riding was predominant before incentive design",
+        format!("rider/contributor ratio {} with random choking", fmt_f(ratios[1])),
+        ratios[1] < 1.4,
+    );
+    report.finding(
+        "incentives only bind during the download",
+        "collaboration is only enforced during the download process",
+        "completed free riders leave immediately; the protocol cannot retain them"
+            .to_string(),
+        true, // structural: departure-at-completion is built into the model
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_reproduces_incentive_effect() {
+        let r = run(&Config::quick());
+        assert!(r.all_hold(), "{r}");
+    }
+}

@@ -1,0 +1,133 @@
+//! E8 — Mining centralization and the death of desktop mining.
+//!
+//! Paper (III-C Problem 1): "In 2013 six mining pools controlled 75% of
+//! overall Bitcoin hashing power. Nowadays it is almost impossible for
+//! a normal user to mine bitcoins with a normal desktop computer."
+
+use decent_chain::economics::{form_pools, Market, MarketConfig};
+use decent_sim::metrics::top_k_share;
+use decent_sim::report::{fmt_f, fmt_pct, fmt_si};
+
+use crate::report::{ExperimentReport, Table};
+
+/// Experiment parameters.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Market configuration (months, populations, price path).
+    pub market: MarketConfig,
+    /// Pools available for miners to join.
+    pub pools: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            market: MarketConfig::default(),
+            pools: 20,
+            seed: 0xE8,
+        }
+    }
+}
+
+impl Config {
+    /// A CI-sized configuration.
+    pub fn quick() -> Self {
+        Config {
+            market: MarketConfig {
+                months: 48,
+                hobbyists: 800,
+                ..MarketConfig::default()
+            },
+            ..Config::default()
+        }
+    }
+}
+
+/// Runs E8 and produces the report.
+pub fn run(cfg: &Config) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "E8",
+        "Mining centralization: pools, farms, and dead desktops (III-C P1)",
+    );
+    let mut market = Market::new(cfg.market.clone(), cfg.seed);
+    let snaps = market.run();
+    let mut t = Table::new(
+        "Mining market over time",
+        &[
+            "month",
+            "BTC price ($)",
+            "hashrate (GH/s)",
+            "farm top-6 share",
+            "gini",
+            "profitable hobbyists",
+            "energy (TWh/yr)",
+        ],
+    );
+    for s in snaps.iter().filter(|s| s.month % 6 == 0 || s.month == 1) {
+        t.row([
+            s.month.to_string(),
+            fmt_f(s.price),
+            fmt_si(s.total_hashrate_ghs),
+            fmt_pct(s.top6_share),
+            fmt_f(s.gini),
+            s.profitable_hobbyists.to_string(),
+            fmt_f(s.energy_twh_per_year),
+        ]);
+    }
+    report.table(t);
+
+    // Pool formation on top of the evolved farm distribution.
+    let rates: Vec<f64> = market.active().map(|m| m.hashrate_ghs).collect();
+    let pools = form_pools(&rates, cfg.pools, 30, 0.2, cfg.seed ^ 0x99);
+    let pool6 = top_k_share(&pools, 6);
+    let mut t2 = Table::new("Pool shares after variance-seeking pooling", &["pool", "share"]);
+    let mut sorted = pools.clone();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+    let total: f64 = sorted.iter().sum();
+    for (i, p) in sorted.iter().take(8).enumerate() {
+        t2.row([format!("#{}", i + 1), fmt_pct(p / total)]);
+    }
+    report.table(t2);
+
+    let first = &snaps[0];
+    let last = snaps.last().expect("months > 0");
+    report.finding(
+        "six pools dominate",
+        "in 2013 six pools controlled 75% of hashing power",
+        format!("top-6 pools hold {}", fmt_pct(pool6)),
+        pool6 > 0.6,
+    );
+    report.finding(
+        "desktop mining dies",
+        "almost impossible to mine with a normal desktop computer",
+        format!(
+            "profitable hobbyists: {} -> {} of {}",
+            first.profitable_hobbyists, last.profitable_hobbyists, cfg.market.hobbyists
+        ),
+        (last.profitable_hobbyists as f64) < 0.05 * cfg.market.hobbyists as f64,
+    );
+    report.finding(
+        "incentives attract industrial capital",
+        "huge commercial BitFarms with specialized hardware emerged",
+        format!(
+            "hashrate grew {}x; farm gini {}",
+            fmt_f(last.total_hashrate_ghs / first.total_hashrate_ghs.max(1e-9)),
+            fmt_f(last.gini)
+        ),
+        last.total_hashrate_ghs > 10.0 * first.total_hashrate_ghs && last.gini > 0.7,
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_reproduces_centralization() {
+        let r = run(&Config::quick());
+        assert!(r.all_hold(), "{r}");
+    }
+}

@@ -1,0 +1,128 @@
+//! E16 — Nothing-at-stake: proof-of-X does not fix the waste problem.
+//!
+//! Paper (III-C Problem 2, citing Houy \[32\]): "Alternative approaches
+//! based on proof-of-X, where X could be stake, space, activity, etc.
+//! seem not be able to fully address this problem so far" — the cited
+//! paper being "It will cost you nothing to 'kill' a proof-of-stake
+//! crypto-currency".
+
+use decent_chain::pos::{
+    attack_cost_units, simulate_pos_attack, simulate_pow_attack, PosAttack,
+};
+use decent_sim::report::{fmt_pct, fmt_si};
+
+use crate::report::{ExperimentReport, Table};
+
+/// Experiment parameters.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Attacker stake/hashpower share.
+    pub attacker: f64,
+    /// Fractions of rational (multi-minting) stake to sweep.
+    pub rational_fractions: Vec<f64>,
+    /// Monte Carlo attempts per point.
+    pub attempts: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            attacker: 0.10,
+            rational_fractions: vec![0.0, 0.25, 0.5, 0.75, 0.95],
+            attempts: 20_000,
+            seed: 0xE16,
+        }
+    }
+}
+
+impl Config {
+    /// A CI-sized configuration.
+    pub fn quick() -> Self {
+        Config {
+            rational_fractions: vec![0.0, 0.5, 0.95],
+            attempts: 5_000,
+            ..Config::default()
+        }
+    }
+}
+
+/// Runs E16 and produces the report.
+pub fn run(cfg: &Config) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "E16",
+        "Nothing-at-stake: 'killing' proof-of-stake is free (III-C P2, [32])",
+    );
+    let mut t = Table::new(
+        "Probability of reversing a 6-confirmed payment (10% attacker)",
+        &[
+            "system",
+            "multi-minting stake",
+            "reversal probability",
+            "marginal attack cost",
+        ],
+    );
+    let pow = simulate_pow_attack(cfg.attacker, 6, cfg.attempts, cfg.seed ^ 1);
+    t.row([
+        "PoW".to_string(),
+        "impossible (hashes are exclusive)".to_string(),
+        fmt_pct(pow),
+        fmt_si(attack_cost_units(true, 600, 1e12)),
+    ]);
+    let mut curve = Vec::new();
+    for (i, &frac) in cfg.rational_fractions.iter().enumerate() {
+        let out = simulate_pos_attack(
+            &PosAttack {
+                attacker_stake: cfg.attacker,
+                rational_fraction: frac,
+                ..PosAttack::default()
+            },
+            cfg.attempts,
+            cfg.seed ^ ((i as u64 + 2) << 8),
+        );
+        t.row([
+            "PoS".to_string(),
+            fmt_pct(frac),
+            fmt_pct(out.reversal_probability()),
+            fmt_si(attack_cost_units(false, 600, 1e12)),
+        ]);
+        curve.push(out.reversal_probability());
+    }
+    report.table(t);
+
+    let disciplined = curve[0];
+    let rational = *curve.last().expect("points");
+    report.finding(
+        "PoS security rests on unenforceable discipline",
+        "it costs nothing to 'kill' a proof-of-stake currency (Houy)",
+        format!(
+            "10% attacker reverses {} of payments with honest stake but {} once {} of stake multi-mints — at zero marginal cost",
+            fmt_pct(disciplined),
+            fmt_pct(rational),
+            fmt_pct(*cfg.rational_fractions.last().expect("points"))
+        ),
+        disciplined < 0.05 && rational > 0.5,
+    );
+    report.finding(
+        "PoW buys safety with energy",
+        "proof-of-work defends against sybils at a huge energy price (III)",
+        format!(
+            "same attacker against PoW: {} reversal probability, but every attempt burns real energy",
+            fmt_pct(pow)
+        ),
+        pow < 0.05,
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_reproduces_nothing_at_stake() {
+        let r = run(&Config::quick());
+        assert!(r.all_hold(), "{r}");
+    }
+}

@@ -1,0 +1,78 @@
+//! One experiment per quantitative claim of the paper (see
+//! [`crate::claims`] for the mapping).
+//!
+//! Every experiment exposes a `Config` (with `Default` = paper scale
+//! and `Config::quick()` = CI scale) and a `run(&Config) ->
+//! ExperimentReport` entry point.
+
+pub mod e01;
+pub mod e02;
+pub mod e03;
+pub mod e04;
+pub mod e05;
+pub mod e06;
+pub mod e07;
+pub mod e08;
+pub mod e09;
+pub mod e10;
+pub mod e11;
+pub mod e12;
+pub mod e13;
+pub mod e14;
+pub mod e15;
+pub mod e16;
+pub mod e17;
+pub mod e18;
+
+use crate::report::ExperimentReport;
+
+/// Experiment ids in order. E1-E15 reproduce the paper's explicit
+/// quantitative claims; E16-E18 cover the secondary claims it makes in
+/// passing (nothing-at-stake, layer-2 centralization, dapp congestion).
+pub const ALL: [&str; 18] = [
+    "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14",
+    "E15", "E16", "E17", "E18",
+];
+
+/// Runs one experiment by id at quick (CI) or full (paper) scale.
+///
+/// Returns `None` for an unknown id.
+pub fn run_by_id(id: &str, quick: bool) -> Option<ExperimentReport> {
+    macro_rules! dispatch {
+        ($m:ident) => {
+            if quick {
+                $m::run(&$m::Config::quick())
+            } else {
+                $m::run(&$m::Config::default())
+            }
+        };
+    }
+    Some(match id {
+        "E1" => dispatch!(e01),
+        "E2" => dispatch!(e02),
+        "E3" => dispatch!(e03),
+        "E4" => dispatch!(e04),
+        "E5" => dispatch!(e05),
+        "E6" => dispatch!(e06),
+        "E7" => dispatch!(e07),
+        "E8" => dispatch!(e08),
+        "E9" => dispatch!(e09),
+        "E10" => dispatch!(e10),
+        "E11" => dispatch!(e11),
+        "E12" => dispatch!(e12),
+        "E13" => dispatch!(e13),
+        "E14" => dispatch!(e14),
+        "E15" => dispatch!(e15),
+        "E16" => dispatch!(e16),
+        "E17" => dispatch!(e17),
+        "E18" => dispatch!(e18),
+        _ => return None,
+    })
+}
+
+/// Runs every experiment in order.
+pub fn run_all(quick: bool) -> Vec<ExperimentReport> {
+    ALL.iter()
+        .map(|id| run_by_id(id, quick).expect("known id"))
+        .collect()
+}

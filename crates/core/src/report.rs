@@ -1,0 +1,119 @@
+//! Experiment reports: tables plus paper-vs-measured findings.
+
+use std::fmt;
+
+pub use decent_sim::report::Table;
+
+/// One paper-claim check inside an experiment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Short name of the check.
+    pub name: String,
+    /// What the paper says (with section).
+    pub paper: String,
+    /// What this run measured.
+    pub measured: String,
+    /// Whether the claim's *shape* holds in the simulation.
+    pub holds: bool,
+}
+
+/// The output of one experiment run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExperimentReport {
+    /// Experiment id, e.g. `"E7"`.
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: String,
+    /// Regenerated result tables (the paper's "rows/series").
+    pub tables: Vec<Table>,
+    /// Claim checks.
+    pub findings: Vec<Finding>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report.
+    pub fn new(id: &'static str, title: impl Into<String>) -> Self {
+        ExperimentReport {
+            id,
+            title: title.into(),
+            tables: Vec::new(),
+            findings: Vec::new(),
+        }
+    }
+
+    /// Adds a result table.
+    pub fn table(&mut self, table: Table) -> &mut Self {
+        self.tables.push(table);
+        self
+    }
+
+    /// Records a claim check.
+    pub fn finding(
+        &mut self,
+        name: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+        holds: bool,
+    ) -> &mut Self {
+        self.findings.push(Finding {
+            name: name.into(),
+            paper: paper.into(),
+            measured: measured.into(),
+            holds,
+        });
+        self
+    }
+
+    /// True when every finding holds.
+    pub fn all_hold(&self) -> bool {
+        self.findings.iter().all(|f| f.holds)
+    }
+
+    /// Renders the full report as markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("## {} — {}\n\n", self.id, self.title);
+        for t in &self.tables {
+            out.push_str(&t.to_markdown());
+            out.push('\n');
+        }
+        if !self.findings.is_empty() {
+            out.push_str("### Paper vs. measured\n\n");
+            out.push_str("| check | paper says | measured | holds |\n|---|---|---|---|\n");
+            for f in &self.findings {
+                out.push_str(&format!(
+                    "| {} | {} | {} | {} |\n",
+                    f.name,
+                    f.paper,
+                    f.measured,
+                    if f.holds { "yes" } else { "**NO**" }
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for ExperimentReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_markdown())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders() {
+        let mut r = ExperimentReport::new("E0", "demo");
+        let mut t = Table::new("numbers", &["x"]);
+        t.row(["1"]);
+        r.table(t);
+        r.finding("a", "says", "got", true);
+        r.finding("b", "says", "got", false);
+        let md = r.to_markdown();
+        assert!(md.contains("## E0 — demo"));
+        assert!(md.contains("**NO**"));
+        assert!(!r.all_hold());
+    }
+}

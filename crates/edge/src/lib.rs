@@ -1,0 +1,12 @@
+//! # decent-edge — edge-centric computing with decentralized trust
+//!
+//! The world of the paper's Fig. 1 and Section V: devices, regional
+//! nano-datacenters and a cloud region, with two placement/trust
+//! strategies to compare — everything-in-the-cloud with a trusted third
+//! party, versus edge-local processing with credentials anchored in a
+//! permissioned blockchain and periodic digests flowing upward.
+
+#![warn(missing_docs)]
+
+pub mod net;
+pub mod service;

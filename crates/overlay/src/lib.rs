@@ -1,0 +1,20 @@
+//! # decent-overlay — the peer-to-peer overlays of Section II
+//!
+//! Structured overlays (Kademlia, Chord, one-hop), unstructured overlays
+//! (Gnutella-style flooding, superpeers), epidemic broadcast, a
+//! BitTorrent-style swarm with tit-for-tat choking, and a sybil/eclipse
+//! adversary — everything the paper's historical survey rests on.
+
+#![warn(missing_docs)]
+
+pub mod id;
+pub mod kademlia;
+pub mod chord;
+pub mod flood;
+pub mod gossip;
+pub mod onehop;
+pub mod superpeer;
+pub mod swarm;
+pub mod sybil;
+pub mod pastry;
+pub mod can;

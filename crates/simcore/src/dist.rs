@@ -1,0 +1,374 @@
+//! Probability distributions used by workload and churn models.
+//!
+//! Implemented in-tree (inverse-CDF or Box–Muller) so the simulator stays
+//! dependency-light; all samplers draw from the deterministic [`SimRng`]
+//! stream.
+//!
+//! [`SimRng`]: crate::rng::SimRng
+
+use rand::Rng;
+
+use crate::rng::SimRng;
+
+/// A distribution over `f64` that can be sampled from the simulator RNG.
+pub trait Sample {
+    /// Draws one value.
+    fn sample(&self, rng: &mut SimRng) -> f64;
+
+    /// The theoretical mean, if finite.
+    fn mean(&self) -> Option<f64>;
+}
+
+/// Exponential distribution with the given rate (`mean = 1 / rate`).
+///
+/// # Examples
+///
+/// ```
+/// use decent_sim::dist::{Exp, Sample};
+/// use decent_sim::rng::rng_from_seed;
+///
+/// let mut rng = rng_from_seed(1);
+/// let d = Exp::with_mean(10.0);
+/// assert!(d.sample(&mut rng) >= 0.0);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Exp {
+    rate: f64,
+}
+
+impl Exp {
+    /// Creates an exponential with rate `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive and finite.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        Exp { rate }
+    }
+
+    /// Creates an exponential with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not strictly positive and finite.
+    pub fn with_mean(mean: f64) -> Self {
+        Exp::new(1.0 / mean)
+    }
+}
+
+impl Sample for Exp {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        // Inverse CDF; 1 - U avoids ln(0).
+        -(1.0_f64 - rng.gen::<f64>()).ln() / self.rate
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(1.0 / self.rate)
+    }
+}
+
+/// Pareto (power-law) distribution with scale `x_min` and shape `alpha`.
+///
+/// Heavy-tailed; used for session times and content popularity. The mean is
+/// finite only for `alpha > 1`.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Pareto {
+    x_min: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_min` or `alpha` is not strictly positive and finite.
+    pub fn new(x_min: f64, alpha: f64) -> Self {
+        assert!(x_min.is_finite() && x_min > 0.0, "x_min must be positive");
+        assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive");
+        Pareto { x_min, alpha }
+    }
+
+    /// Creates a Pareto with shape `alpha > 1` and the requested mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha <= 1` (the mean would be infinite).
+    pub fn with_mean(mean: f64, alpha: f64) -> Self {
+        assert!(alpha > 1.0, "mean is infinite for alpha <= 1");
+        Pareto::new(mean * (alpha - 1.0) / alpha, alpha)
+    }
+}
+
+impl Sample for Pareto {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.x_min / (1.0_f64 - rng.gen::<f64>()).powf(1.0 / self.alpha)
+    }
+
+    fn mean(&self) -> Option<f64> {
+        (self.alpha > 1.0).then(|| self.alpha * self.x_min / (self.alpha - 1.0))
+    }
+}
+
+/// Weibull distribution with scale `lambda` and shape `k`.
+///
+/// `k < 1` gives the heavy-tailed session lengths measured in deployed DHTs
+/// (Steiner et al., ToN 2009 report `k ≈ 0.5` for KAD).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Weibull {
+    lambda: f64,
+    k: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` or `k` is not strictly positive and finite.
+    pub fn new(lambda: f64, k: f64) -> Self {
+        assert!(lambda.is_finite() && lambda > 0.0, "lambda must be positive");
+        assert!(k.is_finite() && k > 0.0, "k must be positive");
+        Weibull { lambda, k }
+    }
+
+    /// Creates a Weibull with shape `k` and the requested mean.
+    pub fn with_mean(mean: f64, k: f64) -> Self {
+        Weibull::new(mean / gamma(1.0 + 1.0 / k), k)
+    }
+}
+
+impl Sample for Weibull {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.lambda * (-(1.0_f64 - rng.gen::<f64>()).ln()).powf(1.0 / self.k)
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(self.lambda * gamma(1.0 + 1.0 / self.k))
+    }
+}
+
+/// Log-normal distribution of the underlying normal `N(mu, sigma)`.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with the given underlying normal parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or either parameter is not finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0);
+        LogNormal { mu, sigma }
+    }
+
+    /// Creates a log-normal with the requested mean and `sigma` of the
+    /// underlying normal (a common parameterization for latency jitter).
+    pub fn with_mean(mean: f64, sigma: f64) -> Self {
+        assert!(mean > 0.0, "mean must be positive");
+        LogNormal::new(mean.ln() - sigma * sigma / 2.0, sigma)
+    }
+}
+
+impl Sample for LogNormal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some((self.mu + self.sigma * self.sigma / 2.0).exp())
+    }
+}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`.
+///
+/// Sampling is O(log n) via a precomputed CDF; used for content popularity
+/// (Gnutella files, transaction hot keys).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative or not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "n must be positive");
+        assert!(s.is_finite() && s >= 0.0, "s must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns true if the distribution has a single rank.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws a rank in `0..n` (zero-based; rank 0 is the most popular).
+    pub fn sample_rank(&self, rng: &mut SimRng) -> usize {
+        let u = rng.gen::<f64>();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability mass of zero-based rank `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        let lo = if i == 0 { 0.0 } else { self.cdf[i - 1] };
+        self.cdf[i] - lo
+    }
+}
+
+impl Sample for Zipf {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.sample_rank(rng) as f64
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(
+            self.cdf
+                .iter()
+                .enumerate()
+                .map(|(i, _)| i as f64 * self.pmf(i))
+                .sum(),
+        )
+    }
+}
+
+/// Draws one standard normal variate via the Box–Muller transform.
+pub fn standard_normal(rng: &mut SimRng) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>(); // avoid ln(0)
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Lanczos approximation of the gamma function (used for Weibull means).
+fn gamma(x: f64) -> f64 {
+    // g = 7, n = 9 coefficients (standard Lanczos table).
+    const G: f64 = 7.0;
+    const C: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = C[0];
+        let t = x + G + 0.5;
+        for (i, &c) in C.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    fn empirical_mean(d: &impl Sample, n: usize, seed: u64) -> f64 {
+        let mut rng = rng_from_seed(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exp_mean_matches() {
+        let d = Exp::with_mean(5.0);
+        let m = empirical_mean(&d, 200_000, 7);
+        assert!((m - 5.0).abs() < 0.1, "mean {m}");
+        assert_eq!(d.mean(), Some(5.0));
+    }
+
+    #[test]
+    fn pareto_mean_matches() {
+        let d = Pareto::with_mean(10.0, 2.5);
+        let m = empirical_mean(&d, 400_000, 8);
+        assert!((m - 10.0).abs() < 0.5, "mean {m}");
+    }
+
+    #[test]
+    fn pareto_infinite_mean_is_none() {
+        assert_eq!(Pareto::new(1.0, 0.9).mean(), None);
+    }
+
+    #[test]
+    fn weibull_mean_matches() {
+        let d = Weibull::with_mean(3.0, 0.5);
+        let m = empirical_mean(&d, 400_000, 9);
+        assert!((m - 3.0).abs() < 0.15, "mean {m}");
+    }
+
+    #[test]
+    fn lognormal_mean_matches() {
+        let d = LogNormal::with_mean(2.0, 0.5);
+        let m = empirical_mean(&d, 400_000, 10);
+        assert!((m - 2.0).abs() < 0.1, "mean {m}");
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_normalized() {
+        let z = Zipf::new(1000, 1.0);
+        let total: f64 = (0..z.len()).map(|i| z.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(0) > 0.1); // rank 1 dominates with s=1, n=1000
+
+        let mut rng = rng_from_seed(11);
+        let mut counts = vec![0usize; z.len()];
+        for _ in 0..100_000 {
+            counts[z.sample_rank(&mut rng)] += 1;
+        }
+        let top = counts[0] as f64 / 100_000.0;
+        assert!((top - z.pmf(0)).abs() < 0.01, "top share {top}");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = rng_from_seed(12);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn gamma_known_values() {
+        assert!((gamma(1.0) - 1.0).abs() < 1e-9);
+        assert!((gamma(5.0) - 24.0).abs() < 1e-6);
+        assert!((gamma(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,792 @@
+//! The deterministic discrete-event engine.
+//!
+//! A simulation is a set of [`Node`]s exchanging messages through a
+//! [`NetworkModel`]. Events (message deliveries,
+//! timers, node start/stop, driver hooks) are processed in `(time, seq)`
+//! order where `seq` is a monotone tie-breaker, so a given seed always
+//! yields the exact same trace.
+//!
+//! # Examples
+//!
+//! ```
+//! use decent_sim::engine::{Context, Node, NodeId, Simulation};
+//! use decent_sim::net::ConstantLatency;
+//! use decent_sim::time::{SimDuration, SimTime};
+//!
+//! struct Echo {
+//!     heard: usize,
+//! }
+//!
+//! impl Node for Echo {
+//!     type Msg = &'static str;
+//!     fn on_message(&mut self, from: NodeId, _msg: &'static str, ctx: &mut Context<'_, Self::Msg>) {
+//!         self.heard += 1;
+//!         if self.heard == 1 {
+//!             ctx.send(from, "pong");
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(42, ConstantLatency::from_millis(10.0));
+//! let a = sim.add_node(Echo { heard: 0 });
+//! let b = sim.add_node(Echo { heard: 0 });
+//! sim.invoke(a, |_n, ctx| ctx.send(b, "ping"));
+//! sim.run_until(SimTime::from_secs(1.0));
+//! assert_eq!(sim.node(a).heard, 1); // got the pong back
+//! ```
+
+use std::cmp::Ordering;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::net::NetworkModel;
+use crate::rng::{rng_from_seed, SimRng};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{EventTag, Trace};
+
+/// Index of a node in the simulation.
+pub type NodeId = usize;
+
+/// Pseudo-sender for messages injected from outside the simulation
+/// (e.g. by a [`Driver`] acting as a client population).
+pub const EXTERNAL: NodeId = usize::MAX;
+
+/// A protocol participant.
+///
+/// Handlers receive a [`Context`] for scheduling sends and timers; all
+/// effects are deferred and applied by the engine after the handler
+/// returns, so handlers never re-enter each other.
+pub trait Node: Sized {
+    /// The message type exchanged by this protocol.
+    type Msg: Clone;
+
+    /// Called when the node comes online (initially and after churn).
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// Called when a message is delivered to this node.
+    fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>);
+
+    /// Called when a timer set via [`Context::set_timer`] fires.
+    ///
+    /// Timers that were pending when the node went offline are discarded.
+    fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_, Self::Msg>) {
+        let _ = (tag, ctx);
+    }
+
+    /// Called when the node goes offline (churn or explicit stop).
+    fn on_stop(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+}
+
+/// Deferred effect produced by a node handler.
+enum Action<M> {
+    Send { dst: NodeId, msg: M, bytes: u64 },
+    Timer { delay: SimDuration, tag: u64 },
+    GoOffline,
+}
+
+/// Handler-side view of the simulation.
+///
+/// Provides the current time, the node's own id, the RNG stream, and
+/// methods to schedule sends and timers.
+pub struct Context<'a, M> {
+    now: SimTime,
+    id: NodeId,
+    rng: &'a mut SimRng,
+    actions: &'a mut Vec<Action<M>>,
+}
+
+impl<M> std::fmt::Debug for Context<'_, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Context")
+            .field("now", &self.now)
+            .field("id", &self.id)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M> Context<'_, M> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The deterministic RNG stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Sends a small message (default size 256 bytes) to `dst`.
+    pub fn send(&mut self, dst: NodeId, msg: M) {
+        self.send_sized(dst, msg, 256);
+    }
+
+    /// Sends a message of `bytes` bytes to `dst`.
+    ///
+    /// Delivery time and loss are decided by the simulation's network
+    /// model; messages to offline nodes are counted and dropped.
+    pub fn send_sized(&mut self, dst: NodeId, msg: M, bytes: u64) {
+        self.actions.push(Action::Send { dst, msg, bytes });
+    }
+
+    /// Schedules [`Node::on_timer`] with `tag` after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) {
+        self.actions.push(Action::Timer { delay, tag });
+    }
+
+    /// Takes this node offline after the current handler completes.
+    pub fn go_offline(&mut self) {
+        self.actions.push(Action::GoOffline);
+    }
+}
+
+enum EventKind<M> {
+    Deliver { src: NodeId, msg: M },
+    Timer { tag: u64, epoch: u32 },
+    Start,
+    Stop,
+    Hook { tag: u64 },
+}
+
+struct Event<M> {
+    time: SimTime,
+    seq: u64,
+    node: NodeId,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Network-level counters maintained by the engine.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages handed to the network model.
+    pub sent: u64,
+    /// Messages delivered to an online node.
+    pub delivered: u64,
+    /// Messages dropped because the destination was offline.
+    pub dropped_offline: u64,
+    /// Messages dropped by the network model (loss).
+    pub dropped_net: u64,
+    /// Total bytes handed to the network model.
+    pub bytes_sent: u64,
+}
+
+/// Experiment-side hook receiver.
+///
+/// Drivers generate workload and take measurements from outside the node
+/// set: schedule a hook with [`Simulation::schedule_hook`] and react to it
+/// here with full mutable access to the simulation.
+pub trait Driver<N: Node> {
+    /// Called when a hook scheduled with the given tag fires.
+    fn on_hook(&mut self, tag: u64, sim: &mut Simulation<N>);
+}
+
+/// A driver that ignores all hooks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoDriver;
+
+impl<N: Node> Driver<N> for NoDriver {
+    fn on_hook(&mut self, _tag: u64, _sim: &mut Simulation<N>) {}
+}
+
+struct Slot<N> {
+    node: N,
+    online: bool,
+    /// Timers from before the last offline period are invalidated by
+    /// bumping this epoch on every stop.
+    timer_epoch: u32,
+    churn: Option<crate::churn::ChurnModel>,
+}
+
+/// A deterministic discrete-event simulation over nodes of type `N`.
+pub struct Simulation<N: Node> {
+    slots: Vec<Slot<N>>,
+    queue: BinaryHeap<Reverse<Event<N::Msg>>>,
+    now: SimTime,
+    seq: u64,
+    net: Box<dyn NetworkModel>,
+    rng: SimRng,
+    stats: NetStats,
+    events_processed: u64,
+    scratch: Vec<Action<N::Msg>>,
+    trace: Option<Trace>,
+}
+
+impl<N: Node> Simulation<N> {
+    /// Creates an empty simulation with the given seed and network model.
+    pub fn new(seed: u64, net: impl NetworkModel + 'static) -> Self {
+        Simulation {
+            slots: Vec::new(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            net: Box::new(net),
+            rng: rng_from_seed(seed),
+            stats: NetStats::default(),
+            events_processed: 0,
+            scratch: Vec::new(),
+            trace: None,
+        }
+    }
+
+    /// Starts tracing dispatched events, retaining the most recent
+    /// `capacity` records (counters are unbounded). See
+    /// [`Trace`].
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+    }
+
+    /// The trace, if enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Adds a node and schedules its start at the current time.
+    pub fn add_node(&mut self, node: N) -> NodeId {
+        self.add_node_at(node, self.now)
+    }
+
+    /// Adds a node and schedules its start at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn add_node_at(&mut self, node: N, at: SimTime) -> NodeId {
+        assert!(at >= self.now, "cannot start a node in the past");
+        let id = self.slots.len();
+        self.slots.push(Slot {
+            node,
+            online: false,
+            timer_epoch: 0,
+            churn: None,
+        });
+        self.push_event(at, id, EventKind::Start);
+        id
+    }
+
+    /// Attaches an alternating online/offline churn process to `id`.
+    ///
+    /// If the node is already online, its current session ends after a
+    /// freshly sampled session length; otherwise the process starts at
+    /// the node's next start event.
+    pub fn set_churn(&mut self, id: NodeId, model: crate::churn::ChurnModel) {
+        let session = self.slots[id]
+            .online
+            .then(|| model.sample_session(&mut self.rng));
+        self.slots[id].churn = Some(model);
+        if let Some(session) = session {
+            self.push_event(self.now + session, id, EventKind::Stop);
+        }
+    }
+
+    /// Schedules the node to stop (go offline) at `at`.
+    pub fn schedule_stop(&mut self, id: NodeId, at: SimTime) {
+        self.push_event(at, id, EventKind::Stop);
+    }
+
+    /// Schedules the node to start (come online) at `at`.
+    pub fn schedule_start(&mut self, id: NodeId, at: SimTime) {
+        self.push_event(at, id, EventKind::Start);
+    }
+
+    /// Schedules a driver hook with `tag` at `at`.
+    pub fn schedule_hook(&mut self, at: SimTime, tag: u64) {
+        self.push_event(at, 0, EventKind::Hook { tag });
+    }
+
+    /// Injects a message from [`EXTERNAL`] to `dst`, delivered after `delay`.
+    pub fn inject(&mut self, dst: NodeId, msg: N::Msg, delay: SimDuration) {
+        self.push_event(
+            self.now + delay,
+            dst,
+            EventKind::Deliver {
+                src: EXTERNAL,
+                msg,
+            },
+        );
+    }
+
+    /// Runs `f` against node `id` with a live [`Context`], applying any
+    /// scheduled effects afterwards. The node need not be online.
+    ///
+    /// This is how drivers and experiment harnesses trigger protocol
+    /// actions (e.g. "start a lookup now").
+    pub fn invoke<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut N, &mut Context<'_, N::Msg>) -> R,
+    ) -> R {
+        let mut actions = std::mem::take(&mut self.scratch);
+        let out = {
+            let mut ctx = Context {
+                now: self.now,
+                id,
+                rng: &mut self.rng,
+                actions: &mut actions,
+            };
+            f(&mut self.slots[id].node, &mut ctx)
+        };
+        self.apply_actions(id, &mut actions);
+        self.scratch = actions;
+        out
+    }
+
+    /// Immutable access to a node's state.
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.slots[id].node
+    }
+
+    /// Mutable access to a node's state (no context; for measurement only).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.slots[id].node
+    }
+
+    /// Number of nodes ever added.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns true if no nodes have been added.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Whether node `id` is currently online.
+    pub fn is_online(&self, id: NodeId) -> bool {
+        self.slots[id].online
+    }
+
+    /// Ids of all currently online nodes.
+    pub fn online_nodes(&self) -> Vec<NodeId> {
+        (0..self.slots.len())
+            .filter(|&i| self.slots[i].online)
+            .collect()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Network counters.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// The engine RNG (for drivers that need randomness in the same stream).
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Runs until the event queue is empty or `deadline` is reached,
+    /// whichever comes first, without a driver.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.run_with_driver(deadline, &mut NoDriver);
+    }
+
+    /// Runs until the queue is empty or `deadline` is reached, dispatching
+    /// hook events to `driver`.
+    pub fn run_with_driver(&mut self, deadline: SimTime, driver: &mut impl Driver<N>) {
+        while self.step(deadline, driver) {}
+    }
+
+    /// Processes a single event if one exists at or before `deadline`.
+    ///
+    /// Returns false when the queue is exhausted or the next event lies
+    /// beyond the deadline (in which case time advances to the deadline).
+    pub fn step(&mut self, deadline: SimTime, driver: &mut impl Driver<N>) -> bool {
+        let Some(Reverse(head)) = self.queue.peek() else {
+            if self.now < deadline && deadline != SimTime::MAX {
+                self.now = deadline;
+            }
+            return false;
+        };
+        if head.time > deadline {
+            self.now = deadline;
+            return false;
+        }
+        let Reverse(ev) = self.queue.pop().expect("peeked");
+        debug_assert!(ev.time >= self.now, "time went backwards");
+        self.now = ev.time;
+        self.events_processed += 1;
+        self.dispatch(ev, driver);
+        true
+    }
+
+    fn dispatch(&mut self, ev: Event<N::Msg>, driver: &mut impl Driver<N>) {
+        if let Some(trace) = &mut self.trace {
+            let tag = match &ev.kind {
+                EventKind::Deliver { .. } => EventTag::Deliver,
+                EventKind::Timer { .. } => EventTag::Timer,
+                EventKind::Start => EventTag::Start,
+                EventKind::Stop => EventTag::Stop,
+                EventKind::Hook { .. } => EventTag::Hook,
+            };
+            trace.record(ev.time, ev.node, tag);
+        }
+        match ev.kind {
+            EventKind::Deliver { src, msg } => {
+                if !self.slots[ev.node].online {
+                    self.stats.dropped_offline += 1;
+                    return;
+                }
+                self.stats.delivered += 1;
+                self.with_node(ev.node, |node, ctx| node.on_message(src, msg, ctx));
+            }
+            EventKind::Timer { tag, epoch } => {
+                let slot = &self.slots[ev.node];
+                if !slot.online || slot.timer_epoch != epoch {
+                    return; // stale timer from before an offline period
+                }
+                self.with_node(ev.node, |node, ctx| node.on_timer(tag, ctx));
+            }
+            EventKind::Start => {
+                if self.slots[ev.node].online {
+                    return;
+                }
+                self.slots[ev.node].online = true;
+                self.with_node(ev.node, |node, ctx| node.on_start(ctx));
+                if let Some(churn) = &self.slots[ev.node].churn {
+                    let session = churn.sample_session(&mut self.rng);
+                    self.push_event(self.now + session, ev.node, EventKind::Stop);
+                }
+            }
+            EventKind::Stop => {
+                if !self.slots[ev.node].online {
+                    return;
+                }
+                self.with_node(ev.node, |node, ctx| node.on_stop(ctx));
+                self.take_offline(ev.node);
+                if let Some(churn) = &self.slots[ev.node].churn {
+                    let off = churn.sample_offtime(&mut self.rng);
+                    self.push_event(self.now + off, ev.node, EventKind::Start);
+                }
+            }
+            EventKind::Hook { tag } => driver.on_hook(tag, self),
+        }
+    }
+
+    fn take_offline(&mut self, id: NodeId) {
+        let slot = &mut self.slots[id];
+        slot.online = false;
+        slot.timer_epoch = slot.timer_epoch.wrapping_add(1);
+    }
+
+    fn with_node(&mut self, id: NodeId, f: impl FnOnce(&mut N, &mut Context<'_, N::Msg>)) {
+        let mut actions = std::mem::take(&mut self.scratch);
+        {
+            let mut ctx = Context {
+                now: self.now,
+                id,
+                rng: &mut self.rng,
+                actions: &mut actions,
+            };
+            f(&mut self.slots[id].node, &mut ctx);
+        }
+        self.apply_actions(id, &mut actions);
+        self.scratch = actions;
+    }
+
+    fn apply_actions(&mut self, id: NodeId, actions: &mut Vec<Action<N::Msg>>) {
+        let mut offline = false;
+        for action in actions.drain(..) {
+            match action {
+                Action::Send { dst, msg, bytes } => {
+                    self.stats.sent += 1;
+                    self.stats.bytes_sent += bytes;
+                    match self.net.delay(id, dst, bytes, self.now, &mut self.rng) {
+                        Some(d) => {
+                            self.push_event(self.now + d, dst, EventKind::Deliver { src: id, msg })
+                        }
+                        None => self.stats.dropped_net += 1,
+                    }
+                }
+                Action::Timer { delay, tag } => {
+                    let epoch = self.slots[id].timer_epoch;
+                    self.push_event(self.now + delay, id, EventKind::Timer { tag, epoch });
+                }
+                Action::GoOffline => offline = true,
+            }
+        }
+        if offline && self.slots[id].online {
+            self.take_offline(id);
+            if let Some(churn) = &self.slots[id].churn {
+                let off = churn.sample_offtime(&mut self.rng);
+                self.push_event(self.now + off, id, EventKind::Start);
+            }
+        }
+    }
+
+    fn push_event(&mut self, time: SimTime, node: NodeId, kind: EventKind<N::Msg>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            time,
+            seq,
+            node,
+            kind,
+        }));
+    }
+}
+
+impl<N: Node> std::fmt::Debug for Simulation<N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("nodes", &self.slots.len())
+            .field("pending", &self.queue.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::churn::ChurnModel;
+    use crate::net::ConstantLatency;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Msg {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    #[derive(Default)]
+    struct Peer {
+        pings: Vec<u32>,
+        pongs: Vec<u32>,
+        timers: Vec<u64>,
+        starts: u32,
+        stops: u32,
+    }
+
+    impl Node for Peer {
+        type Msg = Msg;
+
+        fn on_start(&mut self, _ctx: &mut Context<'_, Msg>) {
+            self.starts += 1;
+        }
+
+        fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+            match msg {
+                Msg::Ping(n) => {
+                    self.pings.push(n);
+                    if from != EXTERNAL {
+                        ctx.send(from, Msg::Pong(n));
+                    }
+                }
+                Msg::Pong(n) => self.pongs.push(n),
+            }
+        }
+
+        fn on_timer(&mut self, tag: u64, _ctx: &mut Context<'_, Msg>) {
+            self.timers.push(tag);
+        }
+
+        fn on_stop(&mut self, _ctx: &mut Context<'_, Msg>) {
+            self.stops += 1;
+        }
+    }
+
+    fn two_peers() -> (Simulation<Peer>, NodeId, NodeId) {
+        let mut sim = Simulation::new(1, ConstantLatency::from_millis(10.0));
+        let a = sim.add_node(Peer::default());
+        let b = sim.add_node(Peer::default());
+        (sim, a, b)
+    }
+
+    #[test]
+    fn request_response_roundtrip() {
+        let (mut sim, a, b) = two_peers();
+        sim.invoke(a, |_n, ctx| ctx.send(b, Msg::Ping(7)));
+        sim.run_until(SimTime::from_secs(1.0));
+        assert_eq!(sim.node(b).pings, vec![7]);
+        assert_eq!(sim.node(a).pongs, vec![7]);
+        // Two one-way trips of 10 ms each.
+        assert_eq!(sim.stats().delivered, 2);
+    }
+
+    #[test]
+    fn latency_is_applied() {
+        let (mut sim, a, b) = two_peers();
+        sim.invoke(a, |_n, ctx| ctx.send(b, Msg::Ping(1)));
+        let mut d = NoDriver;
+        // start events for a and b
+        assert!(sim.step(SimTime::MAX, &mut d));
+        assert!(sim.step(SimTime::MAX, &mut d));
+        // delivery at exactly 10 ms
+        assert!(sim.step(SimTime::MAX, &mut d));
+        assert_eq!(sim.now(), SimTime::from_secs(0.010));
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let (mut sim, a, _b) = two_peers();
+        sim.invoke(a, |_n, ctx| {
+            ctx.set_timer(SimDuration::from_secs(2.0), 2);
+            ctx.set_timer(SimDuration::from_secs(1.0), 1);
+            ctx.set_timer(SimDuration::from_secs(3.0), 3);
+        });
+        sim.run_until(SimTime::from_secs(10.0));
+        assert_eq!(sim.node(a).timers, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn messages_to_offline_nodes_are_dropped() {
+        let (mut sim, a, b) = two_peers();
+        sim.run_until(SimTime::from_secs(0.001)); // process starts
+        sim.schedule_stop(b, SimTime::from_secs(0.002));
+        sim.run_until(SimTime::from_secs(0.01));
+        sim.invoke(a, |_n, ctx| ctx.send(b, Msg::Ping(9)));
+        sim.run_until(SimTime::from_secs(1.0));
+        assert!(sim.node(b).pings.is_empty());
+        assert_eq!(sim.stats().dropped_offline, 1);
+    }
+
+    #[test]
+    fn timers_do_not_survive_offline_periods() {
+        let (mut sim, a, _b) = two_peers();
+        sim.run_until(SimTime::from_secs(0.001));
+        sim.invoke(a, |_n, ctx| ctx.set_timer(SimDuration::from_secs(5.0), 42));
+        sim.schedule_stop(a, SimTime::from_secs(1.0));
+        sim.schedule_start(a, SimTime::from_secs(2.0));
+        sim.run_until(SimTime::from_secs(10.0));
+        assert!(sim.node(a).timers.is_empty(), "stale timer fired");
+        assert_eq!(sim.node(a).starts, 2);
+        assert_eq!(sim.node(a).stops, 1);
+    }
+
+    #[test]
+    fn go_offline_action_takes_effect() {
+        let (mut sim, a, b) = two_peers();
+        sim.run_until(SimTime::from_secs(0.001));
+        sim.invoke(a, |_n, ctx| ctx.go_offline());
+        assert!(!sim.is_online(a));
+        assert!(sim.is_online(b));
+        assert_eq!(sim.online_nodes(), vec![b]);
+    }
+
+    #[test]
+    fn churn_alternates_sessions() {
+        let mut sim = Simulation::new(5, ConstantLatency::from_millis(1.0));
+        let a = sim.add_node(Peer::default());
+        sim.set_churn(
+            a,
+            ChurnModel::exponential(
+                SimDuration::from_secs(10.0),
+                SimDuration::from_secs(10.0),
+            ),
+        );
+        sim.run_until(SimTime::from_secs(500.0));
+        let n = sim.node(a);
+        assert!(n.starts >= 10, "starts {}", n.starts);
+        assert!(n.stops >= 10, "stops {}", n.stops);
+        assert!((n.starts as i64 - n.stops as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn injection_from_external() {
+        let (mut sim, _a, b) = two_peers();
+        sim.inject(b, Msg::Ping(3), SimDuration::from_millis(5.0));
+        sim.run_until(SimTime::from_secs(1.0));
+        assert_eq!(sim.node(b).pings, vec![3]);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = |seed| {
+            let mut sim = Simulation::new(seed, ConstantLatency::from_millis(1.0));
+            let ids: Vec<_> = (0..10).map(|_| sim.add_node(Peer::default())).collect();
+            for (i, &id) in ids.iter().enumerate() {
+                sim.set_churn(
+                    id,
+                    ChurnModel::exponential(
+                        SimDuration::from_secs(5.0 + i as f64),
+                        SimDuration::from_secs(3.0),
+                    ),
+                );
+            }
+            for w in 0..200u32 {
+                let dst = ids[(w as usize * 7) % ids.len()];
+                sim.inject(dst, Msg::Ping(w), SimDuration::from_millis(w as f64 * 13.0));
+            }
+            sim.run_until(SimTime::from_secs(120.0));
+            (
+                sim.events_processed(),
+                sim.stats().clone(),
+                sim.node(ids[0]).pings.clone(),
+            )
+        };
+        assert_eq!(run(77), run(77));
+        assert_ne!(run(77).0, 0);
+    }
+
+    #[test]
+    fn hooks_reach_driver() {
+        struct Count(u64, Vec<u64>);
+        impl Driver<Peer> for Count {
+            fn on_hook(&mut self, tag: u64, sim: &mut Simulation<Peer>) {
+                self.0 += 1;
+                self.1.push(tag);
+                if tag < 3 {
+                    sim.schedule_hook(sim.now() + SimDuration::from_secs(1.0), tag + 1);
+                }
+            }
+        }
+        let (mut sim, _a, _b) = two_peers();
+        sim.schedule_hook(SimTime::from_secs(1.0), 0);
+        let mut d = Count(0, Vec::new());
+        sim.run_with_driver(SimTime::from_secs(60.0), &mut d);
+        assert_eq!(d.1, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn trace_records_dispatches() {
+        let (mut sim, a, b) = two_peers();
+        sim.enable_trace(16);
+        sim.invoke(a, |_n, ctx| ctx.send(b, Msg::Ping(1)));
+        sim.run_until(SimTime::from_secs(1.0));
+        let trace = sim.trace().expect("enabled");
+        use crate::trace::EventTag;
+        assert_eq!(trace.count(EventTag::Start), 2);
+        assert_eq!(trace.count(EventTag::Deliver), 2); // ping + pong
+        assert!(trace.records().count() <= 16);
+    }
+
+    #[test]
+    fn run_until_advances_clock_to_deadline() {
+        let (mut sim, _a, _b) = two_peers();
+        sim.run_until(SimTime::from_secs(42.0));
+        assert_eq!(sim.now(), SimTime::from_secs(42.0));
+    }
+}

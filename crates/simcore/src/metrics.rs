@@ -1,0 +1,420 @@
+//! Measurement primitives: counters, histograms with exact percentiles,
+//! and time series.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// A monotone event counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A sample collection with exact quantiles (stores all samples).
+///
+/// # Examples
+///
+/// ```
+/// use decent_sim::metrics::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for x in 1..=100 {
+///     h.record(x as f64);
+/// }
+/// assert_eq!(h.percentile(0.5), 50.0);
+/// assert_eq!(h.max(), 100.0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn record(&mut self, x: f64) {
+        assert!(!x.is_nan(), "histogram samples must not be NaN");
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns true if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean of the samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Sample standard deviation (0 when fewer than two samples).
+    pub fn stddev(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self
+            .samples
+            .iter()
+            .map(|x| (x - m) * (x - m))
+            .sum::<f64>()
+            / (self.samples.len() - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Minimum sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        self.samples
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+            .pipe_finite()
+    }
+
+    /// Maximum sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.samples
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .pipe_finite()
+    }
+
+    /// Exact `q`-quantile by nearest-rank (q in `[0, 1]`; 0 when empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn percentile(&mut self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+            self.sorted = true;
+        }
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).max(1) - 1;
+        self.samples[rank.min(self.samples.len() - 1)]
+    }
+
+    /// A snapshot of common statistics.
+    pub fn summary(&mut self) -> Summary {
+        Summary {
+            count: self.count(),
+            mean: self.mean(),
+            min: self.min(),
+            p50: self.percentile(0.50),
+            p90: self.percentile(0.90),
+            p99: self.percentile(0.99),
+            max: self.max(),
+        }
+    }
+
+    /// All samples, unsorted order not guaranteed.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+}
+
+impl Extend<f64> for Histogram {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.record(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Histogram {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut h = Histogram::new();
+        h.extend(iter);
+        h
+    }
+}
+
+trait PipeFinite {
+    fn pipe_finite(self) -> f64;
+}
+impl PipeFinite for f64 {
+    fn pipe_finite(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Snapshot statistics of a [`Histogram`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} p50={:.3} p90={:.3} p99={:.3} max={:.3}",
+            self.count, self.mean, self.p50, self.p90, self.p99, self.max
+        )
+    }
+}
+
+/// A `(time, value)` series.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Appends a point. Times should be non-decreasing.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        self.points.push((t, v));
+    }
+
+    /// The recorded points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns true if no points were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Last value, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+
+    /// Time-weighted average over the recorded span (simple mean of
+    /// values when fewer than two points).
+    pub fn time_weighted_mean(&self) -> f64 {
+        if self.points.len() < 2 {
+            return self.points.first().map_or(0.0, |&(_, v)| v);
+        }
+        let mut area = 0.0;
+        for w in self.points.windows(2) {
+            let dt = (w[1].0 - w[0].0).as_secs();
+            area += w[0].1 * dt;
+        }
+        let span = (self.points[self.points.len() - 1].0 - self.points[0].0).as_secs();
+        if span == 0.0 {
+            self.points[0].1
+        } else {
+            area / span
+        }
+    }
+}
+
+/// Gini coefficient of a non-negative distribution (0 = perfectly equal,
+/// 1 = one holder owns everything). Used for mining-power concentration.
+///
+/// Returns 0 for empty or all-zero inputs.
+///
+/// # Examples
+///
+/// ```
+/// use decent_sim::metrics::gini;
+///
+/// assert!(gini(&[1.0, 1.0, 1.0, 1.0]) < 1e-9);
+/// assert!(gini(&[0.0, 0.0, 0.0, 10.0]) > 0.7);
+/// ```
+pub fn gini(values: &[f64]) -> f64 {
+    let mut v: Vec<f64> = values.iter().cloned().filter(|x| *x >= 0.0).collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let n = v.len() as f64;
+    let total: f64 = v.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = v
+        .iter()
+        .enumerate()
+        .map(|(i, x)| (i as f64 + 1.0) * x)
+        .sum();
+    (2.0 * weighted) / (n * total) - (n + 1.0) / n
+}
+
+/// Share of the total held by the `k` largest values (top-k concentration).
+///
+/// Returns 0 for empty or all-zero inputs.
+pub fn top_k_share(values: &[f64], k: usize) -> f64 {
+    let total: f64 = values.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+    v.iter().take(k).sum::<f64>() / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.to_string(), "5");
+    }
+
+    #[test]
+    fn histogram_percentiles_exact() {
+        let mut h: Histogram = (1..=1000).map(|x| x as f64).collect();
+        assert_eq!(h.percentile(0.0), 1.0);
+        assert_eq!(h.percentile(0.5), 500.0);
+        assert_eq!(h.percentile(0.9), 900.0);
+        assert_eq!(h.percentile(1.0), 1000.0);
+    }
+
+    #[test]
+    fn histogram_empty_is_zeroed() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(0.5), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h: Histogram = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
+        assert_eq!(h.mean(), 5.0);
+        assert!((h.stddev() - 2.138).abs() < 0.01);
+        let s = h.summary();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a: Histogram = [1.0, 2.0].into_iter().collect();
+        let b: Histogram = [3.0].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn histogram_rejects_nan() {
+        Histogram::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn time_series_weighted_mean() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_secs(0.0), 10.0);
+        ts.push(SimTime::from_secs(1.0), 0.0);
+        ts.push(SimTime::from_secs(3.0), 0.0);
+        // 10 for 1s, then 0 for 2s => 10/3.
+        assert!((ts.time_weighted_mean() - 10.0 / 3.0).abs() < 1e-9);
+        assert_eq!(ts.last(), Some(0.0));
+    }
+
+    #[test]
+    fn gini_bounds() {
+        assert_eq!(gini(&[]), 0.0);
+        assert!(gini(&[5.0; 10]) < 1e-9);
+        let skewed = gini(&[0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 100.0]);
+        assert!(skewed > 0.85, "{skewed}");
+    }
+
+    #[test]
+    fn top_k_share_works() {
+        let v = [50.0, 25.0, 15.0, 10.0];
+        assert!((top_k_share(&v, 1) - 0.5).abs() < 1e-9);
+        assert!((top_k_share(&v, 2) - 0.75).abs() < 1e-9);
+        assert!((top_k_share(&v, 10) - 1.0).abs() < 1e-9);
+        assert_eq!(top_k_share(&[], 3), 0.0);
+    }
+}

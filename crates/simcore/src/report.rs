@@ -1,0 +1,212 @@
+//! Plain-text result tables (markdown and CSV rendering).
+//!
+//! Every experiment produces one or more [`Table`]s mirroring the
+//! rows/series the paper reports.
+
+use std::fmt;
+
+/// A titled table of results.
+///
+/// # Examples
+///
+/// ```
+/// use decent_sim::report::Table;
+///
+/// let mut t = Table::new("Throughput", &["system", "tps"]);
+/// t.row(["Bitcoin", "5.2"]);
+/// t.row(["VISA", "24000"]);
+/// assert!(t.to_markdown().contains("| Bitcoin | 5.2 |"));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// All data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns true if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as a GitHub-flavored markdown table with a heading.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("### {}\n\n", self.title));
+        }
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            "---|".repeat(self.headers.len())
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+
+    /// Renders as CSV (headers first, comma-separated, quoting cells that
+    /// contain commas or quotes).
+    pub fn to_csv(&self) -> String {
+        fn esc(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_markdown())
+    }
+}
+
+/// Formats a float with three significant-ish decimals, trimming noise.
+pub fn fmt_f(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else if x.abs() >= 0.01 {
+        format!("{x:.3}")
+    } else {
+        format!("{x:.2e}")
+    }
+}
+
+/// Formats a count with SI-style suffixes (e.g. `24k`, `1.3M`).
+pub fn fmt_si(x: f64) -> String {
+    let a = x.abs();
+    if a >= 1e18 {
+        format!("{:.2}E", x / 1e18)
+    } else if a >= 1e15 {
+        format!("{:.2}P", x / 1e15)
+    } else if a >= 1e12 {
+        format!("{:.2}T", x / 1e12)
+    } else if a >= 1e9 {
+        format!("{:.2}G", x / 1e9)
+    } else if a >= 1e6 {
+        format!("{:.2}M", x / 1e6)
+    } else if a >= 1e3 {
+        format!("{:.1}k", x / 1e3)
+    } else {
+        fmt_f(x)
+    }
+}
+
+/// Formats a ratio as a percentage string.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(["1", "2"]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("### T"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new("", &["x"]);
+        t.row(["a,b"]);
+        t.row(["say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        Table::new("", &["a", "b"]).row(["only-one"]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(0.0), "0");
+        assert_eq!(fmt_f(12345.6), "12346");
+        assert_eq!(fmt_f(42.42), "42.4");
+        assert_eq!(fmt_f(4.5678), "4.568");
+        assert_eq!(fmt_f(0.0001), "1.00e-4");
+        assert_eq!(fmt_si(24000.0), "24.0k");
+        assert_eq!(fmt_si(1_300_000.0), "1.30M");
+        assert_eq!(fmt_si(40e18), "40.00E");
+        assert_eq!(fmt_si(2.5e12), "2.50T");
+        assert_eq!(fmt_pct(0.756), "75.6%");
+    }
+}

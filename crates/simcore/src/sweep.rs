@@ -1,0 +1,113 @@
+//! Parallel parameter sweeps.
+//!
+//! Individual simulations are single-threaded and deterministic, but
+//! sweep *points* are independent, so experiments can fan them out
+//! across OS threads. Results come back in input order, and
+//! determinism is preserved because each point owns its seed.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `f` over every parameter, in parallel, returning results in
+/// input order.
+///
+/// Uses up to `std::thread::available_parallelism()` worker threads
+/// (capped by the number of parameters). Panics in `f` propagate.
+///
+/// # Examples
+///
+/// ```
+/// use decent_sim::sweep::sweep;
+///
+/// let squares = sweep(vec![1u64, 2, 3, 4], |x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn sweep<P, R, F>(params: Vec<P>, f: F) -> Vec<R>
+where
+    P: Send,
+    R: Send,
+    F: Fn(P) -> R + Sync,
+{
+    let n = params.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return params.into_iter().map(f).collect();
+    }
+    // Work queue of (index, param); results collected by index.
+    let jobs: Mutex<Vec<Option<(usize, P)>>> =
+        Mutex::new(params.into_iter().enumerate().map(Some).collect());
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<R>>> =
+        Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let (idx, param) = jobs.lock().expect("queue lock")[i]
+                    .take()
+                    .expect("each job taken once");
+                let out = f(param);
+                results.lock().expect("results lock")[idx] = Some(out);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("threads joined")
+        .into_iter()
+        .map(|r| r.expect("every job completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = sweep((0..100u64).collect(), |x| x * 2);
+        assert_eq!(out, (0..100u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u64> = sweep(Vec::<u64>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn runs_simulations_deterministically_in_parallel() {
+        use crate::prelude::*;
+
+        struct Echo;
+        impl Node for Echo {
+            type Msg = ();
+            fn on_message(&mut self, _f: NodeId, _m: (), _c: &mut Context<'_, ()>) {}
+        }
+        let run = |seed: u64| {
+            let mut sim: Simulation<Echo> =
+                Simulation::new(seed, ConstantLatency::from_millis(1.0));
+            let a = sim.add_node(Echo);
+            for i in 0..50 {
+                sim.inject(a, (), SimDuration::from_millis(i as f64));
+            }
+            sim.run_until(SimTime::from_secs(1.0));
+            sim.events_processed()
+        };
+        let parallel = sweep(vec![1u64, 2, 3, 4, 5, 6, 7, 8], run);
+        let serial: Vec<u64> = vec![1u64, 2, 3, 4, 5, 6, 7, 8]
+            .into_iter()
+            .map(run)
+            .collect();
+        assert_eq!(parallel, serial);
+    }
+}

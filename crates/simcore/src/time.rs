@@ -1,0 +1,315 @@
+//! Virtual time for the discrete-event engine.
+//!
+//! Time is represented as integer nanoseconds since the start of the
+//! simulation. Using integers (rather than `f64` seconds) keeps event
+//! ordering exact and the engine fully deterministic.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// An instant in simulated time, in nanoseconds since simulation start.
+///
+/// # Examples
+///
+/// ```
+/// use decent_sim::time::{SimTime, SimDuration};
+///
+/// let t = SimTime::ZERO + SimDuration::from_secs(2.5);
+/// assert_eq!(t.as_secs(), 2.5);
+/// ```
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use decent_sim::time::SimDuration;
+///
+/// let d = SimDuration::from_millis(250.0) * 4.0;
+/// assert_eq!(d.as_secs(), 1.0);
+/// ```
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimDuration(u64);
+
+const NANOS_PER_SEC: f64 = 1e9;
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant (used as an "infinite" horizon).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from raw nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Creates an instant `secs` seconds after simulation start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs(secs: f64) -> Self {
+        SimTime(secs_to_nanos(secs))
+    }
+
+    /// Creates an instant `mins` minutes after simulation start.
+    pub fn from_mins(mins: f64) -> Self {
+        SimTime(secs_to_nanos(mins * 60.0))
+    }
+
+    /// Creates an instant `hours` hours after simulation start.
+    pub fn from_hours(hours: f64) -> Self {
+        SimTime(secs_to_nanos(hours * 3600.0))
+    }
+
+    /// Creates an instant `days` days after simulation start.
+    pub fn from_days(days: f64) -> Self {
+        SimTime(secs_to_nanos(days * 86_400.0))
+    }
+
+    /// Raw nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC
+    }
+
+    /// Milliseconds since simulation start.
+    pub fn as_millis(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// The duration elapsed since `earlier`, saturating to zero if
+    /// `earlier` is in the future.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// A zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The largest representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a duration from raw nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimDuration(nanos)
+    }
+
+    /// Creates a duration from fractional seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs(secs: f64) -> Self {
+        SimDuration(secs_to_nanos(secs))
+    }
+
+    /// Creates a duration from fractional milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `millis` is negative or not finite.
+    pub fn from_millis(millis: f64) -> Self {
+        SimDuration(secs_to_nanos(millis / 1e3))
+    }
+
+    /// Creates a duration from fractional microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `micros` is negative or not finite.
+    pub fn from_micros(micros: f64) -> Self {
+        SimDuration(secs_to_nanos(micros / 1e6))
+    }
+
+    /// Creates a duration from whole minutes.
+    pub fn from_mins(mins: f64) -> Self {
+        SimDuration(secs_to_nanos(mins * 60.0))
+    }
+
+    /// Creates a duration from whole hours.
+    pub fn from_hours(hours: f64) -> Self {
+        SimDuration(secs_to_nanos(hours * 3600.0))
+    }
+
+    /// Creates a duration from whole days.
+    pub fn from_days(days: f64) -> Self {
+        SimDuration(secs_to_nanos(days * 86_400.0))
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC
+    }
+
+    /// Fractional milliseconds.
+    pub fn as_millis(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns true if this duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+fn secs_to_nanos(secs: f64) -> u64 {
+    assert!(
+        secs.is_finite() && secs >= 0.0,
+        "time values must be finite and non-negative, got {secs}"
+    );
+    (secs * NANOS_PER_SEC) as u64
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// Saturating difference: returns zero if `rhs` is later than `self`.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<f64> for SimDuration {
+    type Output = SimDuration;
+    /// Scales the duration by `rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is negative or not finite.
+    fn mul(self, rhs: f64) -> SimDuration {
+        SimDuration::from_secs(self.as_secs() * rhs)
+    }
+}
+
+impl Div<f64> for SimDuration {
+    type Output = SimDuration;
+    /// Divides the duration by `rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero, negative or not finite.
+    fn div(self, rhs: f64) -> SimDuration {
+        SimDuration::from_secs(self.as_secs() / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.as_secs();
+        if s < 1e-3 {
+            write!(f, "{:.1}us", s * 1e6)
+        } else if s < 1.0 {
+            write!(f, "{:.2}ms", s * 1e3)
+        } else if s < 120.0 {
+            write!(f, "{s:.3}s")
+        } else if s < 7200.0 {
+            write!(f, "{:.1}min", s / 60.0)
+        } else {
+            write!(f, "{:.2}h", s / 3600.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_roundtrips() {
+        assert_eq!(SimDuration::from_secs(1.0).as_nanos(), 1_000_000_000);
+        assert_eq!(SimDuration::from_millis(1.0).as_nanos(), 1_000_000);
+        assert_eq!(SimDuration::from_micros(1.0).as_nanos(), 1_000);
+        assert_eq!(SimDuration::from_mins(1.0).as_secs(), 60.0);
+        assert_eq!(SimDuration::from_hours(1.0).as_secs(), 3600.0);
+        assert_eq!(SimDuration::from_days(1.0).as_secs(), 86_400.0);
+        assert_eq!(SimTime::from_secs(2.0).as_millis(), 2000.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(10.0);
+        let d = SimDuration::from_secs(3.0);
+        assert_eq!((t + d).as_secs(), 13.0);
+        assert_eq!((t + d) - t, d);
+        // Saturating subtraction never goes negative.
+        assert_eq!(t - (t + d), SimDuration::ZERO);
+        assert_eq!((d * 2.0).as_secs(), 6.0);
+        assert_eq!((d / 2.0).as_secs(), 1.5);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert!(a < b);
+        assert!(SimTime::ZERO < a);
+        assert!(b < SimTime::MAX);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(SimDuration::from_micros(5.0).to_string(), "5.0us");
+        assert_eq!(SimDuration::from_millis(5.0).to_string(), "5.00ms");
+        assert_eq!(SimDuration::from_secs(5.0).to_string(), "5.000s");
+        assert_eq!(SimDuration::from_mins(10.0).to_string(), "10.0min");
+        assert_eq!(SimDuration::from_hours(3.0).to_string(), "3.00h");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_secs_panics() {
+        let _ = SimDuration::from_secs(-1.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Quickstart: build a Kademlia DHT, publish a value, and retrieve it —
+//! then watch churn degrade the same operation.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use decent::overlay::id::Key;
+use decent::overlay::kademlia::{build_network, KadConfig, KadMsg};
+use decent::sim::prelude::*;
+
+fn main() {
+    // 1. A 500-node DHT on a wide-area network, pre-converged.
+    let mut sim = Simulation::new(42, UniformLatency::from_millis(30.0, 120.0));
+    let cfg = KadConfig::default();
+    let ids = build_network(&mut sim, 500, &cfg, 0.0, 8, 43);
+    sim.run_until(SimTime::from_secs(1.0));
+    println!("built a {}-node Kademlia network", ids.len());
+
+    // 2. Publish: find the k closest nodes to the key, then STORE there.
+    let key = Key::from_u64(0xC0FFEE);
+    let publisher = ids[0];
+    sim.invoke(publisher, |n, ctx| n.start_lookup(key, false, ctx));
+    sim.run_until(sim.now() + SimDuration::from_secs(30.0));
+    let closest = sim.node(publisher).results[0].closest.clone();
+    let publisher_key = sim.node(publisher).key();
+    for c in closest.iter().take(cfg.k) {
+        sim.invoke(publisher, |_n, ctx| {
+            ctx.send(
+                c.node,
+                KadMsg::Store {
+                    from_key: publisher_key,
+                    key,
+                },
+            )
+        });
+    }
+    sim.run_until(sim.now() + SimDuration::from_secs(5.0));
+    println!(
+        "published key {key} to {} replicas in {}",
+        closest.len().min(cfg.k),
+        sim.node(publisher).results[0].latency
+    );
+
+    // 3. Retrieve from the other side of the network.
+    let reader = ids[499];
+    sim.invoke(reader, |n, ctx| n.start_lookup(key, true, ctx));
+    sim.run_until(sim.now() + SimDuration::from_secs(30.0));
+    let r = sim.node(reader).results.last().expect("lookup done").clone();
+    println!(
+        "value lookup: found={} in {} with {} RPCs",
+        r.found_value, r.latency, r.rpcs
+    );
+    assert!(r.found_value, "a healthy DHT must find the value");
+
+    // 4. Now let heavy churn hit the same network and try again.
+    for &id in &ids {
+        sim.set_churn(
+            id,
+            ChurnModel::kad_measured(SimDuration::from_mins(10.0)),
+        );
+    }
+    sim.run_until(sim.now() + SimDuration::from_mins(20.0));
+    let online: Vec<_> = sim.online_nodes();
+    let reader2 = online[0];
+    sim.invoke(reader2, |n, ctx| n.start_lookup(key, true, ctx));
+    sim.run_until(sim.now() + SimDuration::from_secs(60.0));
+    match sim.node(reader2).results.last() {
+        Some(r2) => println!(
+            "after 20 min of 10-min-session churn ({} of 500 online): found={} in {} with {} timeouts",
+            online.len(),
+            r2.found_value,
+            r2.latency,
+            r2.timeouts
+        ),
+        None => println!("after churn: the lookup never completed"),
+    }
+    println!(
+        "network totals: {} messages, {} dropped at offline nodes",
+        sim.stats().sent, sim.stats().dropped_offline
+    );
+}

@@ -1,0 +1,294 @@
+//! Property-based tests on the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use decent::chain::block::{Block, BlockId, ChainView};
+use decent::chain::feemarket::{simulate_congestion, FeeMarketConfig};
+use decent::chain::pos;
+use decent::overlay::can::Zone;
+use decent::overlay::pastry::{digit, shared_prefix, DIGITS};
+use decent::chain::ledger::{Address, Ledger, OutPoint, Transaction, TxOut};
+use decent::chain::selfish;
+use decent::overlay::id::{Key, KEY_BITS};
+use decent::sim::metrics::{gini, top_k_share, Histogram};
+use decent::sim::rng::rng_from_seed;
+use decent::sim::topology::Graph;
+use std::rc::Rc;
+
+fn arb_key() -> impl Strategy<Value = Key> {
+    proptest::array::uniform20(any::<u8>()).prop_map(Key::from_bytes)
+}
+
+proptest! {
+    #[test]
+    fn xor_distance_is_a_metric(a in arb_key(), b in arb_key(), c in arb_key()) {
+        // Identity of indiscernibles.
+        prop_assert_eq!(a.xor_distance(&a), Key::ZERO.xor_distance(&Key::ZERO));
+        // Symmetry.
+        prop_assert_eq!(a.xor_distance(&b), b.xor_distance(&a));
+        // XOR relation: d(a,c) = d(a,b) ^ d(b,c).
+        let ab = a.xor_distance(&b);
+        let bc = b.xor_distance(&c);
+        let ac = a.xor_distance(&c);
+        prop_assert_eq!(*ab.as_key().xor_distance(bc.as_key()).as_key(), *ac.as_key());
+        // Unidirectionality: distance determines the pair's offset
+        // uniquely, so d(a,b) = 0 iff a = b.
+        prop_assert_eq!(a.xor_distance(&b) == Key::ZERO.xor_distance(&Key::ZERO), a == b);
+    }
+
+    #[test]
+    fn bucket_index_matches_prefix_length(a in arb_key(), b in arb_key()) {
+        prop_assume!(a != b);
+        let d = a.xor_distance(&b);
+        let bucket = d.bucket().expect("distinct keys");
+        prop_assert_eq!(bucket, KEY_BITS - 1 - d.leading_zeros());
+        prop_assert!(bucket < KEY_BITS);
+    }
+
+    #[test]
+    fn add_pow2_doubles_compose(a in arb_key(), i in 0usize..159) {
+        // a + 2^i + 2^i == a + 2^(i+1) (mod 2^160).
+        let twice = a.add_pow2(i).add_pow2(i);
+        let once = a.add_pow2(i + 1);
+        prop_assert_eq!(twice, once);
+    }
+
+    #[test]
+    fn arcs_partition_the_ring(a in arb_key(), b in arb_key(), x in arb_key()) {
+        prop_assume!(a != b && x != a && x != b);
+        // Every point other than the endpoints lies on exactly one of
+        // the two arcs (a,b] and (b,a].
+        let on_ab = x.in_arc(&a, &b);
+        let on_ba = x.in_arc(&b, &a);
+        prop_assert!(on_ab ^ on_ba, "x must be on exactly one arc");
+    }
+
+    #[test]
+    fn histogram_percentiles_are_monotone(mut xs in proptest::collection::vec(-1e12f64..1e12, 1..200)) {
+        let mut h = Histogram::new();
+        for &x in &xs {
+            h.record(x);
+        }
+        let p10 = h.percentile(0.10);
+        let p50 = h.percentile(0.50);
+        let p90 = h.percentile(0.90);
+        prop_assert!(p10 <= p50 && p50 <= p90);
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(h.percentile(0.0), xs[0]);
+        prop_assert_eq!(h.percentile(1.0), *xs.last().unwrap());
+        prop_assert!(h.min() <= h.mean() && h.mean() <= h.max());
+    }
+
+    #[test]
+    fn gini_and_topk_are_well_behaved(xs in proptest::collection::vec(0.0f64..1e9, 1..100)) {
+        let g = gini(&xs);
+        prop_assert!((0.0..=1.0).contains(&g), "gini {g}");
+        // top_k share is monotone in k and reaches 1.
+        let mut prev = 0.0;
+        for k in 1..=xs.len() {
+            let s = top_k_share(&xs, k);
+            prop_assert!(s >= prev - 1e-12);
+            prev = s;
+        }
+        if xs.iter().sum::<f64>() > 0.0 {
+            prop_assert!((top_k_share(&xs, xs.len()) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_outbound_graphs_are_connected(n in 10usize..300, k in 2usize..8, seed in any::<u64>()) {
+        prop_assume!(k < n);
+        let mut rng = rng_from_seed(seed);
+        let g = Graph::random_outbound(n, k, &mut rng);
+        prop_assert!(g.is_connected());
+        // Handshake lemma.
+        let degree_sum: usize = (0..n).map(|i| g.degree(i)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn chain_tip_is_always_max_height_first_seen(
+        choices in proptest::collection::vec(0usize..4, 1..60)
+    ) {
+        // Randomly extend one of up to four competing branch heads.
+        let genesis = Block::genesis(1.0);
+        let mut view = ChainView::new(genesis.clone());
+        let mut heads: Vec<Rc<Block>> = vec![genesis; 4];
+        let mut max_height = 0u64;
+        for (step, &c) in choices.iter().enumerate() {
+            let parent = heads[c].clone();
+            let block = Rc::new(Block {
+                id: BlockId(step as u64 + 1),
+                parent: Some(parent.id),
+                height: parent.height + 1,
+                miner: 0,
+                mined_at: decent::sim::time::SimTime::from_secs(step as f64),
+                txs: vec![],
+                size_bytes: 100,
+                difficulty: 1.0,
+            });
+            let moved = view.accept(block.clone(), decent::sim::time::SimTime::from_secs(step as f64));
+            heads[c] = block.clone();
+            // The tip moves exactly when the new block is strictly higher.
+            prop_assert_eq!(moved, block.height > max_height);
+            max_height = max_height.max(block.height);
+            prop_assert_eq!(view.height(), max_height);
+        }
+        // Main chain + stale = all blocks (minus genesis counted once).
+        prop_assert_eq!(view.best_chain().len() + view.stale_blocks().len(), view.len());
+    }
+
+    #[test]
+    fn ledger_conserves_value(splits in proptest::collection::vec(1u64..100, 1..20)) {
+        // Mint one coinbase, then repeatedly split the first UTXO.
+        const COIN: u64 = 1_000_000;
+        let mut ledger = Ledger::new(COIN);
+        ledger
+            .apply_block(
+                &[Transaction {
+                    id: 1,
+                    inputs: vec![],
+                    outputs: vec![TxOut { to: Address(0), amount: COIN }],
+                }],
+                0,
+            )
+            .unwrap();
+        let mut spendable = OutPoint { tx: 1, index: 0 };
+        let mut amount = COIN;
+        let mut next = 2u64;
+        for (i, &cut) in splits.iter().enumerate() {
+            let part = amount * cut.min(99) / 100;
+            if part == 0 || part == amount {
+                continue;
+            }
+            let tx = Transaction {
+                id: next,
+                inputs: vec![spendable],
+                outputs: vec![
+                    TxOut { to: Address(next), amount: part },
+                    TxOut { to: Address(0), amount: amount - part },
+                ],
+            };
+            ledger.apply_block(&[tx], i as u64 + 1).unwrap();
+            spendable = OutPoint { tx: next, index: 1 };
+            amount -= part;
+            next += 1;
+            // Invariant: total supply never changes after minting.
+            prop_assert_eq!(ledger.total_supply(), COIN);
+        }
+        // And the original outpoint is long gone.
+        let replay = Transaction {
+            id: 999_999,
+            inputs: vec![OutPoint { tx: 1, index: 0 }],
+            outputs: vec![],
+        };
+        let rejected = ledger.validate(&replay).is_err();
+        prop_assert!(rejected);
+    }
+
+    #[test]
+    fn selfish_shares_are_probabilities(alpha in 0.01f64..0.49, gamma in 0.0f64..1.0) {
+        let out = selfish::simulate(alpha, gamma, 20_000, 5);
+        let share = out.attacker_share();
+        prop_assert!((0.0..=1.0).contains(&share));
+        prop_assert!((0.0..=1.0).contains(&out.orphan_rate()));
+        // Closed form is monotone in gamma.
+        let lo = selfish::closed_form(alpha, 0.0);
+        let hi = selfish::closed_form(alpha, 1.0);
+        prop_assert!(hi >= lo - 1e-12);
+    }
+
+    #[test]
+    fn pastry_digits_and_prefixes_are_consistent(a in arb_key(), b in arb_key()) {
+        let p = shared_prefix(&a, &b);
+        prop_assert!(p <= DIGITS);
+        for i in 0..p {
+            prop_assert_eq!(digit(&a, i), digit(&b, i));
+        }
+        if p < DIGITS {
+            prop_assert_ne!(digit(&a, p), digit(&b, p));
+        }
+        prop_assert_eq!(shared_prefix(&a, &b), shared_prefix(&b, &a));
+        prop_assert_eq!(shared_prefix(&a, &a), DIGITS);
+    }
+
+    #[test]
+    fn can_zone_splits_tile_and_neighbor(depth in 1usize..12, path in any::<u64>()) {
+        // Walk a random split path; at every step the halves tile the
+        // parent and abut each other.
+        let mut zone = Zone::UNIT;
+        for i in 0..depth {
+            let (a, b) = zone.split();
+            prop_assert!((a.area() + b.area() - zone.area()).abs() < 1e-12);
+            prop_assert!(a.is_neighbor(&b));
+            zone = if (path >> i) & 1 == 0 { a } else { b };
+        }
+        prop_assert!(zone.area() > 0.0);
+        // The zone contains its own center.
+        let center = [
+            (zone.lo[0] + zone.hi[0]) / 2.0,
+            (zone.lo[1] + zone.hi[1]) / 2.0,
+        ];
+        prop_assert!(zone.contains(&center));
+        prop_assert_eq!(zone.distance(&center), 0.0);
+    }
+
+    #[test]
+    fn fee_market_conserves_transactions(mult in 1.0f64..8.0, seed in any::<u64>()) {
+        let cfg = FeeMarketConfig {
+            viral_multiplier: mult,
+            warmup_blocks: 20,
+            viral_blocks: 40,
+            cooldown_blocks: 20,
+            ..FeeMarketConfig::default()
+        };
+        let r = simulate_congestion(&cfg, seed);
+        for phase in [&r.before, &r.during, &r.after] {
+            prop_assert_eq!(phase.mined + phase.failed, phase.submitted);
+        }
+        // Higher multipliers never *reduce* viral-phase failures
+        // relative to a 1x run with the same seed.
+        let calm = simulate_congestion(
+            &FeeMarketConfig {
+                viral_multiplier: 1.0,
+                warmup_blocks: 20,
+                viral_blocks: 40,
+                cooldown_blocks: 20,
+                ..FeeMarketConfig::default()
+            },
+            seed,
+        );
+        prop_assert!(r.during.failure_rate() >= calm.during.failure_rate() - 0.01);
+    }
+
+    #[test]
+    fn pos_reversal_probability_is_valid(
+        alpha in 0.05f64..0.45,
+        rational in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let out = pos::simulate_pos_attack(
+            &pos::PosAttack {
+                attacker_stake: alpha,
+                rational_fraction: rational,
+                ..pos::PosAttack::default()
+            },
+            300,
+            seed,
+        );
+        let p = out.reversal_probability();
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!(out.reversals <= out.attempts);
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one(n in 1usize..2000, s in 0.0f64..3.0) {
+        let z = decent::sim::dist::Zipf::new(n, s);
+        let total: f64 = (0..n).map(|i| z.pmf(i)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        // Monotone non-increasing mass.
+        for i in 1..n {
+            prop_assert!(z.pmf(i) <= z.pmf(i - 1) + 1e-12);
+        }
+    }
+}
