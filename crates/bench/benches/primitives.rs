@@ -1,8 +1,9 @@
 //! Micro-benchmarks of the simulation primitives: raw engine event
-//! throughput, DHT lookups, block relay, PBFT rounds, and the
-//! selfish-mining Monte Carlo.
+//! throughput, scheduler implementations head-to-head, DHT lookups,
+//! block relay, PBFT rounds, and the selfish-mining Monte Carlo.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::Rng;
 
 use decent_bft::pbft::{saturation_run, PbftConfig};
 use decent_chain::selfish;
@@ -24,19 +25,142 @@ impl Node for RingHop {
     }
 }
 
+fn ring_100k<S: SchedulerFor<RingHop>>() -> u64 {
+    let mut sim: Simulation<RingHop, S> =
+        Simulation::with_scheduler(1, ConstantLatency::from_millis(1.0));
+    let n = 64;
+    let ids: Vec<NodeId> = (0..n)
+        .map(|i| sim.add_node(RingHop { next: (i + 1) % n }))
+        .collect();
+    sim.inject(ids[0], 100_000, SimDuration::ZERO);
+    sim.run_until(SimTime::MAX);
+    sim.events_processed()
+}
+
 fn bench_engine_events(c: &mut Criterion) {
-    c.bench_function("engine_100k_events", |b| {
+    let mut group = c.benchmark_group("engine_100k_events");
+    group.bench_function("wheel", |b| {
+        b.iter(|| black_box(ring_100k::<TimingWheel<EngineEvent<u64>>>()))
+    });
+    group.bench_function("heap", |b| {
+        b.iter(|| black_box(ring_100k::<BinaryHeapScheduler<EngineEvent<u64>>>()))
+    });
+    group.finish();
+}
+
+/// Steady-state scheduler churn: keep `pending` events in flight and do
+/// `ops` pop-then-reschedule rounds, with each new delay drawn by `delay`.
+/// Exercises the raw [`Scheduler`] API with no engine on top.
+fn scheduler_churn<S: Scheduler<u64>>(
+    pending: u64,
+    ops: u64,
+    mut delay: impl FnMut(u64, &mut SimRng) -> u64,
+) -> u64 {
+    let mut rng = rng_from_seed(0xC0FFEE);
+    let mut sched = S::new();
+    let mut seq = 0u64;
+    for _ in 0..pending {
+        let d = delay(seq, &mut rng);
+        sched.schedule(SimTime::from_nanos(d), seq, seq);
+        seq += 1;
+    }
+    let mut acc = 0u64;
+    for _ in 0..ops {
+        let (now, _, item) = sched.pop().expect("pending events");
+        acc ^= item;
+        let d = delay(seq, &mut rng);
+        sched.schedule(SimTime::from_nanos(now.as_nanos() + d), seq, seq);
+        seq += 1;
+    }
+    acc
+}
+
+/// Dense timers: delays uniform in 0–4 ms, the regime of protocol
+/// retransmit/gossip timers and LAN deliveries. This is the workload the
+/// wheel is built for (the acceptance bar is wheel >= 1.3x heap here).
+fn bench_sched_dense(c: &mut Criterion) {
+    let dense = |_: u64, rng: &mut SimRng| rng.gen_range(0u64..4_000_000);
+    let mut group = c.benchmark_group("sched_dense");
+    group.bench_function("wheel", |b| {
+        b.iter(|| black_box(scheduler_churn::<TimingWheel<u64>>(4096, 100_000, dense)))
+    });
+    group.bench_function("heap", |b| {
         b.iter(|| {
-            let mut sim = Simulation::new(1, ConstantLatency::from_millis(1.0));
-            let n = 64;
-            let ids: Vec<NodeId> = (0..n)
-                .map(|i| sim.add_node(RingHop { next: (i + 1) % n }))
-                .collect();
-            sim.inject(ids[0], 100_000, SimDuration::ZERO);
-            sim.run_until(SimTime::MAX);
-            black_box(sim.events_processed())
+            black_box(scheduler_churn::<BinaryHeapScheduler<u64>>(
+                4096, 100_000, dense,
+            ))
         })
     });
+    group.finish();
+}
+
+/// Sparse timers: delays log-uniform between 1 s and ~17 min, stressing
+/// the high wheel levels, cascades, and the overflow heap.
+fn bench_sched_sparse(c: &mut Criterion) {
+    let sparse = |_: u64, rng: &mut SimRng| {
+        let exp = rng.gen_range(0.0f64..3.0);
+        (1_000_000_000.0 * 10f64.powf(exp)) as u64
+    };
+    let mut group = c.benchmark_group("sched_sparse");
+    group.bench_function("wheel", |b| {
+        b.iter(|| black_box(scheduler_churn::<TimingWheel<u64>>(4096, 100_000, sparse)))
+    });
+    group.bench_function("heap", |b| {
+        b.iter(|| {
+            black_box(scheduler_churn::<BinaryHeapScheduler<u64>>(
+                4096, 100_000, sparse,
+            ))
+        })
+    });
+    group.finish();
+}
+
+/// E7-shaped: the OLTP saturation pattern — a steady open-load stream of
+/// sub-millisecond injections plus 0.5 ms constant-latency deliveries.
+fn bench_sched_e7_shaped(c: &mut Criterion) {
+    let e7 = |i: u64, rng: &mut SimRng| {
+        if i.is_multiple_of(2) {
+            500_000 // 0.5 ms delivery
+        } else {
+            rng.gen_range(0u64..1_700_000) // open-load arrival spacing
+        }
+    };
+    let mut group = c.benchmark_group("sched_e7_shaped");
+    group.bench_function("wheel", |b| {
+        b.iter(|| black_box(scheduler_churn::<TimingWheel<u64>>(2048, 100_000, e7)))
+    });
+    group.bench_function("heap", |b| {
+        b.iter(|| {
+            black_box(scheduler_churn::<BinaryHeapScheduler<u64>>(
+                2048, 100_000, e7,
+            ))
+        })
+    });
+    group.finish();
+}
+
+/// E12-shaped: BFT committee traffic (millisecond view timers and LAN
+/// deliveries) mixed with PoW block-interval timers minutes out.
+fn bench_sched_e12_shaped(c: &mut Criterion) {
+    let e12 = |_: u64, rng: &mut SimRng| {
+        if rng.gen_bool(0.9) {
+            rng.gen_range(100_000u64..20_000_000) // 0.1–20 ms BFT traffic
+        } else {
+            rng.gen_range(1_000_000_000u64..600_000_000_000) // 1 s – 10 min
+        }
+    };
+    let mut group = c.benchmark_group("sched_e12_shaped");
+    group.bench_function("wheel", |b| {
+        b.iter(|| black_box(scheduler_churn::<TimingWheel<u64>>(4096, 100_000, e12)))
+    });
+    group.bench_function("heap", |b| {
+        b.iter(|| {
+            black_box(scheduler_churn::<BinaryHeapScheduler<u64>>(
+                4096, 100_000, e12,
+            ))
+        })
+    });
+    group.finish();
 }
 
 fn bench_kademlia_lookup(c: &mut Criterion) {
@@ -95,6 +219,10 @@ fn bench_graph_generation(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_engine_events,
+    bench_sched_dense,
+    bench_sched_sparse,
+    bench_sched_e7_shaped,
+    bench_sched_e12_shaped,
     bench_kademlia_lookup,
     bench_pbft_round,
     bench_selfish_mc,

@@ -14,85 +14,116 @@ use std::process::ExitCode;
 
 use decent_core::{claims, experiments};
 
-fn usage() -> ! {
-    eprintln!("usage: repro [--quick] [--exp E1,E2,...] [--csv DIR] [--claims]");
-    std::process::exit(2);
+const USAGE: &str = "usage: repro [--quick] [--exp E1,E2,...] [--csv DIR] [--claims]";
+
+/// Parsed command line.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct Cli {
+    quick: bool,
+    /// `None` means "all experiments".
+    selected: Option<Vec<String>>,
+    csv_dir: Option<std::path::PathBuf>,
+    claims: bool,
+}
+
+/// Parses and validates arguments. Experiment ids are checked against the
+/// experiment registry up front, so a typo like `--exp E99` fails before
+/// any (potentially minutes-long) experiment runs rather than mid-report.
+fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String> {
+    let mut cli = Cli::default();
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => cli.quick = true,
+            "--claims" => cli.claims = true,
+            "--csv" => {
+                let dir = args.next().ok_or("--csv requires a directory argument")?;
+                cli.csv_dir = Some(std::path::PathBuf::from(dir));
+            }
+            "--exp" => {
+                let list = args.next().ok_or("--exp requires an id list argument")?;
+                let ids: Vec<String> = list
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if ids.is_empty() {
+                    return Err("--exp requires at least one experiment id".into());
+                }
+                for id in &ids {
+                    if !experiments::ALL.contains(&id.as_str()) {
+                        return Err(format!(
+                            "unknown experiment id: {id} (known: {})",
+                            experiments::ALL.join(", ")
+                        ));
+                    }
+                }
+                cli.selected = Some(ids);
+            }
+            other => return Err(format!("unrecognized argument: {other}")),
+        }
+    }
+    Ok(cli)
 }
 
 fn main() -> ExitCode {
-    let mut quick = false;
-    let mut selected: Option<Vec<String>> = None;
-    let mut csv_dir: Option<std::path::PathBuf> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" => quick = true,
-            "--csv" => {
-                let dir = args.next().unwrap_or_else(|| usage());
-                csv_dir = Some(std::path::PathBuf::from(dir));
-            }
-            "--claims" => {
-                println!("| id | section | claim | experiment |");
-                println!("|---|---|---|---|");
-                for c in claims::CLAIMS {
-                    println!(
-                        "| {} | {} | {} | {} |",
-                        c.id, c.section, c.statement, c.experiment
-                    );
-                }
-                return ExitCode::SUCCESS;
-            }
-            "--exp" => {
-                let list = args.next().unwrap_or_else(|| usage());
-                selected = Some(list.split(',').map(|s| s.trim().to_string()).collect());
-            }
-            _ => usage(),
+    let cli = match parse_args(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("repro: {msg}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
         }
+    };
+    if cli.claims {
+        println!("| id | section | claim | experiment |");
+        println!("|---|---|---|---|");
+        for c in claims::CLAIMS {
+            println!(
+                "| {} | {} | {} | {} |",
+                c.id, c.section, c.statement, c.experiment
+            );
+        }
+        return ExitCode::SUCCESS;
     }
-    let ids: Vec<String> = selected.unwrap_or_else(|| {
-        experiments::ALL.iter().map(|s| s.to_string()).collect()
-    });
+    let ids: Vec<String> = cli
+        .selected
+        .unwrap_or_else(|| experiments::ALL.iter().map(|s| s.to_string()).collect());
     println!(
         "# decent — reproduction of ICDCS'19 \"Please, do not decentralize \
          the Internet with (permissionless) blockchains!\"\n"
     );
     println!(
         "Mode: {} ({} experiments)\n",
-        if quick { "quick" } else { "full" },
+        if cli.quick { "quick" } else { "full" },
         ids.len()
     );
     let mut failures = 0;
     for id in &ids {
         let started = std::time::Instant::now();
-        match experiments::run_by_id(id, quick) {
-            Some(report) => {
-                println!("{report}");
-                if let Some(dir) = &csv_dir {
-                    if let Err(e) = std::fs::create_dir_all(dir) {
-                        eprintln!("cannot create {}: {e}", dir.display());
-                        return ExitCode::FAILURE;
-                    }
-                    for (i, table) in report.tables.iter().enumerate() {
-                        let path = dir.join(format!("{}_{}.csv", id.to_lowercase(), i));
-                        if let Err(e) = std::fs::write(&path, table.to_csv()) {
-                            eprintln!("cannot write {}: {e}", path.display());
-                            return ExitCode::FAILURE;
-                        }
-                    }
-                }
-                println!(
-                    "_{id} completed in {:.1} s wall-clock._\n",
-                    started.elapsed().as_secs_f64()
-                );
-                if !report.all_hold() {
-                    failures += 1;
-                    eprintln!("{id}: some findings DO NOT hold");
+        let report = experiments::run_by_id(id, cli.quick)
+            .expect("ids are validated against the registry at parse time");
+        println!("{report}");
+        if let Some(dir) = &cli.csv_dir {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+            for (i, table) in report.tables.iter().enumerate() {
+                let path = dir.join(format!("{}_{}.csv", id.to_lowercase(), i));
+                if let Err(e) = std::fs::write(&path, table.to_csv()) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
                 }
             }
-            None => {
-                eprintln!("unknown experiment id: {id}");
-                return ExitCode::from(2);
-            }
+        }
+        println!(
+            "_{id} completed in {:.1} s wall-clock._\n",
+            started.elapsed().as_secs_f64()
+        );
+        if !report.all_hold() {
+            failures += 1;
+            eprintln!("{id}: some findings DO NOT hold");
         }
     }
     if failures > 0 {
@@ -100,4 +131,63 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Cli, String> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn no_args_selects_everything() {
+        let cli = parse(&[]).unwrap();
+        assert_eq!(cli, Cli::default());
+    }
+
+    #[test]
+    fn flags_parse() {
+        let cli = parse(&["--quick", "--csv", "out", "--claims"]).unwrap();
+        assert!(cli.quick && cli.claims);
+        assert_eq!(cli.csv_dir.as_deref(), Some(std::path::Path::new("out")));
+    }
+
+    #[test]
+    fn exp_list_parses_and_trims() {
+        let cli = parse(&["--exp", "E7, E12 ,E1"]).unwrap();
+        assert_eq!(
+            cli.selected,
+            Some(vec!["E7".to_string(), "E12".to_string(), "E1".to_string()])
+        );
+    }
+
+    #[test]
+    fn unknown_experiment_id_is_rejected_up_front() {
+        let err = parse(&["--exp", "E99"]).unwrap_err();
+        assert!(err.contains("unknown experiment id: E99"), "{err}");
+        assert!(err.contains("E1"), "error should list known ids: {err}");
+        // A bad id hidden behind valid ones is still caught.
+        let err = parse(&["--exp", "E1,Exx,E7"]).unwrap_err();
+        assert!(err.contains("unknown experiment id: Exx"), "{err}");
+    }
+
+    #[test]
+    fn empty_exp_list_is_rejected() {
+        assert!(parse(&["--exp", ""]).unwrap_err().contains("at least one"));
+        assert!(parse(&["--exp"]).unwrap_err().contains("requires"));
+    }
+
+    #[test]
+    fn missing_csv_dir_is_rejected() {
+        assert!(parse(&["--csv"]).unwrap_err().contains("requires"));
+    }
+
+    #[test]
+    fn unrecognized_argument_is_rejected() {
+        assert!(parse(&["--frobnicate"])
+            .unwrap_err()
+            .contains("unrecognized argument"));
+    }
 }

@@ -69,8 +69,8 @@ pub struct Bridge {
 
 /// Builds two islands inside one simulation. Island A uses `cfg_a`,
 /// island B `cfg_b`; each gets a single all-orgs channel with id 1.
-pub fn build_islands(
-    sim: &mut Simulation<FabricNode>,
+pub fn build_islands<S: SchedulerFor<FabricNode>>(
+    sim: &mut Simulation<FabricNode, S>,
     cfg_a: &FabricConfig,
     cfg_b: &FabricConfig,
 ) -> Bridge {
@@ -90,8 +90,8 @@ pub fn build_islands(
 
 /// Whether `island`'s ledger (as seen by its first channel peer) has a
 /// commit for `(transfer, phase)`; returns its validity when present.
-pub fn committed_phase(
-    sim: &Simulation<FabricNode>,
+pub fn committed_phase<S: SchedulerFor<FabricNode>>(
+    sim: &Simulation<FabricNode, S>,
     island: &FabricNetwork,
     channel: u32,
     transfer: u64,
@@ -118,8 +118,8 @@ pub fn committed_phase(
 /// transaction ids until a valid commit, a permanent failure (all
 /// `attempts` rejected), or the deadline.
 #[allow(clippy::too_many_arguments)]
-fn submit_with_retry(
-    sim: &mut Simulation<FabricNode>,
+fn submit_with_retry<S: SchedulerFor<FabricNode>>(
+    sim: &mut Simulation<FabricNode, S>,
     island: &FabricNetwork,
     gateway: NodeId,
     channel: u32,
@@ -160,8 +160,8 @@ fn submit_with_retry(
 ///
 /// Drives the simulation forward internally; returns the outcome and
 /// the end-to-end duration.
-pub fn atomic_transfer(
-    sim: &mut Simulation<FabricNode>,
+pub fn atomic_transfer<S: SchedulerFor<FabricNode>>(
+    sim: &mut Simulation<FabricNode, S>,
     bridge: &Bridge,
     transfer: u64,
     timeout: SimDuration,
@@ -224,8 +224,8 @@ pub fn atomic_transfer(
 /// The atomicity invariant over one island pair: for every transfer id,
 /// value was released on B only if it was locked and burned (not
 /// unlocked) on A.
-pub fn atomicity_holds(
-    sim: &Simulation<FabricNode>,
+pub fn atomicity_holds<S: SchedulerFor<FabricNode>>(
+    sim: &Simulation<FabricNode, S>,
     bridge: &Bridge,
     transfers: impl IntoIterator<Item = u64>,
 ) -> bool {

@@ -508,8 +508,8 @@ impl Node for PbftReplica {
 /// sim.run_until(SimTime::from_secs(2.0));
 /// assert_eq!(sim.node(ids[0]).executed.len(), 100);
 /// ```
-pub fn build_cluster(
-    sim: &mut Simulation<PbftReplica>,
+pub fn build_cluster<S: SchedulerFor<PbftReplica>>(
+    sim: &mut Simulation<PbftReplica, S>,
     cfg: &PbftConfig,
     behaviors: &[Behavior],
 ) -> Vec<NodeId> {

@@ -387,7 +387,7 @@ mod tests {
 
     #[test]
     fn concentration_rises_over_time() {
-        let mut market = Market::new(MarketConfig::default(), 5);
+        let mut market = Market::new(MarketConfig::default(), 10);
         let snaps = market.run();
         let first = &snaps[2];
         let last = snaps.last().unwrap();

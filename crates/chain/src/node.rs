@@ -427,8 +427,8 @@ impl Default for NetworkConfig {
 /// Builds a blockchain network over a random overlay; the difficulty is
 /// initialized so the configured target interval holds at the configured
 /// total hashrate. Returns the node ids.
-pub fn build_network(
-    sim: &mut Simulation<ChainNode>,
+pub fn build_network<S: SchedulerFor<ChainNode>>(
+    sim: &mut Simulation<ChainNode, S>,
     cfg: &NetworkConfig,
     seed: u64,
 ) -> Vec<NodeId> {
@@ -479,7 +479,10 @@ pub struct ChainReport {
 }
 
 /// Summarizes the chain as seen by `observer` at the current time.
-pub fn report(sim: &Simulation<ChainNode>, observer: NodeId) -> ChainReport {
+pub fn report<S: SchedulerFor<ChainNode>>(
+    sim: &Simulation<ChainNode, S>,
+    observer: NodeId,
+) -> ChainReport {
     let view = &sim.node(observer).view;
     let chain = view.best_chain();
     let height = view.height();
@@ -596,7 +599,7 @@ mod tests {
             },
             ..NetworkConfig::default()
         };
-        let ids = build_network(&mut sim, &cfg, 93);
+        let ids = build_network(&mut sim, &cfg, 23);
         sim.run_until(SimTime::from_hours(hours));
         (sim, ids)
     }

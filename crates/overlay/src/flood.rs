@@ -173,8 +173,8 @@ impl Default for FloodConfig {
 }
 
 /// Builds a Gnutella-like network; returns node ids.
-pub fn build_network(
-    sim: &mut Simulation<FloodNode>,
+pub fn build_network<S: SchedulerFor<FloodNode>>(
+    sim: &mut Simulation<FloodNode, S>,
     n: usize,
     cfg: &FloodConfig,
     seed: u64,

@@ -108,8 +108,8 @@ impl Node for GossipNode {
 }
 
 /// Builds a gossip network over `graph` and returns the node ids.
-pub fn build_network(
-    sim: &mut Simulation<GossipNode>,
+pub fn build_network<S: SchedulerFor<GossipNode>>(
+    sim: &mut Simulation<GossipNode, S>,
     graph: &Graph,
     cfg: GossipConfig,
 ) -> Vec<NodeId> {
@@ -119,7 +119,11 @@ pub fn build_network(
 }
 
 /// Fraction of online nodes that received rumor `id`.
-pub fn delivery_ratio(sim: &Simulation<GossipNode>, ids: &[NodeId], rumor: u64) -> f64 {
+pub fn delivery_ratio<S: SchedulerFor<GossipNode>>(
+    sim: &Simulation<GossipNode, S>,
+    ids: &[NodeId],
+    rumor: u64,
+) -> f64 {
     let total = ids.len().max(1);
     let got = ids
         .iter()

@@ -734,8 +734,8 @@ use rand::Rng;
 /// pathology measured on Mainline by Jiménez et al.).
 ///
 /// Returns the node ids in insertion order.
-pub fn build_network(
-    sim: &mut Simulation<KadNode>,
+pub fn build_network<S: SchedulerFor<KadNode>>(
+    sim: &mut Simulation<KadNode, S>,
     n: usize,
     cfg: &KadConfig,
     unresponsive: f64,

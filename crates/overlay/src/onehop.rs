@@ -262,8 +262,8 @@ impl Node for OneHopNode {
 }
 
 /// Builds a one-hop overlay of `n` nodes with fully seeded membership.
-pub fn build_network(
-    sim: &mut Simulation<OneHopNode>,
+pub fn build_network<S: SchedulerFor<OneHopNode>>(
+    sim: &mut Simulation<OneHopNode, S>,
     n: usize,
     cfg: OneHopConfig,
     seed: u64,

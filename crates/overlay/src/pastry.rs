@@ -489,8 +489,8 @@ impl Node for PastryNode {
 }
 
 /// Builds a pre-converged Pastry network; returns the node ids.
-pub fn build_network(
-    sim: &mut Simulation<PastryNode>,
+pub fn build_network<S: SchedulerFor<PastryNode>>(
+    sim: &mut Simulation<PastryNode, S>,
     n: usize,
     cfg: &PastryConfig,
     seed: u64,

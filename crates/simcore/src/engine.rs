@@ -35,12 +35,9 @@
 //! assert_eq!(sim.node(a).heard, 1); // got the pong back
 //! ```
 
-use std::cmp::Ordering;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use crate::net::NetworkModel;
 use crate::rng::{rng_from_seed, SimRng};
+use crate::sched::{BinaryHeapScheduler, Scheduler, TimingWheel};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{EventTag, Trace};
 
@@ -156,27 +153,20 @@ enum EventKind<M> {
     Hook { tag: u64 },
 }
 
-struct Event<M> {
-    time: SimTime,
-    seq: u64,
+/// The engine's event payload as stored in a [`Scheduler`]: a target node
+/// plus what should happen to it. Opaque outside the engine — it appears
+/// in scheduler type parameters (e.g. `TimingWheel<EngineEvent<M>>`) but
+/// its contents are engine-internal.
+pub struct EngineEvent<M> {
     node: NodeId,
     kind: EventKind<M>,
 }
 
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+impl<M> std::fmt::Debug for EngineEvent<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineEvent")
+            .field("node", &self.node)
+            .finish_non_exhaustive()
     }
 }
 
@@ -200,17 +190,21 @@ pub struct NetStats {
 /// Drivers generate workload and take measurements from outside the node
 /// set: schedule a hook with [`Simulation::schedule_hook`] and react to it
 /// here with full mutable access to the simulation.
-pub trait Driver<N: Node> {
+///
+/// The `S` parameter names the simulation's scheduler and defaults to the
+/// engine default ([`TimingWheel`]); drivers that should work with any
+/// scheduler can stay generic over `S: SchedulerFor<N>`.
+pub trait Driver<N: Node, S = TimingWheel<EngineEvent<<N as Node>::Msg>>> {
     /// Called when a hook scheduled with the given tag fires.
-    fn on_hook(&mut self, tag: u64, sim: &mut Simulation<N>);
+    fn on_hook(&mut self, tag: u64, sim: &mut Simulation<N, S>);
 }
 
 /// A driver that ignores all hooks.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NoDriver;
 
-impl<N: Node> Driver<N> for NoDriver {
-    fn on_hook(&mut self, _tag: u64, _sim: &mut Simulation<N>) {}
+impl<N: Node, S: SchedulerFor<N>> Driver<N, S> for NoDriver {
+    fn on_hook(&mut self, _tag: u64, _sim: &mut Simulation<N, S>) {}
 }
 
 struct Slot<N> {
@@ -222,10 +216,32 @@ struct Slot<N> {
     churn: Option<crate::churn::ChurnModel>,
 }
 
+/// Shorthand bound for "a scheduler usable by a simulation over `N`".
+///
+/// Blanket-implemented for every `Scheduler<EngineEvent<N::Msg>>`, so
+/// generic helpers can write `S: SchedulerFor<N>` instead of spelling out
+/// the event payload type.
+pub trait SchedulerFor<N: Node>: Scheduler<EngineEvent<<N as Node>::Msg>> {}
+
+impl<N: Node, S: Scheduler<EngineEvent<<N as Node>::Msg>>> SchedulerFor<N> for S {}
+
+/// A [`Simulation`] backed by the reference [`BinaryHeapScheduler`].
+///
+/// Produces bit-for-bit the same traces as the default wheel-backed
+/// simulation; used by the equivalence tests and available for workloads
+/// whose scheduling pattern defeats the wheel.
+pub type HeapSim<N> = Simulation<N, BinaryHeapScheduler<EngineEvent<<N as Node>::Msg>>>;
+
 /// A deterministic discrete-event simulation over nodes of type `N`.
-pub struct Simulation<N: Node> {
+///
+/// Generic over its event [`Scheduler`] `S`, defaulting to the
+/// hierarchical [`TimingWheel`]; `Simulation::new` always builds the
+/// default, [`Simulation::with_scheduler`] builds any `S`. All schedulers
+/// dequeue in identical `(time, seq)` order, so the choice affects
+/// performance only, never results.
+pub struct Simulation<N: Node, S = TimingWheel<EngineEvent<<N as Node>::Msg>>> {
     slots: Vec<Slot<N>>,
-    queue: BinaryHeap<Reverse<Event<N::Msg>>>,
+    queue: S,
     now: SimTime,
     seq: u64,
     net: Box<dyn NetworkModel>,
@@ -237,11 +253,33 @@ pub struct Simulation<N: Node> {
 }
 
 impl<N: Node> Simulation<N> {
-    /// Creates an empty simulation with the given seed and network model.
+    /// Creates an empty simulation with the given seed and network model,
+    /// backed by the default scheduler.
     pub fn new(seed: u64, net: impl NetworkModel + 'static) -> Self {
+        Self::with_scheduler(seed, net)
+    }
+}
+
+impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
+    /// Creates an empty simulation backed by scheduler `S`.
+    ///
+    /// ```
+    /// use decent_sim::engine::{HeapSim, Node, NodeId, Context};
+    /// use decent_sim::net::ConstantLatency;
+    ///
+    /// struct Quiet;
+    /// impl Node for Quiet {
+    ///     type Msg = ();
+    ///     fn on_message(&mut self, _: NodeId, _: (), _: &mut Context<'_, ()>) {}
+    /// }
+    ///
+    /// let sim: HeapSim<Quiet> = HeapSim::with_scheduler(42, ConstantLatency::from_millis(1.0));
+    /// assert!(sim.is_empty());
+    /// ```
+    pub fn with_scheduler(seed: u64, net: impl NetworkModel + 'static) -> Self {
         Simulation {
             slots: Vec::new(),
-            queue: BinaryHeap::new(),
+            queue: S::new(),
             now: SimTime::ZERO,
             seq: 0,
             net: Box::new(net),
@@ -415,7 +453,7 @@ impl<N: Node> Simulation<N> {
 
     /// Runs until the queue is empty or `deadline` is reached, dispatching
     /// hook events to `driver`.
-    pub fn run_with_driver(&mut self, deadline: SimTime, driver: &mut impl Driver<N>) {
+    pub fn run_with_driver(&mut self, deadline: SimTime, driver: &mut impl Driver<N, S>) {
         while self.step(deadline, driver) {}
     }
 
@@ -423,26 +461,26 @@ impl<N: Node> Simulation<N> {
     ///
     /// Returns false when the queue is exhausted or the next event lies
     /// beyond the deadline (in which case time advances to the deadline).
-    pub fn step(&mut self, deadline: SimTime, driver: &mut impl Driver<N>) -> bool {
-        let Some(Reverse(head)) = self.queue.peek() else {
+    pub fn step(&mut self, deadline: SimTime, driver: &mut impl Driver<N, S>) -> bool {
+        let Some(head_time) = self.queue.next_time() else {
             if self.now < deadline && deadline != SimTime::MAX {
                 self.now = deadline;
             }
             return false;
         };
-        if head.time > deadline {
+        if head_time > deadline {
             self.now = deadline;
             return false;
         }
-        let Reverse(ev) = self.queue.pop().expect("peeked");
-        debug_assert!(ev.time >= self.now, "time went backwards");
-        self.now = ev.time;
+        let (time, _seq, ev) = self.queue.pop().expect("peeked");
+        debug_assert!(time >= self.now, "time went backwards");
+        self.now = time;
         self.events_processed += 1;
         self.dispatch(ev, driver);
         true
     }
 
-    fn dispatch(&mut self, ev: Event<N::Msg>, driver: &mut impl Driver<N>) {
+    fn dispatch(&mut self, ev: EngineEvent<N::Msg>, driver: &mut impl Driver<N, S>) {
         if let Some(trace) = &mut self.trace {
             let tag = match &ev.kind {
                 EventKind::Deliver { .. } => EventTag::Deliver,
@@ -451,7 +489,7 @@ impl<N: Node> Simulation<N> {
                 EventKind::Stop => EventTag::Stop,
                 EventKind::Hook { .. } => EventTag::Hook,
             };
-            trace.record(ev.time, ev.node, tag);
+            trace.record(self.now, ev.node, tag);
         }
         match ev.kind {
             EventKind::Deliver { src, msg } => {
@@ -549,16 +587,11 @@ impl<N: Node> Simulation<N> {
     fn push_event(&mut self, time: SimTime, node: NodeId, kind: EventKind<N::Msg>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Event {
-            time,
-            seq,
-            node,
-            kind,
-        }));
+        self.queue.schedule(time, seq, EngineEvent { node, kind });
     }
 }
 
-impl<N: Node> std::fmt::Debug for Simulation<N> {
+impl<N: Node, S: SchedulerFor<N>> std::fmt::Debug for Simulation<N, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulation")
             .field("now", &self.now)
@@ -781,6 +814,43 @@ mod tests {
         assert_eq!(trace.count(EventTag::Start), 2);
         assert_eq!(trace.count(EventTag::Deliver), 2); // ping + pong
         assert!(trace.records().count() <= 16);
+    }
+
+    #[test]
+    fn heap_and_wheel_schedulers_replay_identically() {
+        fn run<S: SchedulerFor<Peer>>() -> (u64, NetStats, Vec<u32>, Vec<u64>) {
+            let mut sim: Simulation<Peer, S> =
+                Simulation::with_scheduler(9, ConstantLatency::from_millis(3.0));
+            let ids: Vec<_> = (0..8).map(|_| sim.add_node(Peer::default())).collect();
+            for (i, &id) in ids.iter().enumerate() {
+                sim.set_churn(
+                    id,
+                    ChurnModel::exponential(
+                        SimDuration::from_secs(4.0 + i as f64),
+                        SimDuration::from_secs(2.0),
+                    ),
+                );
+            }
+            for w in 0..300u32 {
+                let dst = ids[(w as usize * 5) % ids.len()];
+                sim.inject(dst, Msg::Ping(w), SimDuration::from_millis(w as f64 * 7.0));
+            }
+            sim.invoke(ids[0], |_n, ctx| {
+                ctx.set_timer(SimDuration::from_secs(1.0), 11);
+                ctx.set_timer(SimDuration::from_secs(1.0), 12);
+            });
+            sim.run_until(SimTime::from_secs(60.0));
+            (
+                sim.events_processed(),
+                sim.stats().clone(),
+                sim.node(ids[1]).pings.clone(),
+                sim.node(ids[0]).timers.clone(),
+            )
+        }
+        assert_eq!(
+            run::<TimingWheel<EngineEvent<Msg>>>(),
+            run::<BinaryHeapScheduler<EngineEvent<Msg>>>()
+        );
     }
 
     #[test]

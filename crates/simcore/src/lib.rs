@@ -51,6 +51,7 @@ pub mod metrics;
 pub mod net;
 pub mod report;
 pub mod rng;
+pub mod sched;
 pub mod sweep;
 pub mod time;
 pub mod topology;
@@ -60,13 +61,17 @@ pub mod trace;
 pub mod prelude {
     pub use crate::churn::ChurnModel;
     pub use crate::dist::{Exp, LogNormal, Pareto, Sample, Weibull, Zipf};
-    pub use crate::engine::{Context, Driver, NoDriver, Node, NodeId, Simulation, EXTERNAL};
+    pub use crate::engine::{
+        Context, Driver, EngineEvent, HeapSim, NoDriver, Node, NodeId, SchedulerFor, Simulation,
+        EXTERNAL,
+    };
     pub use crate::metrics::{gini, top_k_share, Counter, Histogram, Summary, TimeSeries};
     pub use crate::net::{
         ConstantLatency, LanNet, Lossy, NetworkModel, Region, RegionNet, UniformLatency,
     };
     pub use crate::report::{fmt_f, fmt_pct, fmt_si, Table};
     pub use crate::rng::{derive_seed, rng_from_seed, SimRng};
+    pub use crate::sched::{BinaryHeapScheduler, Scheduler, TimingWheel};
     pub use crate::sweep::sweep;
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::trace::{EventRecord, EventTag, Trace};

@@ -1,0 +1,161 @@
+//! Golden-trace regression tests.
+//!
+//! Every value pinned here was captured from a quick-scale run and must
+//! never drift: the engine is deterministic by contract, so any change in
+//! these numbers means the event ordering, the RNG streams, or a model
+//! changed — all of which invalidate recorded experiment results. The
+//! engine-level traces run on both schedulers to pin the cross-scheduler
+//! equivalence guarantee, not just internal consistency.
+
+use decent_chain::node::{build_network as chain_build, report as chain_report, NetworkConfig};
+use decent_core::experiments;
+use decent_overlay::id::Key;
+use decent_overlay::kademlia::{build_network as kad_build, KadConfig};
+use decent_sim::prelude::*;
+
+/// FNV-1a over the rendered markdown: one number that pins the entire
+/// report (tables, formatting, findings) without storing the text.
+fn fnv(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+fn assert_findings(id: &str, expected: &[(&str, &str)], md_fnv: u64, md_len: usize) {
+    let rep = experiments::run_by_id(id, true).expect("known experiment id");
+    let got: Vec<(String, String)> = rep
+        .findings
+        .iter()
+        .map(|f| (f.name.clone(), f.measured.clone()))
+        .collect();
+    let want: Vec<(String, String)> = expected
+        .iter()
+        .map(|(n, m)| (n.to_string(), m.to_string()))
+        .collect();
+    assert_eq!(got, want, "{id}: headline findings drifted");
+    assert!(
+        rep.findings.iter().all(|f| f.holds),
+        "{id}: a paper claim stopped holding at quick scale"
+    );
+    let md = rep.to_markdown();
+    assert_eq!((fnv(&md), md.len()), (md_fnv, md_len), "{id}: report markdown drifted");
+}
+
+#[test]
+fn e1_quick_golden() {
+    assert_findings(
+        "E1",
+        &[
+            ("KAD is fast", "99.2% of KAD lookups ≤ 5 s"),
+            (
+                "Mainline is an order of magnitude slower",
+                "medians: KAD 2.050s vs Mainline 71.6s",
+            ),
+        ],
+        0xac2d_734a_3f65_89ff,
+        616,
+    );
+}
+
+#[test]
+fn e7_quick_golden() {
+    assert_findings(
+        "E7",
+        &[
+            ("Bitcoin lands in the 3.3-7 tx/s band", "3.819 tx/s"),
+            ("Ethereum lands around 15 tx/s", "14.6 tx/s"),
+            (
+                "partitioned cloud is three orders of magnitude faster",
+                "19.2k tx/s, 5.0kx Bitcoin",
+            ),
+        ],
+        0xe6a9_a518_1ca3_6850,
+        884,
+    );
+}
+
+#[test]
+fn e12_quick_golden() {
+    assert_findings(
+        "E12",
+        &[
+            (
+                "BFT throughput falls with committee size",
+                "80.9k tx/s at n=4 -> 3.8k tx/s at n=64",
+            ),
+            (
+                "even a large committee crushes PoW throughput",
+                "PBFT n=64: 3.8k tx/s vs PoW 2.407 tx/s (1.6kx)",
+            ),
+            (
+                "commit latency: milliseconds vs an hour",
+                "PBFT p50 in milliseconds; PoW needs ~6 blocks (~1 h) for confidence",
+            ),
+        ],
+        0xffb1_36e7_9b0a_05bd,
+        963,
+    );
+}
+
+/// Kademlia network build + 50 lookups: event count and network counters
+/// pinned, identical on both schedulers.
+#[test]
+fn kad_engine_golden_on_both_schedulers() {
+    fn run<S: SchedulerFor<decent_overlay::kademlia::KadNode>>() -> (u64, u64, u64) {
+        let mut sim: Simulation<decent_overlay::kademlia::KadNode, S> =
+            Simulation::with_scheduler(42, UniformLatency::from_millis(20.0, 80.0));
+        let ids = kad_build(&mut sim, 200, &KadConfig::default(), 0.1, 8, 7);
+        sim.run_until(SimTime::from_secs(1.0));
+        for i in 0..50u64 {
+            let origin = ids[(i as usize * 13) % ids.len()];
+            sim.invoke(origin, |n, ctx| n.start_lookup(Key::from_u64(i), false, ctx));
+        }
+        sim.run_until(SimTime::from_secs(120.0));
+        (
+            sim.events_processed(),
+            sim.stats().sent,
+            sim.stats().delivered,
+        )
+    }
+    let golden = (3759, 2330, 2330);
+    assert_eq!(
+        run::<TimingWheel<EngineEvent<decent_overlay::kademlia::KadMsg>>>(),
+        golden,
+        "wheel-backed kad trace drifted"
+    );
+    assert_eq!(
+        run::<BinaryHeapScheduler<EngineEvent<decent_overlay::kademlia::KadMsg>>>(),
+        golden,
+        "heap-backed kad trace drifted"
+    );
+}
+
+/// Two simulated hours of a 40-node PoW chain: event count, height, and
+/// throughput pinned, identical on both schedulers.
+#[test]
+fn chain_engine_golden_on_both_schedulers() {
+    fn run<S: SchedulerFor<decent_chain::node::ChainNode>>() -> (u64, u64, f64) {
+        let cfg = NetworkConfig {
+            nodes: 40,
+            ..NetworkConfig::default()
+        };
+        let mut sim: Simulation<decent_chain::node::ChainNode, S> =
+            Simulation::with_scheduler(11, UniformLatency::from_millis(30.0, 120.0));
+        let ids = chain_build(&mut sim, &cfg, 23);
+        sim.run_until(SimTime::from_secs(2.0 * 3600.0));
+        let rep = chain_report(&sim, ids[0]);
+        (sim.events_processed(), rep.height, rep.tps)
+    }
+    let wheel = run::<TimingWheel<EngineEvent<decent_chain::node::ChainMsg>>>();
+    let heap = run::<BinaryHeapScheduler<EngineEvent<decent_chain::node::ChainMsg>>>();
+    assert_eq!(wheel, heap, "schedulers diverged on the chain workload");
+    assert_eq!((wheel.0, wheel.1), (11825, 14), "chain trace drifted");
+    assert!(
+        (wheel.2 - 3.7568).abs() < 1e-3,
+        "chain tps drifted: {}",
+        wheel.2
+    );
+}

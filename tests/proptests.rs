@@ -292,3 +292,148 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Scheduler equivalence: the timing wheel must dequeue exactly the heap's
+// sequence under arbitrary interleavings of schedule / cancel / advance.
+// ---------------------------------------------------------------------------
+
+mod sched_equivalence {
+    use decent::sim::engine::NetStats;
+    use decent::sim::prelude::*;
+
+    /// Interpreter shared by both property tests: each `u64` word encodes
+    /// one operation, so plain `vec(any::<u64>())` drives rich op
+    /// sequences with heavy duplicate-timestamp pressure.
+    pub fn word_to_delay(word: u64) -> SimDuration {
+        // Low byte selects the scale; the rest selects the offset. Small
+        // moduli make exact collisions (same nanosecond) common.
+        let payload = word >> 8;
+        let nanos = match word & 0x7 {
+            0 => 0,                              // immediate: same-time ties
+            1 => payload % 4,                    // sub-tick jitter
+            2 => payload % 2_000_000,            // < 2 ms
+            3 => payload % 80_000_000,           // < 80 ms
+            4 => payload % 10_000_000_000,       // < 10 s
+            5 => payload % 1_000_000_000_000,    // < ~17 min (wheel horizon)
+            _ => payload % 100_000_000_000_000,  // ~28 h: overflow territory
+        };
+        SimDuration::from_nanos(nanos)
+    }
+
+    /// A node whose behavior depends on exact delivery order: it chains
+    /// the history of everything it saw, so any reordering between
+    /// schedulers changes the digest.
+    #[derive(Default)]
+    pub struct Probe {
+        pub digest: u64,
+        pub timer_count: u64,
+    }
+
+    impl Node for Probe {
+        type Msg = u64;
+
+        fn on_message(&mut self, from: NodeId, msg: u64, ctx: &mut Context<'_, u64>) {
+            self.digest = self
+                .digest
+                .wrapping_mul(0x100000001b3)
+                .wrapping_add(msg ^ from as u64 ^ ctx.now().as_nanos());
+            // Re-arm a timer keyed off the message to deepen the trace.
+            if msg & 0x3 == 0 {
+                ctx.set_timer(super::sched_equivalence::word_to_delay(msg), msg);
+            }
+        }
+
+        fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_, u64>) {
+            self.timer_count += 1;
+            self.digest = self
+                .digest
+                .wrapping_mul(0x100000001b3)
+                .wrapping_add(tag.wrapping_add(ctx.now().as_nanos()));
+        }
+    }
+
+    /// Replays `words` as engine operations against scheduler `S` and
+    /// returns the full observable outcome.
+    pub fn replay<S: SchedulerFor<Probe>>(seed: u64, words: &[u64]) -> (u64, Vec<u64>, NetStats) {
+        let mut sim: Simulation<Probe, S> =
+            Simulation::with_scheduler(seed, UniformLatency::from_millis(5.0, 50.0));
+        let ids: Vec<NodeId> = (0..8).map(|_| sim.add_node(Probe::default())).collect();
+        for &word in words {
+            let node = ids[(word >> 3) as usize % ids.len()];
+            match word & 0x7 {
+                // Inject a message (duplicate timestamps are common).
+                0..=2 => sim.inject(node, word, word_to_delay(word >> 3)),
+                // Set a timer through a live handler.
+                3..=4 => sim.invoke(node, |_n, ctx| {
+                    ctx.set_timer(word_to_delay(word >> 3), word)
+                }),
+                // Cancel pending timers by bouncing the node offline
+                // (epoch bump drops them), then bring it back.
+                5 => {
+                    sim.schedule_stop(node, sim.now() + word_to_delay(word >> 3));
+                    sim.schedule_start(node, sim.now() + word_to_delay(word >> 3) + SimDuration::from_secs(1.0));
+                }
+                // Advance simulated time.
+                _ => {
+                    let deadline = sim.now() + word_to_delay(word >> 3);
+                    sim.run_until(deadline);
+                }
+            }
+        }
+        sim.run_until(sim.now() + SimDuration::from_secs(300.0));
+        let digests = ids.iter().map(|&id| sim.node(id).digest).collect();
+        (sim.events_processed(), digests, sim.stats().clone())
+    }
+}
+
+proptest! {
+    #[test]
+    fn wheel_and_heap_dequeue_identical_sequences(
+        times in proptest::collection::vec(any::<u64>(), 0..200),
+    ) {
+        // Pure scheduler level: schedule/pop interleavings, then drain.
+        use decent::sim::prelude::*;
+        let mut wheel: TimingWheel<u64> = TimingWheel::new();
+        let mut heap: BinaryHeapScheduler<u64> = BinaryHeapScheduler::new();
+        let mut now = 0u64;
+        for (seq, &word) in times.iter().enumerate() {
+            let seq = seq as u64;
+            if word & 0xF == 0xF && !wheel.is_empty() {
+                prop_assert_eq!(wheel.next_time(), heap.next_time());
+                let a = wheel.pop();
+                let b = heap.pop();
+                prop_assert_eq!(&a, &b);
+                now = a.expect("non-empty").0.as_nanos();
+            } else {
+                let t = SimTime::from_nanos(
+                    now + sched_equivalence::word_to_delay(word).as_nanos(),
+                );
+                wheel.schedule(t, seq, seq);
+                heap.schedule(t, seq, seq);
+            }
+        }
+        loop {
+            prop_assert_eq!(wheel.next_time(), heap.next_time());
+            let a = wheel.pop();
+            let b = heap.pop();
+            prop_assert_eq!(&a, &b);
+            if a.is_none() {
+                break;
+            }
+        }
+        prop_assert!(wheel.is_empty() && heap.is_empty());
+    }
+
+    #[test]
+    fn engine_traces_are_scheduler_independent(
+        seed in any::<u64>(),
+        words in proptest::collection::vec(any::<u64>(), 0..120),
+    ) {
+        use decent::sim::prelude::*;
+        use sched_equivalence::replay;
+        let wheel = replay::<TimingWheel<EngineEvent<u64>>>(seed, &words);
+        let heap = replay::<BinaryHeapScheduler<EngineEvent<u64>>>(seed, &words);
+        prop_assert_eq!(wheel, heap);
+    }
+}

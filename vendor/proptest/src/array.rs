@@ -1,0 +1,23 @@
+//! Fixed-size array strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `[T; 20]` with elements drawn from `element`.
+pub fn uniform20<S: Strategy>(element: S) -> UniformArray<S, 20> {
+    UniformArray { element }
+}
+
+/// Strategy for `[T; N]` arrays.
+#[derive(Clone, Debug)]
+pub struct UniformArray<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+
+    fn sample(&self, rng: &mut TestRng) -> [S::Value; N] {
+        core::array::from_fn(|_| self.element.sample(rng))
+    }
+}

@@ -1,0 +1,272 @@
+//! Offline drop-in subset of the `rand` 0.8 API.
+//!
+//! The build environment for this workspace has no network access, so the
+//! real `rand` crate cannot be fetched from crates.io. This vendored stand-in
+//! implements exactly the surface the workspace uses, with the same
+//! algorithmic choices where they matter for quality:
+//!
+//! - [`rngs::SmallRng`]: the xoshiro256++ generator (the same algorithm the
+//!   real `rand` 0.8 uses for `SmallRng` on 64-bit platforms), seeded from a
+//!   `u64` through the SplitMix64 expansion recommended by the xoshiro
+//!   authors;
+//! - [`Rng::gen`] for the primitive types the simulators draw
+//!   (`u64`/`u32`/`u8`/`f64`/`f32`/`bool`);
+//! - [`Rng::gen_range`] over half-open and inclusive integer/float ranges,
+//!   using widening-multiply with rejection (Lemire) for integers so draws
+//!   are unbiased;
+//! - [`seq::SliceRandom`]: Fisher–Yates `shuffle` and uniform `choose`.
+//!
+//! Streams are deterministic and stable across platforms; all golden traces
+//! in the workspace are pinned against this implementation.
+
+pub mod rngs;
+pub mod seq;
+
+/// Low-level source of randomness: a stream of `u64`/`u32` words.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A seedable generator.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Constructs the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the generator from a `u64`, expanding it with SplitMix64
+    /// (the xoshiro authors' recommended seeding procedure).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = splitmix64(&mut state);
+            for (b, s) in chunk.iter_mut().zip(word.to_le_bytes()) {
+                *b = s;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Types that can be sampled uniformly from an RNG ("standard" draws).
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl Standard for u32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl Standard for u8 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 24) as u8
+    }
+}
+impl Standard for usize {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+impl Standard for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision (the `rand` convention).
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a uniform value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_u64(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return lo + rng.next_u64() as $t;
+                }
+                lo + uniform_u64(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+int_sample_range!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let u: $t = Standard::draw(rng);
+                self.start + u * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let u: $t = Standard::draw(rng);
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+float_sample_range!(f32, f64);
+
+/// Unbiased uniform draw from `[0, span)` via widening multiply with
+/// rejection (Lemire's method). `span` must be non-zero.
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (span as u128);
+        let lo = m as u64;
+        if lo >= span.wrapping_neg() % span {
+            return (m >> 64) as u64;
+        }
+        // Biased low bits: reject and redraw (rare for small spans).
+    }
+}
+
+/// User-facing convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from the standard distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Draws a uniform value from `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns true with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0, 1], got {p}");
+        f64::draw(self) < p
+    }
+
+    /// Fills `dest` with random data.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_draws_are_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(5u64..=9);
+            assert!((5..=9).contains(&y));
+            let z = rng.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "count {c} far from uniform");
+        }
+    }
+
+    #[test]
+    fn fill_covers_all_bytes() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut buf = [0u8; 20];
+        rng.fill(&mut buf[..]);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

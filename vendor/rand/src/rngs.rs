@@ -1,0 +1,94 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// The xoshiro256++ generator — the algorithm behind `rand` 0.8's
+/// `SmallRng` on 64-bit platforms. Fast, 256 bits of state, passes
+/// BigCrush; not cryptographically secure (nor does the simulator need
+/// it to be).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl RngCore for SmallRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks(8).enumerate() {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            s[i] = u64::from_le_bytes(word);
+        }
+        // An all-zero state is a fixed point of xoshiro; perturb it.
+        if s == [0; 4] {
+            s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+        }
+        SmallRng { s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_xoshiro256plusplus_reference_vectors() {
+        // Reference sequence from the xoshiro256++ C source
+        // (prng.di.unimi.it) with state {1, 2, 3, 4}.
+        let mut seed = [0u8; 32];
+        for (i, word) in [1u64, 2, 3, 4].iter().enumerate() {
+            seed[i * 8..(i + 1) * 8].copy_from_slice(&word.to_le_bytes());
+        }
+        let mut rng = SmallRng::from_seed(seed);
+        let expected: [u64; 6] = [
+            41943041,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+            9973669472204895162,
+        ];
+        for &e in &expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn zero_seed_does_not_wedge() {
+        let mut rng = SmallRng::from_seed([0; 32]);
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert!(a != 0 || b != 0);
+    }
+}

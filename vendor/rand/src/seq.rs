@@ -1,0 +1,64 @@
+//! Sequence-related random operations.
+
+use crate::Rng;
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Returns a uniformly chosen element, or `None` if the slice is empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            let i = rng.gen_range(0..self.len());
+            self.get(i)
+        }
+    }
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn choose_is_none_on_empty_and_in_range_otherwise() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let xs = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(xs.contains(xs.choose(&mut rng).unwrap()));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut xs: Vec<u32> = (0..100).collect();
+        xs.shuffle(&mut rng);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(xs, sorted, "shuffle left the slice sorted (astronomically unlikely)");
+    }
+}
