@@ -1,29 +1,68 @@
 //! Regenerates every experiment report (the paper's "tables and
-//! figures") and prints them as markdown.
+//! figures") as markdown or as a machine-readable JSON run report.
 //!
 //! ```text
-//! repro [--quick] [--exp E7[,E9,...]] [--csv DIR] [--claims]
+//! repro [--quick] [--exp E7[,E9,...]] [--csv DIR] [--claims] [--list]
+//!       [--json PATH] [--format md|json] [--summary PATH]
+//!       [--jobs N] [--seed N]
+//!       [--baseline PATH] [--write-baseline PATH]
 //! ```
 //!
 //! `--quick` runs CI-sized configurations (seconds); the default runs
 //! paper-sized configurations (minutes). `--csv DIR` additionally
 //! writes every result table as `DIR/<exp>_<n>.csv`. `--claims` prints
-//! the claim catalog and exits.
+//! the claim catalog and exits; `--list` prints the experiment registry
+//! with one-line descriptions and exits.
+//!
+//! Experiments are independent simulations, so they fan out across a
+//! thread pool (`--jobs`, default = available cores). Parallelism never
+//! changes results: each experiment seeds its own RNG streams, and the
+//! canonical JSON excludes wall-clock, so serial and parallel runs are
+//! byte-identical.
+//!
+//! The claim-regression gate: `--baseline PATH` diffs this run's claim
+//! verdicts against a committed claims file and exits 1 on any verdict
+//! flip or missing claim; `--write-baseline PATH` regenerates that file.
+//!
+//! Exit codes: 0 success, 1 claim failures or baseline regressions,
+//! 2 bad arguments.
 
 use std::process::ExitCode;
 
+use decent_core::report::{diff_verdicts, verdicts_from_json, RunReport};
 use decent_core::{claims, experiments};
+use decent_sim::json::Json;
 
-const USAGE: &str = "usage: repro [--quick] [--exp E1,E2,...] [--csv DIR] [--claims]";
+const USAGE: &str = "usage: repro [--quick] [--exp E1,E2,...] [--csv DIR] [--claims] [--list] \
+[--json PATH] [--format md|json] [--summary PATH] [--jobs N] [--seed N] \
+[--baseline PATH] [--write-baseline PATH]";
+
+/// Output format for stdout.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    /// Human-readable markdown reports (the default).
+    #[default]
+    Markdown,
+    /// The canonical JSON run report.
+    Json,
+}
 
 /// Parsed command line.
-#[derive(Debug, Default, PartialEq, Eq)]
+#[derive(Debug, Default, PartialEq)]
 struct Cli {
     quick: bool,
     /// `None` means "all experiments".
     selected: Option<Vec<String>>,
     csv_dir: Option<std::path::PathBuf>,
     claims: bool,
+    list: bool,
+    json_path: Option<std::path::PathBuf>,
+    format: Format,
+    summary_path: Option<std::path::PathBuf>,
+    jobs: Option<usize>,
+    seed: Option<u64>,
+    baseline: Option<std::path::PathBuf>,
+    write_baseline: Option<std::path::PathBuf>,
 }
 
 /// Parses and validates arguments. Experiment ids are checked against the
@@ -36,9 +75,53 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String> {
         match arg.as_str() {
             "--quick" => cli.quick = true,
             "--claims" => cli.claims = true,
+            "--list" => cli.list = true,
             "--csv" => {
                 let dir = args.next().ok_or("--csv requires a directory argument")?;
                 cli.csv_dir = Some(std::path::PathBuf::from(dir));
+            }
+            "--json" => {
+                let path = args.next().ok_or("--json requires a file argument")?;
+                cli.json_path = Some(std::path::PathBuf::from(path));
+            }
+            "--summary" => {
+                let path = args.next().ok_or("--summary requires a file argument")?;
+                cli.summary_path = Some(std::path::PathBuf::from(path));
+            }
+            "--baseline" => {
+                let path = args.next().ok_or("--baseline requires a file argument")?;
+                cli.baseline = Some(std::path::PathBuf::from(path));
+            }
+            "--write-baseline" => {
+                let path = args
+                    .next()
+                    .ok_or("--write-baseline requires a file argument")?;
+                cli.write_baseline = Some(std::path::PathBuf::from(path));
+            }
+            "--format" => {
+                let fmt = args.next().ok_or("--format requires md or json")?;
+                cli.format = match fmt.as_str() {
+                    "md" | "markdown" => Format::Markdown,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format: {other} (expected md or json)")),
+                };
+            }
+            "--jobs" => {
+                let n = args.next().ok_or("--jobs requires a number argument")?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("--jobs expects a positive integer, got {n}"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                cli.jobs = Some(n);
+            }
+            "--seed" => {
+                let s = args.next().ok_or("--seed requires a number argument")?;
+                let s: u64 = s
+                    .parse()
+                    .map_err(|_| format!("--seed expects an unsigned integer, got {s}"))?;
+                cli.seed = Some(s);
             }
             "--exp" => {
                 let list = args.next().ok_or("--exp requires an id list argument")?;
@@ -66,6 +149,18 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String> {
     Ok(cli)
 }
 
+/// Loads a baseline file and diffs the run's verdicts against it.
+/// Returns the regression lines (empty = gate passes).
+fn check_baseline(run: &RunReport, path: &std::path::Path) -> Result<Vec<String>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+    let doc = Json::parse(&text)
+        .map_err(|e| format!("baseline {} is not valid JSON: {e}", path.display()))?;
+    let baseline =
+        verdicts_from_json(&doc).map_err(|e| format!("baseline {}: {e}", path.display()))?;
+    Ok(diff_verdicts(&run.verdicts(), &baseline))
+}
+
 fn main() -> ExitCode {
     let cli = match parse_args(std::env::args().skip(1)) {
         Ok(cli) => cli,
@@ -86,48 +181,131 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
+    if cli.list {
+        for (id, desc) in experiments::DESCRIPTIONS {
+            println!("{id:<4} {desc}");
+        }
+        return ExitCode::SUCCESS;
+    }
     let ids: Vec<String> = cli
         .selected
+        .clone()
         .unwrap_or_else(|| experiments::ALL.iter().map(|s| s.to_string()).collect());
-    println!(
-        "# decent — reproduction of ICDCS'19 \"Please, do not decentralize \
-         the Internet with (permissionless) blockchains!\"\n"
-    );
-    println!(
-        "Mode: {} ({} experiments)\n",
-        if cli.quick { "quick" } else { "full" },
-        ids.len()
-    );
-    let mut failures = 0;
-    for id in &ids {
-        let started = std::time::Instant::now();
-        let report = experiments::run_by_id(id, cli.quick)
-            .expect("ids are validated against the registry at parse time");
-        println!("{report}");
-        if let Some(dir) = &cli.csv_dir {
-            if let Err(e) = std::fs::create_dir_all(dir) {
-                eprintln!("cannot create {}: {e}", dir.display());
-                return ExitCode::FAILURE;
+    let id_refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+    let jobs = cli.jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+
+    let run = experiments::run_report(&id_refs, cli.quick, cli.seed, jobs);
+
+    match cli.format {
+        Format::Markdown => {
+            println!(
+                "# decent — reproduction of ICDCS'19 \"Please, do not decentralize \
+                 the Internet with (permissionless) blockchains!\"\n"
+            );
+            println!(
+                "Mode: {} ({} experiments, {} jobs)\n",
+                run.mode,
+                ids.len(),
+                jobs
+            );
+            for r in &run.runs {
+                println!("{}", r.report);
+                println!(
+                    "_{} completed in {:.1} s wall-clock._\n",
+                    r.report.id,
+                    r.wall_ms / 1e3
+                );
             }
-            for (i, table) in report.tables.iter().enumerate() {
-                let path = dir.join(format!("{}_{}.csv", id.to_lowercase(), i));
+        }
+        Format::Json => print!("{}", run.to_json_text()),
+    }
+
+    if let Some(dir) = &cli.csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        for r in &run.runs {
+            for (i, table) in r.report.tables.iter().enumerate() {
+                let path = dir.join(format!("{}_{}.csv", r.report.id.to_lowercase(), i));
                 if let Err(e) = std::fs::write(&path, table.to_csv()) {
                     eprintln!("cannot write {}: {e}", path.display());
                     return ExitCode::FAILURE;
                 }
             }
         }
-        println!(
-            "_{id} completed in {:.1} s wall-clock._\n",
-            started.elapsed().as_secs_f64()
-        );
-        if !report.all_hold() {
-            failures += 1;
-            eprintln!("{id}: some findings DO NOT hold");
+    }
+    if let Some(path) = &cli.json_path {
+        if let Err(e) = std::fs::write(path, run.to_json_text()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
         }
     }
-    if failures > 0 {
-        eprintln!("{failures} experiment(s) had findings that do not hold");
+    if let Some(path) = &cli.summary_path {
+        if let Err(e) = std::fs::write(path, run.claims_markdown()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &cli.write_baseline {
+        if let Err(e) = std::fs::write(path, run.baseline_json().to_string_pretty()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "wrote baseline ({} claims) to {}",
+            run.total_claims(),
+            path.display()
+        );
+    }
+
+    let mut failed = false;
+    if let Some(path) = &cli.baseline {
+        match check_baseline(&run, path) {
+            Ok(lines) if lines.is_empty() => {
+                eprintln!(
+                    "baseline {}: {} claims match",
+                    path.display(),
+                    run.total_claims()
+                );
+            }
+            Ok(lines) => {
+                eprintln!(
+                    "baseline {}: {} regression(s) against committed verdicts:",
+                    path.display(),
+                    lines.len()
+                );
+                for line in &lines {
+                    eprintln!("  - {line}");
+                }
+                eprintln!("(intentional change? regenerate with --write-baseline)");
+                failed = true;
+            }
+            Err(msg) => {
+                eprintln!("repro: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let failing: Vec<&str> = run
+        .runs
+        .iter()
+        .filter(|r| !r.report.all_hold())
+        .map(|r| r.report.id)
+        .collect();
+    if !failing.is_empty() {
+        eprintln!(
+            "{} experiment(s) had findings that do not hold: {}",
+            failing.len(),
+            failing.join(", ")
+        );
+        failed = true;
+    }
+    if failed {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
@@ -149,9 +327,73 @@ mod tests {
 
     #[test]
     fn flags_parse() {
-        let cli = parse(&["--quick", "--csv", "out", "--claims"]).unwrap();
-        assert!(cli.quick && cli.claims);
+        let cli = parse(&["--quick", "--csv", "out", "--claims", "--list"]).unwrap();
+        assert!(cli.quick && cli.claims && cli.list);
         assert_eq!(cli.csv_dir.as_deref(), Some(std::path::Path::new("out")));
+    }
+
+    #[test]
+    fn report_flags_parse() {
+        let cli = parse(&[
+            "--json",
+            "out.json",
+            "--format",
+            "json",
+            "--summary",
+            "sum.md",
+            "--jobs",
+            "4",
+            "--seed",
+            "99",
+            "--baseline",
+            "base.json",
+            "--write-baseline",
+            "new.json",
+        ])
+        .unwrap();
+        assert_eq!(
+            cli.json_path.as_deref(),
+            Some(std::path::Path::new("out.json"))
+        );
+        assert_eq!(cli.format, Format::Json);
+        assert_eq!(
+            cli.summary_path.as_deref(),
+            Some(std::path::Path::new("sum.md"))
+        );
+        assert_eq!(cli.jobs, Some(4));
+        assert_eq!(cli.seed, Some(99));
+        assert_eq!(
+            cli.baseline.as_deref(),
+            Some(std::path::Path::new("base.json"))
+        );
+        assert_eq!(
+            cli.write_baseline.as_deref(),
+            Some(std::path::Path::new("new.json"))
+        );
+    }
+
+    #[test]
+    fn format_values_are_validated() {
+        assert_eq!(parse(&["--format", "md"]).unwrap().format, Format::Markdown);
+        assert_eq!(
+            parse(&["--format", "markdown"]).unwrap().format,
+            Format::Markdown
+        );
+        assert!(parse(&["--format", "xml"])
+            .unwrap_err()
+            .contains("unknown format"));
+        assert!(parse(&["--format"]).unwrap_err().contains("requires"));
+    }
+
+    #[test]
+    fn jobs_and_seed_are_validated() {
+        assert!(parse(&["--jobs", "0"]).unwrap_err().contains("at least 1"));
+        assert!(parse(&["--jobs", "two"])
+            .unwrap_err()
+            .contains("positive integer"));
+        assert!(parse(&["--seed", "-3"])
+            .unwrap_err()
+            .contains("unsigned integer"));
     }
 
     #[test]

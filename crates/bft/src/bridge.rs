@@ -175,17 +175,41 @@ pub fn atomic_transfer<S: SchedulerFor<FabricNode>>(
 
     // Phase 1: lock on the source island.
     let lock = submit_with_retry(
-        sim, &bridge.island_a, gw_a, ch, transfer, Phase::Lock, ATTEMPTS, deadline,
+        sim,
+        &bridge.island_a,
+        gw_a,
+        ch,
+        transfer,
+        Phase::Lock,
+        ATTEMPTS,
+        deadline,
     );
     match lock {
         Some(true) => {}
-        Some(false) => return (TransferOutcome::Aborted, sim.now().saturating_since(started)),
-        None => return (TransferOutcome::TimedOut, sim.now().saturating_since(started)),
+        Some(false) => {
+            return (
+                TransferOutcome::Aborted,
+                sim.now().saturating_since(started),
+            )
+        }
+        None => {
+            return (
+                TransferOutcome::TimedOut,
+                sim.now().saturating_since(started),
+            )
+        }
     }
 
     // Phase 2: prepare the mint on the destination island.
     let prepare = submit_with_retry(
-        sim, &bridge.island_b, gw_b, ch, transfer, Phase::Prepare, ATTEMPTS, deadline,
+        sim,
+        &bridge.island_b,
+        gw_b,
+        ch,
+        transfer,
+        Phase::Prepare,
+        ATTEMPTS,
+        deadline,
     );
     if prepare != Some(true) {
         // Destination failed: roll the source lock back (the rollback is
@@ -201,23 +225,47 @@ pub fn atomic_transfer<S: SchedulerFor<FabricNode>>(
             deadline + timeout,
         );
         return match rolled {
-            Some(true) => (TransferOutcome::Aborted, sim.now().saturating_since(started)),
-            _ => (TransferOutcome::TimedOut, sim.now().saturating_since(started)),
+            Some(true) => (
+                TransferOutcome::Aborted,
+                sim.now().saturating_since(started),
+            ),
+            _ => (
+                TransferOutcome::TimedOut,
+                sim.now().saturating_since(started),
+            ),
         };
     }
 
     // Phase 3: release on B, then burn on A.
     let released = submit_with_retry(
-        sim, &bridge.island_b, gw_b, ch, transfer, Phase::Release, ATTEMPTS * 2, deadline,
+        sim,
+        &bridge.island_b,
+        gw_b,
+        ch,
+        transfer,
+        Phase::Release,
+        ATTEMPTS * 2,
+        deadline,
     );
     let burned = submit_with_retry(
-        sim, &bridge.island_a, gw_a, ch, transfer, Phase::Burn, ATTEMPTS * 2, deadline,
+        sim,
+        &bridge.island_a,
+        gw_a,
+        ch,
+        transfer,
+        Phase::Burn,
+        ATTEMPTS * 2,
+        deadline,
     );
     match (released, burned) {
-        (Some(true), Some(true)) => {
-            (TransferOutcome::Completed, sim.now().saturating_since(started))
-        }
-        _ => (TransferOutcome::TimedOut, sim.now().saturating_since(started)),
+        (Some(true), Some(true)) => (
+            TransferOutcome::Completed,
+            sim.now().saturating_since(started),
+        ),
+        _ => (
+            TransferOutcome::TimedOut,
+            sim.now().saturating_since(started),
+        ),
     }
 }
 
@@ -231,12 +279,10 @@ pub fn atomicity_holds<S: SchedulerFor<FabricNode>>(
 ) -> bool {
     let ch = bridge.channel;
     for t in transfers {
-        let released =
-            committed_phase(sim, &bridge.island_b, ch, t, Phase::Release) == Some(true);
+        let released = committed_phase(sim, &bridge.island_b, ch, t, Phase::Release) == Some(true);
         let locked = committed_phase(sim, &bridge.island_a, ch, t, Phase::Lock) == Some(true);
         let burned = committed_phase(sim, &bridge.island_a, ch, t, Phase::Burn) == Some(true);
-        let unlocked =
-            committed_phase(sim, &bridge.island_a, ch, t, Phase::Unlock) == Some(true);
+        let unlocked = committed_phase(sim, &bridge.island_a, ch, t, Phase::Unlock) == Some(true);
         if released && !(locked && burned && !unlocked) {
             return false;
         }
@@ -263,8 +309,7 @@ mod tests {
     #[test]
     fn happy_path_transfer_completes() {
         let (mut sim, bridge) = islands(0.0, 101);
-        let (outcome, took) =
-            atomic_transfer(&mut sim, &bridge, 7, SimDuration::from_secs(10.0));
+        let (outcome, took) = atomic_transfer(&mut sim, &bridge, 7, SimDuration::from_secs(10.0));
         assert_eq!(outcome, TransferOutcome::Completed);
         // Four sequential commits of ~100-200 ms each.
         assert!(took < SimDuration::from_secs(2.0), "took {took}");
@@ -284,8 +329,7 @@ mod tests {
     fn destination_failure_rolls_back_the_lock() {
         // Every destination transaction MVCC-conflicts: prepare fails.
         let (mut sim, bridge) = islands(1.0, 102);
-        let (outcome, _) =
-            atomic_transfer(&mut sim, &bridge, 9, SimDuration::from_secs(10.0));
+        let (outcome, _) = atomic_transfer(&mut sim, &bridge, 9, SimDuration::from_secs(10.0));
         assert_eq!(outcome, TransferOutcome::Aborted);
         assert!(atomicity_holds(&sim, &bridge, [9]));
         assert_eq!(

@@ -232,8 +232,9 @@ impl FabricNode {
     /// Messages this node has received (any role).
     pub fn messages_seen(&self) -> u64 {
         match self {
-            FabricNode::Peer { messages_seen, .. }
-            | FabricNode::Orderer { messages_seen, .. } => *messages_seen,
+            FabricNode::Peer { messages_seen, .. } | FabricNode::Orderer { messages_seen, .. } => {
+                *messages_seen
+            }
         }
     }
 
@@ -361,10 +362,8 @@ impl Node for FabricNode {
                             if *acks + 1 >= majority {
                                 let block = block.clone();
                                 inflight.remove(&(channel, seq));
-                                let subs =
-                                    subscribers.get(&channel).cloned().unwrap_or_default();
-                                let bytes =
-                                    64 + block.txs.len() as u64 * cfg.tx_bytes;
+                                let subs = subscribers.get(&channel).cloned().unwrap_or_default();
+                                let bytes = 64 + block.txs.len() as u64 * cfg.tx_bytes;
                                 for peer in subs {
                                     ctx.send_sized(
                                         peer,
@@ -676,7 +675,10 @@ mod tests {
             "latency {latency}"
         );
         // And above the floor set by chaincode + block interval.
-        assert!(latency > SimDuration::from_millis(50.0), "latency {latency}");
+        assert!(
+            latency > SimDuration::from_millis(50.0),
+            "latency {latency}"
+        );
     }
 
     #[test]
@@ -698,7 +700,8 @@ mod tests {
         }
         sim.run_until(SimTime::from_secs(10.0));
         let peers = net.channel_peers(1);
-        let invalid: Vec<u64> = sim.node(peers[0])
+        let invalid: Vec<u64> = sim
+            .node(peers[0])
             .committed()
             .iter()
             .filter(|c| !c.valid)
@@ -708,7 +711,8 @@ mod tests {
         assert!((share - 0.3).abs() < 0.08, "invalid share {share}");
         // Every peer agrees on exactly which txs failed.
         for &p in &peers {
-            let theirs: Vec<u64> = sim.node(p)
+            let theirs: Vec<u64> = sim
+                .node(p)
                 .committed()
                 .iter()
                 .filter(|c| !c.valid)

@@ -6,7 +6,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bridge;
+pub mod ledger;
 pub mod pbft;
 pub mod raft;
-pub mod ledger;
-pub mod bridge;

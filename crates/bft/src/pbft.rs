@@ -224,11 +224,9 @@ impl PbftReplica {
 
     fn digest_of(batch: &Batch) -> u64 {
         // A cheap stand-in for a cryptographic digest.
-        batch
-            .iter()
-            .fold(0xcbf29ce484222325u64, |h, (id, _)| {
-                (h ^ id).wrapping_mul(0x100000001b3)
-            })
+        batch.iter().fold(0xcbf29ce484222325u64, |h, (id, _)| {
+            (h ^ id).wrapping_mul(0x100000001b3)
+        })
     }
 
     fn broadcast(&self, msg: PbftMsg, bytes: u64, ctx: &mut Context<'_, PbftMsg>) {
@@ -246,7 +244,8 @@ impl PbftReplica {
         // Propose only requests not already executed (dedup after view
         // changes) and keep at most one unfinished instance window of
         // `pipeline` batches in flight to bound memory.
-        self.buffer.retain(|(id, _)| !self.executed_ids.contains(id));
+        self.buffer
+            .retain(|(id, _)| !self.executed_ids.contains(id));
         if self.buffer.is_empty() {
             return;
         }
@@ -455,9 +454,7 @@ impl Node for PbftReplica {
                 digest,
                 from,
             } => self.on_commit(view, seq, digest, from, ctx),
-            PbftMsg::ViewChange { new_view, from } => {
-                self.on_view_change(new_view, from, ctx)
-            }
+            PbftMsg::ViewChange { new_view, from } => self.on_view_change(new_view, from, ctx),
             PbftMsg::NewView { view, next_seq } => {
                 if view > self.view {
                     self.next_seq = next_seq;

@@ -283,10 +283,7 @@ impl RaftNode {
             let from = self.next_index[i];
             let prev_index = from - 1;
             let prev_term = self.log[prev_index as usize].0;
-            let upper = self
-                .log
-                .len()
-                .min(from as usize + self.cfg.batch_max);
+            let upper = self.log.len().min(from as usize + self.cfg.batch_max);
             let entries: Vec<Entry> = self.log[from as usize..upper].to_vec();
             let bytes = 64 + entries.len() as u64 * self.cfg.op_bytes;
             ctx.send_sized(
@@ -310,9 +307,7 @@ impl RaftNode {
         let mut sorted = self.match_index.clone();
         sorted.sort_unstable();
         let majority_idx = sorted[self.cfg.n - self.cfg.majority()];
-        if majority_idx > self.commit_index
-            && self.log[majority_idx as usize].0 == self.term
-        {
+        if majority_idx > self.commit_index && self.log[majority_idx as usize].0 == self.term {
             self.commit_index = majority_idx;
             self.apply_ready(ctx);
         }
@@ -369,7 +364,11 @@ impl Node for RaftNode {
                     32,
                 );
             }
-            RaftMsg::Vote { term, from, granted } => {
+            RaftMsg::Vote {
+                term,
+                from,
+                granted,
+            } => {
                 if term > self.term {
                     self.become_follower(term, ctx);
                     return;
@@ -515,9 +514,7 @@ pub fn current_leader<S: SchedulerFor<RaftNode>>(
         .filter(|&id| sim.is_online(id) && sim.node(id).role() == Role::Leader)
         .collect();
     // Multiple stale leaders can coexist briefly; prefer the highest term.
-    leaders
-        .into_iter()
-        .max_by_key(|&id| sim.node(id).term())
+    leaders.into_iter().max_by_key(|&id| sim.node(id).term())
 }
 
 #[cfg(test)]
@@ -554,7 +551,8 @@ mod tests {
         let (mut sim, ids) = cluster(5, 72);
         sim.run_until(SimTime::from_secs(1.0));
         for &id in &ids {
-            sim.node_mut(id).submit_many(0..2000, SimTime::from_secs(1.0));
+            sim.node_mut(id)
+                .submit_many(0..2000, SimTime::from_secs(1.0));
         }
         sim.run_until(SimTime::from_secs(8.0));
         for &id in &ids {
@@ -572,7 +570,8 @@ mod tests {
         let (mut sim, ids) = cluster(5, 73);
         sim.run_until(SimTime::from_secs(1.0));
         for &id in &ids {
-            sim.node_mut(id).submit_many(0..1000, SimTime::from_secs(1.0));
+            sim.node_mut(id)
+                .submit_many(0..1000, SimTime::from_secs(1.0));
         }
         sim.run_until(SimTime::from_secs(4.0));
         let old_leader = current_leader(&sim, &ids).expect("leader");
@@ -610,7 +609,8 @@ mod tests {
             .max()
             .unwrap();
         for &id in &ids[..2] {
-            sim.node_mut(id).submit_many(0..100, SimTime::from_secs(2.0));
+            sim.node_mut(id)
+                .submit_many(0..100, SimTime::from_secs(2.0));
         }
         sim.run_until(SimTime::from_secs(10.0));
         for &id in &ids[..2] {
@@ -629,7 +629,8 @@ mod tests {
         let victim = ids[4];
         sim.schedule_stop(victim, SimTime::from_secs(1.0));
         for &id in &ids {
-            sim.node_mut(id).submit_many(0..1500, SimTime::from_secs(1.0));
+            sim.node_mut(id)
+                .submit_many(0..1500, SimTime::from_secs(1.0));
         }
         sim.run_until(SimTime::from_secs(6.0));
         sim.schedule_start(victim, SimTime::from_secs(6.0));
@@ -646,7 +647,8 @@ mod tests {
         let (mut sim, ids) = cluster(5, 76);
         sim.run_until(SimTime::from_secs(1.0));
         let leader = current_leader(&sim, &ids).unwrap();
-        sim.node_mut(leader).submit_many([42], SimTime::from_secs(1.0));
+        sim.node_mut(leader)
+            .submit_many([42], SimTime::from_secs(1.0));
         sim.run_until(SimTime::from_secs(2.0));
         let &(sub, applied) = sim
             .node(leader)

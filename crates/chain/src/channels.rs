@@ -365,8 +365,22 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let a = run_workload(100, Topology::Random { channels_each: 3 }, 50.0, 2000, 1.0, 11);
-        let b = run_workload(100, Topology::Random { channels_each: 3 }, 50.0, 2000, 1.0, 11);
+        let a = run_workload(
+            100,
+            Topology::Random { channels_each: 3 },
+            50.0,
+            2000,
+            1.0,
+            11,
+        );
+        let b = run_workload(
+            100,
+            Topology::Random { channels_each: 3 },
+            50.0,
+            2000,
+            1.0,
+            11,
+        );
         assert_eq!(a.payments_ok, b.payments_ok);
         assert_eq!(a.forwards, b.forwards);
     }

@@ -213,15 +213,13 @@ impl Market {
         self.month += 1;
         let mut rng = rng_from_seed(self.seed ^ (self.month as u64) << 13);
         // Price: deterministic growth with log-normal noise.
-        let noise = (self.cfg.price_volatility
-            * decent_sim::dist::standard_normal(&mut rng))
-        .exp();
+        let noise = (self.cfg.price_volatility * decent_sim::dist::standard_normal(&mut rng)).exp();
         self.price *= self.cfg.price_growth * noise;
         // Technology frontier improves.
         self.frontier_j_per_gh *= self.cfg.tech_improvement;
         self.capex_per_ghs *= self.cfg.tech_improvement;
-        let subsidy = self.cfg.subsidy
-            / f64::powi(2.0, (self.month / self.cfg.halving_months) as i32);
+        let subsidy =
+            self.cfg.subsidy / f64::powi(2.0, (self.month / self.cfg.halving_months) as i32);
         let total: f64 = self.active().map(|m| m.hashrate_ghs).sum();
         let monthly_revenue_per_ghs = if total > 0.0 {
             BLOCKS_PER_MONTH * subsidy * self.price / total
@@ -240,8 +238,7 @@ impl Market {
                 MinerClass::SmallFarm => (1.1, 0.9, true),
                 MinerClass::Industrial => (1.0, 0.7, true),
             };
-            let energy_cost =
-                kwh_per_month(m.hashrate_ghs, m.efficiency_j_per_gh) * m.electricity;
+            let energy_cost = kwh_per_month(m.hashrate_ghs, m.efficiency_j_per_gh) * m.electricity;
             let profit = revenue - energy_cost * opex_overhead;
             m.cumulative_profit += profit;
             if profit <= 0.0 {
@@ -402,7 +399,11 @@ mod tests {
             "industrial farms should dominate: {}",
             last.top6_share
         );
-        assert!(last.gini > 0.8, "hashrate should be very unequal: {}", last.gini);
+        assert!(
+            last.gini > 0.8,
+            "hashrate should be very unequal: {}",
+            last.gini
+        );
     }
 
     #[test]
@@ -411,8 +412,7 @@ mod tests {
         let snaps = market.run();
         let last = snaps.last().unwrap();
         assert!(
-            (last.profitable_hobbyists as f64)
-                < 0.05 * MarketConfig::default().hobbyists as f64,
+            (last.profitable_hobbyists as f64) < 0.05 * MarketConfig::default().hobbyists as f64,
             "desktop mining should die: {} hobbyists left",
             last.profitable_hobbyists
         );

@@ -203,11 +203,7 @@ impl Ledger {
     ///
     /// Returns the first rule violated by any transaction, including
     /// cross-transaction double spends within the block.
-    pub fn apply_block(
-        &mut self,
-        txs: &[Transaction],
-        _height: u64,
-    ) -> Result<(), LedgerError> {
+    pub fn apply_block(&mut self, txs: &[Transaction], _height: u64) -> Result<(), LedgerError> {
         // Two-phase: validate everything against a scratch copy, then
         // commit. Blocks are small enough that cloning the diff is cheap
         // relative to clarity.
@@ -278,7 +274,14 @@ mod tests {
         }
     }
 
-    fn spend(id: u64, from: OutPoint, to: u64, amount: u64, change_to: u64, change: u64) -> Transaction {
+    fn spend(
+        id: u64,
+        from: OutPoint,
+        to: u64,
+        amount: u64,
+        change_to: u64,
+        change: u64,
+    ) -> Transaction {
         Transaction {
             id,
             inputs: vec![from],

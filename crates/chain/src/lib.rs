@@ -9,11 +9,11 @@
 #![warn(missing_docs)]
 
 pub mod block;
+pub mod channels;
+pub mod economics;
+pub mod feemarket;
 pub mod ledger;
 pub mod node;
-pub mod pow;
-pub mod economics;
-pub mod selfish;
 pub mod pos;
-pub mod channels;
-pub mod feemarket;
+pub mod pow;
+pub mod selfish;

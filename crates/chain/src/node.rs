@@ -245,11 +245,7 @@ impl ChainNode {
         if self.unpublished.is_empty() {
             return;
         }
-        let private_tip = self
-            .unpublished
-            .last()
-            .expect("non-empty")
-            .height;
+        let private_tip = self.unpublished.last().expect("non-empty").height;
         if private_tip < self.public_height {
             // Honest chain won: abandon the private branch.
             self.unpublished.clear();
@@ -383,11 +379,10 @@ impl Node for ChainNode {
             }
             return;
         }
-        if tag > MINING_EPOCH_BASE
-            && tag == MINING_EPOCH_BASE + self.mining_epoch {
-                self.mine_block(ctx);
-            }
-            // Stale epochs (tip changed since scheduling) are ignored.
+        if tag > MINING_EPOCH_BASE && tag == MINING_EPOCH_BASE + self.mining_epoch {
+            self.mine_block(ctx);
+        }
+        // Stale epochs (tip changed since scheduling) are ignored.
     }
 }
 
@@ -524,8 +519,7 @@ pub fn run_selfish_attack(
     assert!((0.0..0.5).contains(&alpha));
     let n = honest_miners + 1 + 10; // + relays/observers
     let total_hashrate = 1e6;
-    let mut sim: Simulation<ChainNode> =
-        Simulation::new(seed, ConstantLatency::from_millis(80.0));
+    let mut sim: Simulation<ChainNode> = Simulation::new(seed, ConstantLatency::from_millis(80.0));
     let graph = Graph::random_outbound(n, 8, &mut rng_from_seed(seed ^ 1));
     let params = PowParams {
         target_interval: interval,
@@ -566,10 +560,7 @@ pub fn run_selfish_attack(
     let observer = &sim.node(ids[n - 1]).view;
     let chain = observer.best_chain();
     let total = chain.len() - 1; // exclude genesis
-    let selfish_blocks = chain
-        .iter()
-        .filter(|b| b.miner == ids[selfish_id])
-        .count();
+    let selfish_blocks = chain.iter().filter(|b| b.miner == ids[selfish_id]).count();
     (
         selfish_blocks as f64 / total.max(1) as f64,
         observer.stale_rate(),
@@ -580,7 +571,11 @@ pub fn run_selfish_attack(
 mod tests {
     use super::*;
 
-    fn bitcoin_like(nodes: usize, hours: f64, interval_secs: f64) -> (Simulation<ChainNode>, Vec<NodeId>) {
+    fn bitcoin_like(
+        nodes: usize,
+        hours: f64,
+        interval_secs: f64,
+    ) -> (Simulation<ChainNode>, Vec<NodeId>) {
         let mut rng = rng_from_seed(91);
         let net = RegionNet::sampled(nodes, &Region::BITCOIN_2019_DISTRIBUTION, &mut rng);
         let mut sim = Simulation::new(92, net);
@@ -685,10 +680,18 @@ mod tests {
             difficulty: 1.0,
         });
         // Give node A both blocks so it can serve GetBlock requests.
-        sim.node_mut(a).view.accept(parent.clone(), SimTime::from_secs(0.1));
-        sim.node_mut(a).view.accept(child.clone(), SimTime::from_secs(0.2));
+        sim.node_mut(a)
+            .view
+            .accept(parent.clone(), SimTime::from_secs(0.1));
+        sim.node_mut(a)
+            .view
+            .accept(child.clone(), SimTime::from_secs(0.2));
         // Node B hears about the CHILD only.
-        sim.inject(b, ChainMsg::BlockData(child.clone()), SimDuration::from_millis(1.0));
+        sim.inject(
+            b,
+            ChainMsg::BlockData(child.clone()),
+            SimDuration::from_millis(1.0),
+        );
         sim.run_until(SimTime::from_secs(5.0));
         // B must have requested the parent from A and accepted both.
         assert!(sim.node(b).view.contains(parent.id), "parent fetched");
@@ -814,7 +817,10 @@ mod tests {
         let hm = sim.node(miner).view.height();
         let hl = sim.node(light).view.height();
         assert!(hm > 50);
-        assert!((hm as i64 - hl as i64).abs() <= 2, "light {hl} vs miner {hm}");
+        assert!(
+            (hm as i64 - hl as i64).abs() <= 2,
+            "light {hl} vs miner {hm}"
+        );
         // And pays orders of magnitude less storage.
         let full_storage = sim.node(miner).storage_bytes();
         let light_storage = sim.node(light).storage_bytes();

@@ -55,8 +55,8 @@ impl PowParams {
     /// `window * target_interval`, clamped to `max_adjust`.
     pub fn retarget(&self, old_difficulty: f64, actual: SimDuration) -> f64 {
         let expected = self.target_interval.as_secs() * self.retarget_window as f64;
-        let ratio = (expected / actual.as_secs().max(1e-9))
-            .clamp(1.0 / self.max_adjust, self.max_adjust);
+        let ratio =
+            (expected / actual.as_secs().max(1e-9)).clamp(1.0 / self.max_adjust, self.max_adjust);
         old_difficulty * ratio
     }
 

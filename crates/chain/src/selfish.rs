@@ -45,8 +45,7 @@ impl SelfishOutcome {
         if self.total_discovered == 0 {
             return 0.0;
         }
-        1.0 - (self.attacker_blocks + self.honest_blocks) as f64
-            / self.total_discovered as f64
+        1.0 - (self.attacker_blocks + self.honest_blocks) as f64 / self.total_discovered as f64
     }
 }
 
@@ -148,12 +147,7 @@ pub fn simulate(alpha: f64, gamma: f64, blocks: u64, seed: u64) -> SelfishOutcom
 
 /// Sweeps attacker sizes for a fixed `gamma`, returning
 /// `(alpha, simulated share, closed-form share)` rows.
-pub fn sweep_alpha(
-    alphas: &[f64],
-    gamma: f64,
-    blocks: u64,
-    seed: u64,
-) -> Vec<(f64, f64, f64)> {
+pub fn sweep_alpha(alphas: &[f64], gamma: f64, blocks: u64, seed: u64) -> Vec<(f64, f64, f64)> {
     alphas
         .iter()
         .map(|&a| {
@@ -204,8 +198,13 @@ mod tests {
 
     #[test]
     fn monte_carlo_matches_closed_form() {
-        for &(alpha, gamma) in &[(0.2, 0.0), (0.3, 0.5), (0.4, 0.0), (0.45, 1.0), (0.35, 0.25)]
-        {
+        for &(alpha, gamma) in &[
+            (0.2, 0.0),
+            (0.3, 0.5),
+            (0.4, 0.0),
+            (0.45, 1.0),
+            (0.35, 0.25),
+        ] {
             let sim = simulate(alpha, gamma, 2_000_000, 7);
             let analytic = closed_form(alpha, gamma);
             assert!(
@@ -250,6 +249,9 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(simulate(0.3, 0.5, 100_000, 3), simulate(0.3, 0.5, 100_000, 3));
+        assert_eq!(
+            simulate(0.3, 0.5, 100_000, 3),
+            simulate(0.3, 0.5, 100_000, 3)
+        );
     }
 }

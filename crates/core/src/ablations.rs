@@ -39,8 +39,7 @@ pub fn kademlia_parallelism(
                 alpha,
                 ..KadConfig::default()
             };
-            let ids =
-                kademlia::build_network(&mut sim, nodes, &cfg, unresponsive, 8, seed ^ 99);
+            let ids = kademlia::build_network(&mut sim, nodes, &cfg, unresponsive, 8, seed ^ 99);
             sim.run_until(SimTime::from_secs(1.0));
             let mut issued = 0;
             let mut i = 0;
@@ -132,8 +131,7 @@ pub fn block_size(nodes: usize, hours: f64, seed: u64) -> Vec<(u32, f64, f64)> {
         .iter()
         .map(|&max_txs| {
             let mut rng = rng_from_seed(seed ^ max_txs as u64);
-            let net =
-                RegionNet::sampled(nodes, &Region::BITCOIN_2019_DISTRIBUTION, &mut rng);
+            let net = RegionNet::sampled(nodes, &Region::BITCOIN_2019_DISTRIBUTION, &mut rng);
             let mut sim = Simulation::new(seed ^ (max_txs as u64) << 8, net);
             let cfg = NetworkConfig {
                 nodes,

@@ -14,7 +14,7 @@ use decent_overlay::id::Key;
 use decent_overlay::kademlia::{build_network, KadConfig};
 use decent_sim::prelude::*;
 
-use crate::report::{ExperimentReport, Table};
+use crate::report::{Expect, ExperimentReport, Table};
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -86,8 +86,9 @@ fn deployments() -> Vec<Deployment> {
     ]
 }
 
-/// Runs one deployment and returns the lookup-latency histogram.
-fn run_deployment(cfg: &Config, dep: &Deployment, seed: u64) -> Histogram {
+/// Runs one deployment and returns the lookup-latency histogram plus
+/// the engine's metrics snapshot.
+fn run_deployment(cfg: &Config, dep: &Deployment, seed: u64) -> (Histogram, MetricsSnapshot) {
     let mut sim = Simulation::new(seed, UniformLatency::from_millis(30.0, 120.0));
     let ids = build_network(&mut sim, cfg.nodes, &dep.kad, dep.unresponsive, 8, seed ^ 1);
     sim.run_until(SimTime::from_secs(1.0));
@@ -116,7 +117,7 @@ fn run_deployment(cfg: &Config, dep: &Deployment, seed: u64) -> Histogram {
             lat.record(r.latency.as_secs());
         }
     }
-    lat
+    (lat, sim.metrics_snapshot())
 }
 
 /// Runs E1 and produces the report.
@@ -127,13 +128,21 @@ pub fn run(cfg: &Config) -> ExperimentReport {
     );
     let mut table = Table::new(
         "Lookup latency by deployment",
-        &["deployment", "lookups", "p50 (s)", "p90 (s)", "p99 (s)", "% ≤ 5 s"],
+        &[
+            "deployment",
+            "lookups",
+            "p50 (s)",
+            "p90 (s)",
+            "p99 (s)",
+            "% ≤ 5 s",
+        ],
     );
     let mut stats = Vec::new();
     for (d, dep) in deployments().iter().enumerate() {
-        let mut lat = run_deployment(cfg, dep, cfg.seed ^ ((d as u64 + 1) << 8));
-        let within_5s = lat.samples().iter().filter(|&&s| s <= 5.0).count() as f64
-            / lat.count().max(1) as f64;
+        let (mut lat, metrics) = run_deployment(cfg, dep, cfg.seed ^ ((d as u64 + 1) << 8));
+        report.absorb_metrics(metrics);
+        let within_5s =
+            lat.samples().iter().filter(|&&s| s <= 5.0).count() as f64 / lat.count().max(1) as f64;
         table.row([
             dep.name.to_string(),
             lat.count().to_string(),
@@ -147,17 +156,26 @@ pub fn run(cfg: &Config) -> ExperimentReport {
     report.table(table);
     let (kad_p50, _kad_p90, kad_within) = stats[0];
     let (bt_p50, _, _) = stats[1];
-    report.finding(
+    report.check(
+        "E1.kad-fast",
         "KAD is fast",
         "KAD lookups ≤ 5 s 90% of the time",
         format!("{} of KAD lookups ≤ 5 s", fmt_pct(kad_within)),
-        kad_within >= 0.85,
+        kad_within,
+        Expect::AtLeast(0.85),
     );
-    report.finding(
+    report.check_with(
+        "E1.mainline-slow",
         "Mainline is an order of magnitude slower",
         "Mainline median ≈ 1 min vs seconds on KAD",
-        format!("medians: KAD {}s vs Mainline {}s", fmt_f(kad_p50), fmt_f(bt_p50)),
-        bt_p50 >= 5.0 * kad_p50 && bt_p50 >= 10.0,
+        format!(
+            "medians: KAD {}s vs Mainline {}s",
+            fmt_f(kad_p50),
+            fmt_f(bt_p50)
+        ),
+        bt_p50,
+        Expect::AtLeast(10.0),
+        bt_p50 >= 5.0 * kad_p50,
     );
     report
 }

@@ -10,7 +10,7 @@ use std::collections::HashSet;
 use decent_overlay::flood::{build_network, FloodConfig};
 use decent_sim::prelude::*;
 
-use crate::report::{ExperimentReport, Table};
+use crate::report::{Expect, ExperimentReport, Table};
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -68,10 +68,7 @@ pub fn run(cfg: &Config) -> ExperimentReport {
     sim.run_until(sim.now() + SimDuration::from_secs(60.0));
 
     // Population and load statistics.
-    let free_riders = ids
-        .iter()
-        .filter(|&&i| sim.node(i).is_free_rider())
-        .count();
+    let free_riders = ids.iter().filter(|&&i| sim.node(i).is_free_rider()).count();
     let mut served: Vec<f64> = ids
         .iter()
         .map(|&i| sim.node(i).hits_served as f64)
@@ -110,10 +107,7 @@ pub fn run(cfg: &Config) -> ExperimentReport {
         / cfg.queries as f64;
 
     let mut report = ExperimentReport::new("E2", "Free riding on Gnutella (II-B P1)");
-    let mut t = Table::new(
-        "Population and answer concentration",
-        &["metric", "value"],
-    );
+    let mut t = Table::new("Population and answer concentration", &["metric", "value"]);
     t.row(["peers".to_string(), cfg.nodes.to_string()]);
     t.row([
         "free riders (share nothing)".to_string(),
@@ -141,13 +135,17 @@ pub fn run(cfg: &Config) -> ExperimentReport {
         fmt_f(relay_load),
     ]);
     report.table(t);
-    report.finding(
+    report.absorb_metrics(sim.metrics_snapshot());
+    report.check(
+        "E2.free-riders",
         "most peers share nothing",
         "~66-70% of Gnutella peers shared no files",
         fmt_pct(free_riders as f64 / ids.len() as f64),
-        (0.55..0.8).contains(&(free_riders as f64 / ids.len() as f64)),
+        free_riders as f64 / ids.len() as f64,
+        Expect::Within { lo: 0.55, hi: 0.8 },
     );
-    report.finding(
+    report.check_with(
+        "E2.top1-elite",
         "a tiny elite provides most content",
         "top 1% of hosts provide ~37% of all shared files (Adar & Huberman)",
         format!(
@@ -155,13 +153,17 @@ pub fn run(cfg: &Config) -> ExperimentReport {
             fmt_pct(files_top(0.01)),
             fmt_pct(share_of_top(0.01))
         ),
-        files_top(0.01) >= 0.25 && share_of_top(0.01) >= 0.1,
+        files_top(0.01),
+        Expect::AtLeast(0.25),
+        share_of_top(0.01) >= 0.1,
     );
-    report.finding(
+    report.check(
+        "E2.flood-cost",
         "flooding burdens everyone",
         "flooding is slow and inefficient (II)",
         format!("each query touches {} peers on average", fmt_f(relay_load)),
-        relay_load > cfg.nodes as f64 * 0.3,
+        relay_load,
+        Expect::MoreThan(cfg.nodes as f64 * 0.3),
     );
     report
 }

@@ -7,7 +7,7 @@
 
 use decent_overlay::swarm::{SwarmConfig, SwarmSim};
 
-use crate::report::{ExperimentReport, Table};
+use crate::report::{Expect, ExperimentReport, Table};
 use decent_sim::report::fmt_f;
 
 /// Experiment parameters.
@@ -80,7 +80,12 @@ pub fn run(cfg: &Config) -> ExperimentReport {
         let f50 = r.free_rider_times.percentile(0.5);
         let ratio = if c50 > 0.0 { f50 / c50 } else { 0.0 };
         t.row([
-            if tft { "tit-for-tat" } else { "random (no incentives)" }.to_string(),
+            if tft {
+                "tit-for-tat"
+            } else {
+                "random (no incentives)"
+            }
+            .to_string(),
             fmt_f(c50),
             fmt_f(f50),
             fmt_f(ratio),
@@ -89,24 +94,34 @@ pub fn run(cfg: &Config) -> ExperimentReport {
         ratios.push(ratio);
     }
     report.table(t);
-    report.finding(
+    report.check(
+        "E3.tft-punishes-riders",
         "tit-for-tat punishes free riders",
         "peers that do not contribute are not reciprocated",
-        format!("free riders take {}x longer under tit-for-tat", fmt_f(ratios[0])),
-        ratios[0] >= 1.5,
+        format!(
+            "free riders take {}x longer under tit-for-tat",
+            fmt_f(ratios[0])
+        ),
+        ratios[0],
+        Expect::AtLeast(1.5),
     );
-    report.finding(
+    report.check(
+        "E3.no-incentive-no-cost",
         "without incentives, free riding is free",
         "free riding was predominant before incentive design",
-        format!("rider/contributor ratio {} with random choking", fmt_f(ratios[1])),
-        ratios[1] < 1.4,
+        format!(
+            "rider/contributor ratio {} with random choking",
+            fmt_f(ratios[1])
+        ),
+        ratios[1],
+        Expect::LessThan(1.4),
     );
-    report.finding(
+    // Structural: departure-at-completion is built into the model.
+    report.structural(
+        "E3.exit-after-download",
         "incentives only bind during the download",
         "collaboration is only enforced during the download process",
-        "completed free riders leave immediately; the protocol cannot retain them"
-            .to_string(),
-        true, // structural: departure-at-completion is built into the model
+        "completed free riders leave immediately; the protocol cannot retain them",
     );
     report
 }

@@ -10,7 +10,7 @@ use decent_overlay::id::Key;
 use decent_overlay::kademlia::{build_network, KadConfig, KadNode};
 use decent_sim::prelude::*;
 
-use crate::report::{ExperimentReport, Table};
+use crate::report::{Expect, ExperimentReport, Table};
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -53,14 +53,10 @@ struct Row {
     p50: f64,
     p99: f64,
     timeout_free: f64,
+    metrics: MetricsSnapshot,
 }
 
-fn run_level(
-    cfg: &Config,
-    session: Option<f64>,
-    lan: bool,
-    seed: u64,
-) -> Row {
+fn run_level(cfg: &Config, session: Option<f64>, lan: bool, seed: u64) -> Row {
     let mut sim: Simulation<KadNode> = if lan {
         Simulation::new(seed, ConstantLatency::from_millis(0.5))
     } else {
@@ -74,10 +70,7 @@ fn run_level(
     let ids = build_network(&mut sim, cfg.nodes, &kad, 0.0, 8, seed ^ 3);
     if let Some(mins) = session {
         for &id in &ids {
-            sim.set_churn(
-                id,
-                ChurnModel::kad_measured(SimDuration::from_mins(mins)),
-            );
+            sim.set_churn(id, ChurnModel::kad_measured(SimDuration::from_mins(mins)));
         }
         // Let churn churn for a while so tables go stale realistically.
         sim.run_until(SimTime::from_mins(mins.min(30.0)));
@@ -123,6 +116,7 @@ fn run_level(
         p50: lat.percentile(0.5),
         p99: lat.percentile(0.99),
         timeout_free: clean as f64 / total.max(1) as f64,
+        metrics: sim.metrics_snapshot(),
     }
 }
 
@@ -139,6 +133,7 @@ pub fn run(cfg: &Config) -> ExperimentReport {
     let mut rows = Vec::new();
     for (i, &session) in cfg.sessions_mins.iter().enumerate() {
         let row = run_level(cfg, session, false, cfg.seed ^ ((i as u64 + 1) << 4));
+        report.absorb_metrics(row.metrics.clone());
         t.row([
             row.label.clone(),
             fmt_f(row.p50),
@@ -149,6 +144,7 @@ pub fn run(cfg: &Config) -> ExperimentReport {
     }
     // The cloud baseline: same protocol, stable LAN boxes.
     let cloud = run_level(cfg, None, true, cfg.seed ^ 0xC10D);
+    report.absorb_metrics(cloud.metrics.clone());
     t.row([
         cloud.label.clone(),
         fmt_f(cloud.p50),
@@ -159,7 +155,8 @@ pub fn run(cfg: &Config) -> ExperimentReport {
 
     let churniest = &rows[0];
     let stable_p2p = rows.last().expect("at least one level");
-    report.finding(
+    report.check_with(
+        "E4.churn-tail-latency",
         "churn degrades tail latency",
         "churn causes performance problems and latency",
         format!(
@@ -167,14 +164,22 @@ pub fn run(cfg: &Config) -> ExperimentReport {
             fmt_f(churniest.p99),
             fmt_f(stable_p2p.p99)
         ),
-        churniest.p99 > 2.0 * stable_p2p.p99
-            && churniest.timeout_free < stable_p2p.timeout_free,
+        churniest.p99,
+        Expect::MoreThan(2.0 * stable_p2p.p99),
+        churniest.timeout_free < stable_p2p.timeout_free,
     );
-    report.finding(
+    report.check_with(
+        "E4.cloud-millisecond",
         "cloud is millisecond-class",
         "stringent millisecond response times need stable servers",
-        format!("cloud p50 {}s vs best P2P p50 {}s", fmt_f(cloud.p50), fmt_f(stable_p2p.p50)),
-        cloud.p50 < 0.05 && cloud.p50 * 10.0 < stable_p2p.p50,
+        format!(
+            "cloud p50 {}s vs best P2P p50 {}s",
+            fmt_f(cloud.p50),
+            fmt_f(stable_p2p.p50)
+        ),
+        cloud.p50,
+        Expect::LessThan(0.05),
+        cloud.p50 * 10.0 < stable_p2p.p50,
     );
     report
 }

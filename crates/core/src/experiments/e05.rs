@@ -8,12 +8,10 @@
 
 use decent_overlay::id::Key;
 use decent_overlay::kademlia::KadConfig;
-use decent_overlay::sybil::{
-    build_attacked_network, measure_capture, SybilConfig, SybilPlacement,
-};
+use decent_overlay::sybil::{build_attacked_network, measure_capture, SybilConfig, SybilPlacement};
 use decent_sim::prelude::*;
 
-use crate::report::{ExperimentReport, Table};
+use crate::report::{Expect, ExperimentReport, Table};
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -82,6 +80,7 @@ pub fn run(cfg: &Config) -> ExperimentReport {
             build_attacked_network(&scfg, cfg.seed ^ ((i as u64 + 1) << 6));
         // A zero-ratio level keeps one inert sybil for plumbing; ignore it.
         let out = measure_capture(&mut sim, &honest, &sybil_ids, victim_key, cfg.lookups);
+        report.absorb_metrics(sim.metrics_snapshot());
         let top = out.top_captured as f64 / out.lookups.max(1) as f64;
         let full = out.fully_captured as f64 / out.lookups.max(1) as f64;
         t.row([
@@ -106,6 +105,7 @@ pub fn run(cfg: &Config) -> ExperimentReport {
     };
     let (mut sim, honest, sybil_ids) = build_attacked_network(&eclipse_cfg, cfg.seed ^ 0xEC);
     let eclipse = measure_capture(&mut sim, &honest, &sybil_ids, victim_key, cfg.lookups);
+    report.absorb_metrics(sim.metrics_snapshot());
     let eclipse_top = eclipse.top_captured as f64 / eclipse.lookups.max(1) as f64;
     t.row([
         "eclipse, 30 targeted identities".to_string(),
@@ -118,7 +118,8 @@ pub fn run(cfg: &Config) -> ExperimentReport {
 
     let baseline = capture_at[0];
     let heavy = *capture_at.last().expect("levels");
-    report.finding(
+    report.check_with(
+        "E5.capture-scales",
         "identity is free, so capture scales with identities",
         "a few powerful nodes can impersonate thousands of identifiers",
         format!(
@@ -126,13 +127,20 @@ pub fn run(cfg: &Config) -> ExperimentReport {
             fmt_pct(baseline),
             fmt_pct(heavy)
         ),
-        baseline < 0.05 && heavy > 0.3,
+        heavy,
+        Expect::MoreThan(0.3),
+        baseline < 0.05,
     );
-    report.finding(
+    report.check(
+        "E5.eclipse-cheap",
         "targeted eclipse needs only a handful of identities",
         "massive identity problems reported in KAD / Mainline [17][18]",
-        format!("30 placed identities own the victim's top result {} of the time", fmt_pct(eclipse_top)),
-        eclipse_top > 0.5,
+        format!(
+            "30 placed identities own the victim's top result {} of the time",
+            fmt_pct(eclipse_top)
+        ),
+        eclipse_top,
+        Expect::MoreThan(0.5),
     );
     report
 }

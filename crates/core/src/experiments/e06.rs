@@ -20,7 +20,7 @@ use decent_overlay::onehop::{self, OneHopConfig};
 use decent_overlay::pastry::{self, PastryConfig};
 use decent_sim::prelude::*;
 
-use crate::report::{ExperimentReport, Table};
+use crate::report::{Expect, ExperimentReport, Table};
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -62,6 +62,7 @@ struct ProtocolRow {
     hops: f64,
     p50_ms: f64,
     maint_msgs_per_node_min: f64,
+    metrics: MetricsSnapshot,
 }
 
 fn measure_chord(cfg: &Config, seed: u64) -> ProtocolRow {
@@ -96,6 +97,7 @@ fn measure_chord(cfg: &Config, seed: u64) -> ProtocolRow {
         hops: hops.mean(),
         p50_ms: lat.percentile(0.5),
         maint_msgs_per_node_min: maint,
+        metrics: sim.metrics_snapshot(),
     }
 }
 
@@ -135,6 +137,7 @@ fn measure_kademlia(cfg: &Config, seed: u64) -> ProtocolRow {
         hops: rpc_rounds.mean(),
         p50_ms: lat.percentile(0.5),
         maint_msgs_per_node_min: maint,
+        metrics: sim.metrics_snapshot(),
     }
 }
 
@@ -143,8 +146,7 @@ fn measure_onehop(cfg: &Config, seed: u64) -> ProtocolRow {
     let ids = onehop::build_network(&mut sim, cfg.nodes, OneHopConfig::default(), seed ^ 3);
     sim.run_until(SimTime::from_secs(1.0));
     // Membership events at the churn rate: 2 events per session cycle.
-    let event_rate_per_min =
-        2.0 * cfg.nodes as f64 / (2.0 * cfg.session_mins); // joins + leaves
+    let event_rate_per_min = 2.0 * cfg.nodes as f64 / (2.0 * cfg.session_mins); // joins + leaves
     let before = sim.stats().sent;
     let mut ticker = 0u64;
     let window_mins = 2.0;
@@ -186,6 +188,7 @@ fn measure_onehop(cfg: &Config, seed: u64) -> ProtocolRow {
         hops: 1.0,
         p50_ms: lat.percentile(0.5),
         maint_msgs_per_node_min: maint,
+        metrics: sim.metrics_snapshot(),
     }
 }
 
@@ -220,6 +223,7 @@ fn measure_pastry(cfg: &Config, seed: u64) -> ProtocolRow {
         hops: hops.mean(),
         p50_ms: lat.percentile(0.5),
         maint_msgs_per_node_min: maint,
+        metrics: sim.metrics_snapshot(),
     }
 }
 
@@ -253,6 +257,7 @@ fn measure_can(cfg: &Config, seed: u64) -> ProtocolRow {
         hops: hops.mean(),
         p50_ms: lat.percentile(0.5),
         maint_msgs_per_node_min: 0.0, // static zones; no repair modelled
+        metrics: sim.metrics_snapshot(),
     }
 }
 
@@ -280,9 +285,15 @@ pub fn run(cfg: &Config) -> ExperimentReport {
     ];
     let mut t = Table::new(
         "Head-to-head at simulated scale",
-        &["protocol", "mean hops/rounds", "lookup p50 (ms)", "maintenance msgs/node/min"],
+        &[
+            "protocol",
+            "mean hops/rounds",
+            "lookup p50 (ms)",
+            "maintenance msgs/node/min",
+        ],
     );
     for r in &rows {
+        report.absorb_metrics(r.metrics.clone());
         t.row([
             r.name.clone(),
             fmt_f(r.hops),
@@ -295,7 +306,12 @@ pub fn run(cfg: &Config) -> ExperimentReport {
     // Feasibility extrapolation for the paper's 10K-100K band.
     let mut t2 = Table::new(
         "One-hop maintenance bandwidth (closed form, 1-hour sessions)",
-        &["n", "events/s", "bytes/s per node", "feasible on broadband?"],
+        &[
+            "n",
+            "events/s",
+            "bytes/s per node",
+            "feasible on broadband?",
+        ],
     );
     for &n in &[cfg.nodes, 10_000, 100_000] {
         let bw = onehop_bandwidth_per_node(n, cfg.session_mins, 40.0, 4.0);
@@ -311,7 +327,8 @@ pub fn run(cfg: &Config) -> ExperimentReport {
 
     let chord = &rows[1];
     let onehop_row = &rows[4];
-    report.finding(
+    report.check_with(
+        "E6.onehop-latency",
         "one-hop beats multi-hop on latency",
         "O(1) routing avoids multi-hop lookups",
         format!(
@@ -320,11 +337,14 @@ pub fn run(cfg: &Config) -> ExperimentReport {
             fmt_f(chord.p50_ms),
             fmt_f(chord.hops)
         ),
-        onehop_row.p50_ms * 1.5 < chord.p50_ms && chord.hops > 2.0,
+        chord.p50_ms,
+        Expect::MoreThan(onehop_row.p50_ms * 1.5),
+        chord.hops > 2.0,
     );
     let can_row = &rows[0];
     let pastry_row = &rows[2];
-    report.finding(
+    report.check_with(
+        "E6.geometry-hops",
         "geometry sets the hop count",
         "numerous DHT proposals: CAN, Chord, Pastry, Kademlia [5-8]",
         format!(
@@ -333,14 +353,21 @@ pub fn run(cfg: &Config) -> ExperimentReport {
             fmt_f(chord.hops),
             fmt_f(pastry_row.hops)
         ),
-        can_row.hops > chord.hops && pastry_row.hops < chord.hops,
+        can_row.hops,
+        Expect::MoreThan(chord.hops),
+        pastry_row.hops < chord.hops,
     );
     let bw100k = onehop_bandwidth_per_node(100_000, cfg.session_mins, 40.0, 4.0);
-    report.finding(
+    report.check(
+        "E6.onehop-bandwidth",
         "full membership is feasible at 10K-100K",
         "full membership routing is possible for 10K-100K nodes",
-        format!("{} B/s per node at n=100K with 1-hour sessions", fmt_f(bw100k)),
-        bw100k < 125_000.0,
+        format!(
+            "{} B/s per node at n=100K with 1-hour sessions",
+            fmt_f(bw100k)
+        ),
+        bw100k,
+        Expect::LessThan(125_000.0),
     );
     report
 }

@@ -14,7 +14,7 @@ use decent_chain::node::{build_network, report as chain_report, ChainNodeConfig,
 use decent_chain::pow::PowParams;
 use decent_sim::prelude::*;
 
-use crate::report::{ExperimentReport, Table};
+use crate::report::{Expect, ExperimentReport, Table};
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -62,7 +62,7 @@ fn run_chain(
     max_block_txs: u32,
     horizon: SimDuration,
     seed: u64,
-) -> (f64, f64) {
+) -> (f64, f64, MetricsSnapshot) {
     let mut rng = rng_from_seed(seed);
     let net = RegionNet::sampled(
         cfg.chain_nodes,
@@ -85,7 +85,7 @@ fn run_chain(
     let ids = build_network(&mut sim, &ncfg, seed ^ 8);
     sim.run_until(SimTime::ZERO + horizon);
     let r = chain_report(&sim, ids[cfg.chain_nodes - 1]);
-    (r.tps, r.stale_rate)
+    (r.tps, r.stale_rate, sim.metrics_snapshot())
 }
 
 /// A shard in the partitioned OLTP cluster (the "VISA" model).
@@ -107,7 +107,7 @@ impl Node for OltpShard {
 }
 
 /// Simulates the partitioned cluster at saturation and returns TPS.
-fn run_oltp(cfg: &Config, horizon: SimDuration, seed: u64) -> f64 {
+fn run_oltp(cfg: &Config, horizon: SimDuration, seed: u64) -> (f64, MetricsSnapshot) {
     let mut sim: Simulation<OltpShard> = Simulation::new(seed, ConstantLatency::from_millis(0.5));
     let shards: Vec<NodeId> = (0..cfg.oltp_shards)
         .map(|_| sim.add_node(OltpShard::default()))
@@ -123,30 +123,31 @@ fn run_oltp(cfg: &Config, horizon: SimDuration, seed: u64) -> f64 {
     }
     sim.run_until(SimTime::ZERO + horizon);
     let served: u64 = shards.iter().map(|&s| sim.node(s).served).sum();
-    served as f64 / horizon.as_secs()
+    (served as f64 / horizon.as_secs(), sim.metrics_snapshot())
 }
 
 /// Runs E7 and produces the report.
 pub fn run(cfg: &Config) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "E7",
-        "Throughput: VISA vs. Bitcoin vs. Ethereum (III-C P2)",
-    );
-    let (btc_tps, btc_stale) = run_chain(
+    let mut report =
+        ExperimentReport::new("E7", "Throughput: VISA vs. Bitcoin vs. Ethereum (III-C P2)");
+    let (btc_tps, btc_stale, btc_metrics) = run_chain(
         cfg,
         PowParams::bitcoin(),
         2000,
         SimDuration::from_hours(cfg.bitcoin_hours),
         cfg.seed ^ 0x100,
     );
-    let (eth_tps, eth_stale) = run_chain(
+    let (eth_tps, eth_stale, eth_metrics) = run_chain(
         cfg,
         PowParams::ethereum(),
         200, // ~gas-limited block of ~200 txs every 13 s
         SimDuration::from_mins(cfg.ethereum_mins),
         cfg.seed ^ 0x200,
     );
-    let visa_tps = run_oltp(cfg, SimDuration::from_secs(30.0), cfg.seed ^ 0x300);
+    let (visa_tps, visa_metrics) = run_oltp(cfg, SimDuration::from_secs(30.0), cfg.seed ^ 0x300);
+    report.absorb_metrics(btc_metrics);
+    report.absorb_metrics(eth_metrics);
+    report.absorb_metrics(visa_metrics);
 
     let mut t = Table::new(
         "Sustained transaction throughput",
@@ -178,23 +179,33 @@ pub fn run(cfg: &Config) -> ExperimentReport {
     ]);
     report.table(t);
 
-    report.finding(
+    report.check(
+        "E7.btc-band",
         "Bitcoin lands in the 3.3-7 tx/s band",
         "Bitcoin can process between 3.3 and 7 tx/s",
         format!("{} tx/s", fmt_f(btc_tps)),
-        (2.5..8.0).contains(&btc_tps),
+        btc_tps,
+        Expect::Within { lo: 2.5, hi: 8.0 },
     );
-    report.finding(
+    report.check(
+        "E7.eth-band",
         "Ethereum lands around 15 tx/s",
         "Ethereum processes around 15 tx/s",
         format!("{} tx/s", fmt_f(eth_tps)),
-        (8.0..25.0).contains(&eth_tps),
+        eth_tps,
+        Expect::Within { lo: 8.0, hi: 25.0 },
     );
-    report.finding(
+    report.check(
+        "E7.visa-gap",
         "partitioned cloud is three orders of magnitude faster",
         "VISA processes 24,000 tx/s on partitioned stable servers",
-        format!("{} tx/s, {}x Bitcoin", fmt_si(visa_tps), fmt_si(visa_tps / btc_tps.max(0.1))),
-        visa_tps > 1000.0 * btc_tps,
+        format!(
+            "{} tx/s, {}x Bitcoin",
+            fmt_si(visa_tps),
+            fmt_si(visa_tps / btc_tps.max(0.1))
+        ),
+        visa_tps,
+        Expect::MoreThan(1000.0 * btc_tps),
     );
     report
 }

@@ -8,7 +8,7 @@ use decent_chain::economics::{form_pools, Market, MarketConfig};
 use decent_sim::metrics::top_k_share;
 use decent_sim::report::{fmt_f, fmt_pct, fmt_si};
 
-use crate::report::{ExperimentReport, Table};
+use crate::report::{Expect, ExperimentReport, Table};
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -82,7 +82,10 @@ pub fn run(cfg: &Config) -> ExperimentReport {
     let rates: Vec<f64> = market.active().map(|m| m.hashrate_ghs).collect();
     let pools = form_pools(&rates, cfg.pools, 30, 0.2, cfg.seed ^ 0x99);
     let pool6 = top_k_share(&pools, 6);
-    let mut t2 = Table::new("Pool shares after variance-seeking pooling", &["pool", "share"]);
+    let mut t2 = Table::new(
+        "Pool shares after variance-seeking pooling",
+        &["pool", "share"],
+    );
     let mut sorted = pools.clone();
     sorted.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
     let total: f64 = sorted.iter().sum();
@@ -93,26 +96,31 @@ pub fn run(cfg: &Config) -> ExperimentReport {
 
     let first = &snaps[0];
     let last = snaps.last().expect("months > 0");
-    report.finding(
+    report.check(
+        "E8.pool-dominance",
         "six pools dominate",
         "in 2013 six pools controlled 75% of hashing power",
         format!("top-6 pools hold {}", fmt_pct(pool6)),
-        pool6 > 0.6,
+        pool6,
+        Expect::MoreThan(0.6),
     );
-    report.finding(
+    report.check(
+        "E8.desktop-death",
         "desktop mining dies",
         "almost impossible to mine with a normal desktop computer",
         format!(
             "profitable hobbyists: {} -> {} of {}",
             first.profitable_hobbyists, last.profitable_hobbyists, cfg.market.hobbyists
         ),
-        (last.profitable_hobbyists as f64) < 0.05 * cfg.market.hobbyists as f64,
+        last.profitable_hobbyists as f64,
+        Expect::LessThan(0.05 * cfg.market.hobbyists as f64),
     );
     // Note: end-of-run gini is not a robust concentration measure here —
     // it swings with the price path (a boom pulls in many similar-sized
     // young farms, which *lowers* gini even as the giants grow). The top-6
     // farm share rises monotonically on every stream, so that is the check.
-    report.finding(
+    report.check_with(
+        "E8.industrial-capital",
         "incentives attract industrial capital",
         "huge commercial BitFarms with specialized hardware emerged",
         format!(
@@ -121,8 +129,9 @@ pub fn run(cfg: &Config) -> ExperimentReport {
             fmt_pct(first.top6_share),
             fmt_pct(last.top6_share)
         ),
-        last.total_hashrate_ghs > 10.0 * first.total_hashrate_ghs
-            && last.top6_share > first.top6_share + 0.1,
+        last.total_hashrate_ghs,
+        Expect::MoreThan(10.0 * first.total_hashrate_ghs),
+        last.top6_share > first.top6_share + 0.1,
     );
     report
 }

@@ -14,7 +14,7 @@ use decent_chain::selfish::{closed_form, profit_threshold, simulate};
 use decent_sim::prelude::SimDuration;
 use decent_sim::report::{fmt_f, fmt_pct};
 
-use crate::report::{ExperimentReport, Table};
+use crate::report::{Expect, ExperimentReport, Table};
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -60,7 +60,13 @@ pub fn run(cfg: &Config) -> ExperimentReport {
     for &gamma in &cfg.gammas {
         let mut t = Table::new(
             format!("Relative revenue vs. pool size (gamma = {gamma})"),
-            &["pool size α", "simulated share", "closed form", "fair share", "profits?"],
+            &[
+                "pool size α",
+                "simulated share",
+                "closed form",
+                "fair share",
+                "profits?",
+            ],
         );
         for (i, &alpha) in cfg.alphas.iter().enumerate() {
             let sim = simulate(
@@ -96,7 +102,10 @@ pub fn run(cfg: &Config) -> ExperimentReport {
     );
     t_net.row(["selfish revenue share".to_string(), fmt_pct(net_share)]);
     t_net.row(["fair share".to_string(), fmt_pct(0.42)]);
-    t_net.row(["stale-block rate under attack".to_string(), fmt_pct(net_stale)]);
+    t_net.row([
+        "stale-block rate under attack".to_string(),
+        fmt_pct(net_stale),
+    ]);
     report.table(t_net);
 
     let mut t2 = Table::new(
@@ -121,13 +130,16 @@ pub fn run(cfg: &Config) -> ExperimentReport {
 
     let big_pool = simulate(0.40, 0.0, cfg.blocks, cfg.seed ^ 0xF00);
     let small_pool = simulate(0.25, 0.0, cfg.blocks, cfg.seed ^ 0xF01);
-    report.finding(
+    report.check(
+        "E9.forty-beats-fair",
         "a 40% pool beats its fair share",
         "a minority colluding pool obtains more than its fair share",
         format!("40% pool earns {}", fmt_pct(big_pool.attacker_share())),
-        big_pool.attacker_share() > 0.42,
+        big_pool.attacker_share(),
+        Expect::MoreThan(0.42),
     );
-    report.finding(
+    report.check(
+        "E9.one-third-threshold",
         "the γ=0 threshold sits at 1/3",
         "Eyal-Sirer threshold: (1-γ)/(3-2γ) = 1/3 at γ=0",
         format!(
@@ -135,15 +147,19 @@ pub fn run(cfg: &Config) -> ExperimentReport {
             fmt_pct(small_pool.attacker_share()),
             fmt_pct(big_pool.attacker_share())
         ),
-        small_pool.attacker_share() < 0.25,
+        small_pool.attacker_share(),
+        Expect::LessThan(0.25),
     );
-    report.finding(
+    report.check(
+        "E9.closed-form-match",
         "Monte Carlo matches the closed form",
         "(model validation)",
         format!("max |sim - analytic| = {}", fmt_f(max_dev)),
-        max_dev < 0.02,
+        max_dev,
+        Expect::LessThan(0.02),
     );
-    report.finding(
+    report.check_with(
+        "E9.relay-network",
         "the attack survives a real relay network",
         "(gamma emerges from propagation instead of being assumed)",
         format!(
@@ -151,7 +167,9 @@ pub fn run(cfg: &Config) -> ExperimentReport {
             fmt_pct(net_share),
             fmt_pct(net_stale)
         ),
-        net_share > 0.44 && net_stale > 0.01,
+        net_share,
+        Expect::MoreThan(0.44),
+        net_stale > 0.01,
     );
     report
 }

@@ -7,7 +7,7 @@
 use decent_chain::economics::network_energy_twh_per_year;
 use decent_sim::report::{fmt_f, fmt_si};
 
-use crate::report::{ExperimentReport, Table};
+use crate::report::{Expect, ExperimentReport, Table};
 
 /// Austria's annual electricity consumption, TWh (c. 2018).
 pub const AUSTRIA_TWH: f64 = 70.0;
@@ -49,7 +49,12 @@ pub fn run(cfg: &Config) -> ExperimentReport {
     let mut report = ExperimentReport::new("E10", "Bitcoin energy consumption (III-B)");
     let mut t = Table::new(
         "Annualized network energy vs. hashrate",
-        &["hashrate (H/s)", "TWh/yr", "vs. Austria", "kWh per transaction"],
+        &[
+            "hashrate (H/s)",
+            "TWh/yr",
+            "vs. Austria",
+            "kWh per transaction",
+        ],
     );
     let mut peak = 0.0;
     for &h in &cfg.hashrates {
@@ -66,17 +71,25 @@ pub fn run(cfg: &Config) -> ExperimentReport {
     report.table(t);
 
     let per_tx_peak = peak * 1e9 / (cfg.tps * 365.25 * 86_400.0);
-    report.finding(
+    report.check(
+        "E10.austria-scale",
         "peak consumption is country-scale",
         "energy consumption peaked at ~70 TWh in 2018 (≈ Austria)",
-        format!("{} TWh/yr at peak hashrate ({}x Austria)", fmt_f(peak), fmt_f(peak / AUSTRIA_TWH)),
-        (0.4..2.0).contains(&(peak / AUSTRIA_TWH)),
+        format!(
+            "{} TWh/yr at peak hashrate ({}x Austria)",
+            fmt_f(peak),
+            fmt_f(peak / AUSTRIA_TWH)
+        ),
+        peak / AUSTRIA_TWH,
+        Expect::Within { lo: 0.4, hi: 2.0 },
     );
-    report.finding(
+    report.check(
+        "E10.per-tx-energy",
         "per-transaction energy is absurd for a payment rail",
         "(implied by 70 TWh/yr at < 7 tx/s)",
         format!("{} kWh per transaction", fmt_f(per_tx_peak)),
-        per_tx_peak > 100.0,
+        per_tx_peak,
+        Expect::MoreThan(100.0),
     );
     report
 }

@@ -15,7 +15,7 @@ use decent_chain::node::{build_network, report as chain_report, ChainNodeConfig,
 use decent_chain::pow::PowParams;
 use decent_sim::prelude::*;
 
-use crate::report::{ExperimentReport, Table};
+use crate::report::{Expect, ExperimentReport, Table};
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -70,7 +70,11 @@ pub fn run(cfg: &Config) -> ExperimentReport {
 
     // Base permissionless chain.
     let mut rng = rng_from_seed(cfg.seed);
-    let net = RegionNet::sampled(cfg.chain_nodes, &Region::BITCOIN_2019_DISTRIBUTION, &mut rng);
+    let net = RegionNet::sampled(
+        cfg.chain_nodes,
+        &Region::BITCOIN_2019_DISTRIBUTION,
+        &mut rng,
+    );
     let mut sim = Simulation::new(cfg.seed ^ 1, net);
     let ncfg = NetworkConfig {
         nodes: cfg.chain_nodes,
@@ -85,6 +89,7 @@ pub fn run(cfg: &Config) -> ExperimentReport {
     let ids = build_network(&mut sim, &ncfg, cfg.seed ^ 2);
     sim.run_until(SimTime::from_hours(cfg.chain_hours));
     let base = chain_report(&sim, ids[cfg.chain_nodes - 1]);
+    report.absorb_metrics(sim.metrics_snapshot());
 
     // Permissioned committee.
     let (pbft_tps, _lat) = saturation_run(
@@ -178,7 +183,8 @@ pub fn run(cfg: &Config) -> ExperimentReport {
         .iter()
         .filter(|&&(s, d, c)| (s as u8 + d as u8 + c as u8) >= 2)
         .count();
-    report.finding(
+    report.check_with(
+        "E11.no-triple-point",
         "no design point achieves all three",
         "a blockchain can only address two of scalability, decentralization, security",
         format!(
@@ -186,9 +192,12 @@ pub fn run(cfg: &Config) -> ExperimentReport {
             points.len(),
             each_has_two
         ),
-        !any_all_three && each_has_two >= 2,
+        each_has_two as f64,
+        Expect::AtLeast(2.0),
+        !any_all_three,
     );
-    report.finding(
+    report.structural(
+        "E11.sharding-tradeoff",
         "sharding trades security for throughput",
         "scalability is O(n) > O(c) only by shrinking per-transaction validation",
         format!(
@@ -197,7 +206,6 @@ pub fn run(cfg: &Config) -> ExperimentReport {
             cfg.shards,
             fmt_pct(0.5 / cfg.shards as f64)
         ),
-        true,
     );
     report
 }

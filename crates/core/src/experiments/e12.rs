@@ -12,7 +12,7 @@ use decent_chain::node::{build_network, report as chain_report, ChainNodeConfig,
 use decent_chain::pow::PowParams;
 use decent_sim::prelude::*;
 
-use crate::report::{ExperimentReport, Table};
+use crate::report::{Expect, ExperimentReport, Table};
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -50,14 +50,15 @@ impl Config {
     }
 }
 
-fn measure_raft(seed: u64) -> (f64, f64) {
+fn measure_raft(seed: u64) -> (f64, f64, MetricsSnapshot) {
     let mut sim = Simulation::new(seed, LanNet::datacenter());
     let ids = build_cluster(&mut sim, &RaftConfig::default());
     sim.run_until(SimTime::from_secs(1.0));
     let _ = current_leader(&sim, &ids);
     let ops = 200_000u64;
     for &id in &ids {
-        sim.node_mut(id).submit_many(0..ops, SimTime::from_secs(1.0));
+        sim.node_mut(id)
+            .submit_many(0..ops, SimTime::from_secs(1.0));
     }
     let horizon = 4.0;
     sim.run_until(SimTime::from_secs(1.0 + horizon));
@@ -70,7 +71,9 @@ fn measure_raft(seed: u64) -> (f64, f64) {
     for &(sub, app) in &node.applied {
         lat.record(app.saturating_since(sub).as_secs());
     }
-    (node.applied.len() as f64 / horizon, lat.percentile(0.5))
+    let tps = node.applied.len() as f64 / horizon;
+    let p50 = lat.percentile(0.5);
+    (tps, p50, sim.metrics_snapshot())
 }
 
 /// Runs E12 and produces the report.
@@ -102,7 +105,8 @@ pub fn run(cfg: &Config) -> ExperimentReport {
         ]);
         pbft_tps.push(tps);
     }
-    let (raft_tps, raft_p50) = measure_raft(cfg.seed ^ 0x4A);
+    let (raft_tps, raft_p50, raft_metrics) = measure_raft(cfg.seed ^ 0x4A);
+    report.absorb_metrics(raft_metrics);
     t.row([
         "Raft (CFT)".to_string(),
         "5".to_string(),
@@ -112,7 +116,11 @@ pub fn run(cfg: &Config) -> ExperimentReport {
 
     // The PoW comparison network.
     let mut rng = rng_from_seed(cfg.seed ^ 0x50);
-    let net = RegionNet::sampled(cfg.chain_nodes, &Region::BITCOIN_2019_DISTRIBUTION, &mut rng);
+    let net = RegionNet::sampled(
+        cfg.chain_nodes,
+        &Region::BITCOIN_2019_DISTRIBUTION,
+        &mut rng,
+    );
     let mut sim = Simulation::new(cfg.seed ^ 0x51, net);
     let ncfg = NetworkConfig {
         nodes: cfg.chain_nodes,
@@ -127,6 +135,7 @@ pub fn run(cfg: &Config) -> ExperimentReport {
     let ids = build_network(&mut sim, &ncfg, cfg.seed ^ 0x52);
     sim.run_until(SimTime::from_hours(cfg.chain_hours));
     let pow = chain_report(&sim, ids[cfg.chain_nodes - 1]);
+    report.absorb_metrics(sim.metrics_snapshot());
     t.row([
         "PoW (Bitcoin-like)".to_string(),
         format!("{} (all validate)", cfg.chain_nodes),
@@ -138,7 +147,8 @@ pub fn run(cfg: &Config) -> ExperimentReport {
     let first = pbft_tps[0];
     let last = *pbft_tps.last().expect("sizes");
     let biggest = *cfg.committee_sizes.last().expect("sizes");
-    report.finding(
+    report.check(
+        "E12.bft-committee-cost",
         "BFT throughput falls with committee size",
         "traditional BFT limits the number of participating entities",
         format!(
@@ -148,9 +158,11 @@ pub fn run(cfg: &Config) -> ExperimentReport {
             fmt_si(last),
             biggest
         ),
-        first > 2.0 * last,
+        first,
+        Expect::MoreThan(2.0 * last),
     );
-    report.finding(
+    report.check(
+        "E12.bft-beats-pow",
         "even a large committee crushes PoW throughput",
         "permissioned blockchains avoid costly proof-of-work",
         format!(
@@ -159,13 +171,14 @@ pub fn run(cfg: &Config) -> ExperimentReport {
             fmt_f(pow.tps),
             fmt_si(last / pow.tps.max(0.1))
         ),
-        last > 100.0 * pow.tps,
+        last,
+        Expect::MoreThan(100.0 * pow.tps),
     );
-    report.finding(
+    report.structural(
+        "E12.finality-gap",
         "commit latency: milliseconds vs an hour",
         "performance and finality motivate permissioned designs",
-        "PBFT p50 in milliseconds; PoW needs ~6 blocks (~1 h) for confidence".to_string(),
-        true,
+        "PBFT p50 in milliseconds; PoW needs ~6 blocks (~1 h) for confidence",
     );
     report
 }

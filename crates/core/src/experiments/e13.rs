@@ -11,7 +11,7 @@ use decent_bft::ledger::{build_network as build_fabric, Channel, FabricConfig};
 use decent_edge::service::{run_workload, EdgeConfig, Strategy};
 use decent_sim::prelude::*;
 
-use crate::report::{ExperimentReport, Table};
+use crate::report::{Expect, ExperimentReport, Table};
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -47,7 +47,7 @@ impl Config {
 
 /// Measures the one-time federation-join cost on the permissioned
 /// ledger (a channel transaction committing on all peers).
-fn federation_join_ms(seed: u64) -> f64 {
+fn federation_join_ms(seed: u64) -> (f64, MetricsSnapshot) {
     let mut sim = Simulation::new(seed, LanNet::datacenter());
     let cfg = FabricConfig::default();
     let channels = vec![Channel {
@@ -61,7 +61,8 @@ fn federation_join_ms(seed: u64) -> f64 {
     sim.run_until(SimTime::from_secs(5.0));
     let peer = net.channel_peers(1)[0];
     let c = sim.node(peer).committed()[0];
-    c.committed.saturating_since(c.submitted).as_millis()
+    let ms = c.committed.saturating_since(c.submitted).as_millis();
+    (ms, sim.metrics_snapshot())
 }
 
 /// Runs E13 and produces the report.
@@ -103,7 +104,8 @@ pub fn run(cfg: &Config) -> ExperimentReport {
     }
     report.table(t);
 
-    let join_ms = federation_join_ms(cfg.seed ^ 0xFED);
+    let (join_ms, join_metrics) = federation_join_ms(cfg.seed ^ 0xFED);
+    report.absorb_metrics(join_metrics);
     let mut t2 = Table::new("Trust establishment cost", &["mechanism", "cost", "paid"]);
     t2.row([
         "federation join via permissioned chain".to_string(),
@@ -119,13 +121,20 @@ pub fn run(cfg: &Config) -> ExperimentReport {
 
     let (edge_p50, _, edge_wan, edge_local) = rows[0];
     let (cloud_p50, _, cloud_wan, cloud_local) = rows[1];
-    report.finding(
+    report.check(
+        "E13.edge-latency",
         "edge placement wins on latency",
         "latency-sensitive services are a poor match for a centralized cloud",
-        format!("p50 {} ms (edge) vs {} ms (cloud)", fmt_f(edge_p50), fmt_f(cloud_p50)),
-        cloud_p50 > 4.0 * edge_p50,
+        format!(
+            "p50 {} ms (edge) vs {} ms (cloud)",
+            fmt_f(edge_p50),
+            fmt_f(cloud_p50)
+        ),
+        cloud_p50,
+        Expect::MoreThan(4.0 * edge_p50),
     );
-    report.finding(
+    report.check_with(
+        "E13.control-locality",
         "control moves to the edge",
         "control must be at the edge",
         format!(
@@ -135,16 +144,20 @@ pub fn run(cfg: &Config) -> ExperimentReport {
             fmt_f(edge_wan as f64 / 1e6),
             fmt_f(cloud_wan as f64 / 1e6)
         ),
-        edge_local > 0.9 && cloud_local < 0.1 && cloud_wan > 5 * edge_wan.max(1),
+        edge_local,
+        Expect::MoreThan(0.9),
+        cloud_local < 0.1 && cloud_wan > 5 * edge_wan.max(1),
     );
-    report.finding(
+    report.check(
+        "E13.trust-amortizes",
         "permissioned trust amortizes",
         "trust through permissioned blockchains enables decentralized control",
         format!(
             "{} ms once per member vs a TTP round trip on every cold session",
             fmt_f(join_ms)
         ),
-        join_ms < 1000.0,
+        join_ms,
+        Expect::LessThan(1000.0),
     );
     report
 }

@@ -5,11 +5,13 @@
 //! periodically adjusted in such a way that a new block is generated
 //! every 10 minutes."
 
-use decent_chain::node::{build_network, report as chain_report, ChainNode, ChainNodeConfig, NetworkConfig};
+use decent_chain::node::{
+    build_network, report as chain_report, ChainNode, ChainNodeConfig, NetworkConfig,
+};
 use decent_chain::pow::PowParams;
 use decent_sim::prelude::*;
 
-use crate::report::{ExperimentReport, Table};
+use crate::report::{Expect, ExperimentReport, Table};
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -47,7 +49,7 @@ impl Config {
     }
 }
 
-fn run_level(cfg: &Config, interval: f64, seed: u64) -> (f64, f64) {
+fn run_level(cfg: &Config, interval: f64, seed: u64) -> (f64, f64, MetricsSnapshot) {
     let mut rng = rng_from_seed(seed);
     let net = RegionNet::sampled(cfg.nodes, &Region::BITCOIN_2019_DISTRIBUTION, &mut rng);
     let mut sim = Simulation::new(seed ^ 1, net);
@@ -67,13 +69,13 @@ fn run_level(cfg: &Config, interval: f64, seed: u64) -> (f64, f64) {
     let ids = build_network(&mut sim, &ncfg, seed ^ 2);
     sim.run_until(SimTime::from_secs(interval * cfg.blocks_per_level as f64));
     let r = chain_report(&sim, ids[cfg.nodes - 1]);
-    (r.stale_rate, r.mean_interval_secs)
+    (r.stale_rate, r.mean_interval_secs, sim.metrics_snapshot())
 }
 
 /// Measures retarget convergence: the network starts with a difficulty
 /// set for half its actual hashrate; returns mean block interval in the
 /// first and in the last retarget window.
-fn run_retarget(cfg: &Config, seed: u64) -> (f64, f64, f64) {
+fn run_retarget(cfg: &Config, seed: u64) -> (f64, f64, f64, MetricsSnapshot) {
     let _ = cfg;
     let window = 72u64;
     let target = 120.0;
@@ -122,7 +124,7 @@ fn run_retarget(cfg: &Config, seed: u64) -> (f64, f64, f64) {
     // last two windows.
     let tail_start = mined.len().saturating_sub(2 * window);
     let last = mean_between(&mined[tail_start..]);
-    (first, last, target)
+    (first, last, target, sim.metrics_snapshot())
 }
 
 /// Runs E14 and produces the report.
@@ -137,13 +139,15 @@ pub fn run(cfg: &Config) -> ExperimentReport {
     );
     let mut stales = Vec::new();
     for (i, &interval) in cfg.intervals_secs.iter().enumerate() {
-        let (stale, mean) = run_level(cfg, interval, cfg.seed ^ ((i as u64 + 1) << 8));
+        let (stale, mean, metrics) = run_level(cfg, interval, cfg.seed ^ ((i as u64 + 1) << 8));
+        report.absorb_metrics(metrics);
         t.row([fmt_f(interval), fmt_f(mean), fmt_pct(stale)]);
         stales.push(stale);
     }
     report.table(t);
 
-    let (first, last, target) = run_retarget(cfg, cfg.seed ^ 0xADA);
+    let (first, last, target, retarget_metrics) = run_retarget(cfg, cfg.seed ^ 0xADA);
+    report.absorb_metrics(retarget_metrics);
     let mut t2 = Table::new(
         "Retarget convergence after a 2x hashrate surprise",
         &["window", "mean interval (s)", "target (s)"],
@@ -152,7 +156,8 @@ pub fn run(cfg: &Config) -> ExperimentReport {
     t2.row(["after retargets".to_string(), fmt_f(last), fmt_f(target)]);
     report.table(t2);
 
-    report.finding(
+    report.check_with(
+        "E14.fork-vs-interval",
         "forks grow as the interval shrinks toward propagation delay",
         "forks are occasional at 10-minute blocks (and would dominate otherwise)",
         format!(
@@ -162,9 +167,12 @@ pub fn run(cfg: &Config) -> ExperimentReport {
             fmt_pct(*stales.last().expect("levels")),
             cfg.intervals_secs.last().expect("levels")
         ),
-        stales[0] > 3.0 * stales.last().expect("levels") && *stales.last().unwrap() < 0.05,
+        stales[0],
+        Expect::MoreThan(3.0 * stales.last().expect("levels")),
+        *stales.last().unwrap() < 0.05,
     );
-    report.finding(
+    report.check_with(
+        "E14.retarget-converges",
         "retargeting restores the target interval",
         "difficulty is adjusted so a block appears every 10 minutes",
         format!(
@@ -173,7 +181,9 @@ pub fn run(cfg: &Config) -> ExperimentReport {
             fmt_f(last),
             fmt_f(target)
         ),
-        first < 0.8 * target && (last - target).abs() < 0.3 * target,
+        first,
+        Expect::LessThan(0.8 * target),
+        (last - target).abs() < 0.3 * target,
     );
     report
 }

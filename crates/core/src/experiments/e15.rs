@@ -11,7 +11,7 @@ use decent_chain::node::{build_network, ChainNodeConfig, NetworkConfig};
 use decent_chain::pow::PowParams;
 use decent_sim::prelude::*;
 
-use crate::report::{ExperimentReport, Table};
+use crate::report::{Expect, ExperimentReport, Table};
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -88,7 +88,12 @@ pub fn run(cfg: &Config) -> ExperimentReport {
 
     let mut t = Table::new(
         "Measured over the simulated window",
-        &["node type", "storage", "storage/day", "block bytes received/day"],
+        &[
+            "node type",
+            "storage",
+            "storage/day",
+            "block bytes received/day",
+        ],
     );
     t.row([
         "full (validates)".to_string(),
@@ -121,16 +126,20 @@ pub fn run(cfg: &Config) -> ExperimentReport {
     report.table(t2);
 
     let ten_year_gb = per_day_full * 365.25 * 10.0 / 1e9;
-    report.finding(
+    report.absorb_metrics(sim.metrics_snapshot());
+    report.check(
+        "E15.history-growth",
         "full-node history grows without bound",
         "each node requires more bandwidth, storage and compute to cope",
         format!(
             "{} GB after 10 years of saturated 1 MB blocks",
             fmt_f(ten_year_gb)
         ),
-        ten_year_gb > 200.0,
+        ten_year_gb,
+        Expect::MoreThan(200.0),
     );
-    report.finding(
+    report.check_with(
+        "E15.light-client-shed",
         "light clients shed the cost by shedding validation",
         "full clients validate transactions whereas light clients do not",
         format!(
@@ -138,7 +147,9 @@ pub fn run(cfg: &Config) -> ExperimentReport {
             fmt_si(full_storage / light_storage.max(1.0)),
             fmt_si(full_bw / light_bw.max(1.0))
         ),
-        full_storage > 500.0 * light_storage && full_bw > 100.0 * light_bw,
+        full_storage,
+        Expect::MoreThan(500.0 * light_storage),
+        full_bw > 100.0 * light_bw,
     );
     report
 }

@@ -6,12 +6,10 @@
 //! paper being "It will cost you nothing to 'kill' a proof-of-stake
 //! crypto-currency".
 
-use decent_chain::pos::{
-    attack_cost_units, simulate_pos_attack, simulate_pow_attack, PosAttack,
-};
+use decent_chain::pos::{attack_cost_units, simulate_pos_attack, simulate_pow_attack, PosAttack};
 use decent_sim::report::{fmt_pct, fmt_si};
 
-use crate::report::{ExperimentReport, Table};
+use crate::report::{Expect, ExperimentReport, Table};
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -93,7 +91,8 @@ pub fn run(cfg: &Config) -> ExperimentReport {
 
     let disciplined = curve[0];
     let rational = *curve.last().expect("points");
-    report.finding(
+    report.check_with(
+        "E16.nothing-at-stake",
         "PoS security rests on unenforceable discipline",
         "it costs nothing to 'kill' a proof-of-stake currency (Houy)",
         format!(
@@ -102,16 +101,20 @@ pub fn run(cfg: &Config) -> ExperimentReport {
             fmt_pct(rational),
             fmt_pct(*cfg.rational_fractions.last().expect("points"))
         ),
-        disciplined < 0.05 && rational > 0.5,
+        rational,
+        Expect::MoreThan(0.5),
+        disciplined < 0.05,
     );
-    report.finding(
+    report.check(
+        "E16.pow-energy-safety",
         "PoW buys safety with energy",
         "proof-of-work defends against sybils at a huge energy price (III)",
         format!(
             "same attacker against PoW: {} reversal probability, but every attempt burns real energy",
             fmt_pct(pow)
         ),
-        pow < 0.05,
+        pow,
+        Expect::LessThan(0.05),
     );
     report
 }

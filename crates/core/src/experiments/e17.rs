@@ -10,7 +10,7 @@
 use decent_chain::channels::{run_workload, Topology};
 use decent_sim::report::{fmt_f, fmt_pct, fmt_si};
 
-use crate::report::{ExperimentReport, Table};
+use crate::report::{Expect, ExperimentReport, Table};
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -71,7 +71,10 @@ pub fn run(cfg: &Config) -> ExperimentReport {
     let mut rows = Vec::new();
     for (name, topology) in [
         ("hub-and-spoke (5 hubs)", Topology::HubAndSpoke { hubs: 5 }),
-        ("random egalitarian (4 ch/peer)", Topology::Random { channels_each: 4 }),
+        (
+            "random egalitarian (4 ch/peer)",
+            Topology::Random { channels_each: 4 },
+        ),
     ] {
         let net = run_workload(
             cfg.participants,
@@ -81,8 +84,8 @@ pub fn run(cfg: &Config) -> ExperimentReport {
             cfg.amount,
             cfg.seed,
         );
-        let success = net.payments_ok as f64
-            / (net.payments_ok + net.payments_failed).max(1) as f64;
+        let success =
+            net.payments_ok as f64 / (net.payments_ok + net.payments_failed).max(1) as f64;
         t.row([
             name.to_string(),
             net.onchain_txs.to_string(),
@@ -98,13 +101,16 @@ pub fn run(cfg: &Config) -> ExperimentReport {
 
     let (hub_amp, hub_ok, hub_share) = rows[0];
     let (_flat_amp, flat_ok, flat_share) = rows[1];
-    report.finding(
+    report.check(
+        "E17.offchain-amplification",
         "off-chain processing multiplies throughput",
         "layer-2 increases performance by taking txs off the core network",
         format!("{}x payments per on-chain transaction", fmt_f(hub_amp)),
-        hub_amp > 20.0,
+        hub_amp,
+        Expect::MoreThan(20.0),
     );
-    report.finding(
+    report.check(
+        "E17.hub-concentration",
         "the price is a much smaller set of peers",
         "transactions are processed by a much smaller set of peers",
         format!(
@@ -112,9 +118,11 @@ pub fn run(cfg: &Config) -> ExperimentReport {
             fmt_pct(5.0 / cfg.participants as f64),
             fmt_pct(hub_share)
         ),
-        hub_share > 0.9,
+        hub_share,
+        Expect::MoreThan(0.9),
     );
-    report.finding(
+    report.check_with(
+        "E17.hub-efficiency",
         "hub topologies use the scarce on-chain capacity better",
         "(why users flock to hubs: fewer channels, same reach)",
         format!(
@@ -127,7 +135,9 @@ pub fn run(cfg: &Config) -> ExperimentReport {
             fmt_pct(hub_share),
             fmt_pct(flat_share)
         ),
-        hub_amp > 2.0 * _flat_amp && hub_ok >= flat_ok - 0.02,
+        hub_amp,
+        Expect::MoreThan(2.0 * _flat_amp),
+        hub_ok >= flat_ok - 0.02,
     );
     report
 }

@@ -7,7 +7,7 @@
 use decent_chain::feemarket::{simulate_congestion, FeeMarketConfig};
 use decent_sim::report::{fmt_f, fmt_pct};
 
-use crate::report::{ExperimentReport, Table};
+use crate::report::{Expect, ExperimentReport, Table};
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -51,7 +51,13 @@ pub fn run(cfg: &Config) -> ExperimentReport {
     let mut r = simulate_congestion(&cfg.market, cfg.seed);
     let mut t = Table::new(
         "Fee market before / during / after the viral window",
-        &["phase", "submitted", "failed", "failure rate", "median fee paid"],
+        &[
+            "phase",
+            "submitted",
+            "failed",
+            "failure rate",
+            "median fee paid",
+        ],
     );
     let rows: Vec<(&str, &mut decent_chain::feemarket::PhaseStats)> = vec![
         ("before", &mut r.before),
@@ -81,13 +87,17 @@ pub fn run(cfg: &Config) -> ExperimentReport {
         "Counterfactual: capacity provisioned for the spike (cloud-style)",
         &["phase", "failure rate"],
     );
-    t2.row(["during (6x demand)".to_string(), fmt_pct(provisioned.during.failure_rate())]);
+    t2.row([
+        "during (6x demand)".to_string(),
+        fmt_pct(provisioned.during.failure_rate()),
+    ]);
     report.table(t2);
 
     let (calm_fail, calm_fee) = stats[0];
     let (viral_fail, viral_fee) = stats[1];
     let (after_fail, _) = stats[2];
-    report.finding(
+    report.check_with(
+        "E18.viral-failures",
         "a sixfold spike fails many transactions",
         "traffic rose sixfold provoking the failure of many transactions",
         format!(
@@ -96,15 +106,24 @@ pub fn run(cfg: &Config) -> ExperimentReport {
             fmt_pct(viral_fail),
             cfg.market.viral_multiplier
         ),
-        calm_fail < 0.05 && viral_fail > 0.3,
+        viral_fail,
+        Expect::MoreThan(0.3),
+        calm_fail < 0.05,
     );
-    report.finding(
+    report.check(
+        "E18.congestion-tax",
         "every unrelated user pays the congestion tax",
         "storing state on-chain becomes extremely expensive (III-C P4)",
-        format!("median fee paid: {} -> {}", fmt_f(calm_fee), fmt_f(viral_fee)),
-        viral_fee > 2.0 * calm_fee,
+        format!(
+            "median fee paid: {} -> {}",
+            fmt_f(calm_fee),
+            fmt_f(viral_fee)
+        ),
+        viral_fee,
+        Expect::MoreThan(2.0 * calm_fee),
     );
-    report.finding(
+    report.check_with(
+        "E18.no-elasticity",
         "the chain cannot scale out; a cloud can",
         "(the paper's contrast with elastic cloud services)",
         format!(
@@ -113,7 +132,9 @@ pub fn run(cfg: &Config) -> ExperimentReport {
             fmt_pct(provisioned.during.failure_rate()),
             fmt_pct(after_fail)
         ),
-        provisioned.during.failure_rate() < 0.02 && after_fail < viral_fail / 2.0,
+        provisioned.during.failure_rate(),
+        Expect::LessThan(0.02),
+        after_fail < viral_fail / 2.0,
     );
     report
 }

@@ -3,7 +3,9 @@
 //!
 //! Every experiment exposes a `Config` (with `Default` = paper scale
 //! and `Config::quick()` = CI scale) and a `run(&Config) ->
-//! ExperimentReport` entry point.
+//! ExperimentReport` entry point. The harness entry points here add
+//! seed overrides ([`run_seeded`]) and a deterministic parallel runner
+//! ([`run_report`]) that fans experiments across a thread pool.
 
 pub mod e01;
 pub mod e02;
@@ -24,28 +26,104 @@ pub mod e16;
 pub mod e17;
 pub mod e18;
 
-use crate::report::ExperimentReport;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use crate::report::{ExperimentReport, ExperimentRun, RunReport};
 
 /// Experiment ids in order. E1-E15 reproduce the paper's explicit
 /// quantitative claims; E16-E18 cover the secondary claims it makes in
 /// passing (nothing-at-stake, layer-2 centralization, dapp congestion).
 pub const ALL: [&str; 18] = [
-    "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14",
-    "E15", "E16", "E17", "E18",
+    "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15",
+    "E16", "E17", "E18",
+];
+
+/// `(id, one-line description)` for every experiment, in [`ALL`] order.
+/// This is what `repro --list` prints.
+pub const DESCRIPTIONS: [(&str, &str); 18] = [
+    (
+        "E1",
+        "DHT lookup latency: eMule KAD vs. BitTorrent Mainline (II-A)",
+    ),
+    ("E2", "Free riding on Gnutella (II-B P1)"),
+    ("E3", "Tit-for-tat incentives in BitTorrent (II-B P1)"),
+    (
+        "E4",
+        "Churn vs. performance; stable servers have no rival (II-B P2)",
+    ),
+    ("E5", "Sybil attacks on open overlays (II-B P3)"),
+    ("E6", "One-hop full membership vs. multi-hop DHTs (II-B)"),
+    ("E7", "Throughput: VISA vs. Bitcoin vs. Ethereum (III-C P2)"),
+    (
+        "E8",
+        "Mining centralization: pools, farms, dead desktops (III-C P1)",
+    ),
+    (
+        "E9",
+        "Selfish mining: minority pools beat their fair share (III-C P1)",
+    ),
+    ("E10", "Bitcoin energy consumption at peak hashrate (III-B)"),
+    ("E11", "The scalability trilemma (III-C P2)"),
+    ("E12", "Permissioned BFT/CFT vs. proof-of-work (IV)"),
+    (
+        "E13",
+        "Edge-centric + permissioned trust vs. centralized cloud (V)",
+    ),
+    (
+        "E14",
+        "Fork rate vs. block interval; difficulty retargeting (III-A)",
+    ),
+    (
+        "E15",
+        "Resource growth: full nodes vs. light clients (III-C P1)",
+    ),
+    (
+        "E16",
+        "Nothing-at-stake: 'killing' proof-of-stake is free (III-C P2)",
+    ),
+    (
+        "E17",
+        "Layer-2 channels: throughput through centralization (III-C P2)",
+    ),
+    ("E18", "A viral dapp congests the whole chain (III-C P3)"),
 ];
 
 /// Runs one experiment by id at quick (CI) or full (paper) scale.
 ///
 /// Returns `None` for an unknown id.
 pub fn run_by_id(id: &str, quick: bool) -> Option<ExperimentReport> {
+    run_seeded(id, quick, None)
+}
+
+/// Runs one experiment by id with an optional seed override.
+///
+/// `seed = None` keeps the experiment's built-in config seed (the
+/// reproducible default). E10 is closed-form arithmetic with no RNG, so
+/// a seed override is a no-op there.
+///
+/// Returns `None` for an unknown id.
+pub fn run_seeded(id: &str, quick: bool, seed: Option<u64>) -> Option<ExperimentReport> {
     macro_rules! dispatch {
-        ($m:ident) => {
-            if quick {
-                $m::run(&$m::Config::quick())
+        ($m:ident) => {{
+            let mut cfg = if quick {
+                $m::Config::quick()
             } else {
-                $m::run(&$m::Config::default())
+                $m::Config::default()
+            };
+            if let Some(s) = seed {
+                cfg.seed = s;
             }
-        };
+            $m::run(&cfg)
+        }};
+        ($m:ident, no_seed) => {{
+            let cfg = if quick {
+                $m::Config::quick()
+            } else {
+                $m::Config::default()
+            };
+            $m::run(&cfg)
+        }};
     }
     Some(match id {
         "E1" => dispatch!(e01),
@@ -57,7 +135,7 @@ pub fn run_by_id(id: &str, quick: bool) -> Option<ExperimentReport> {
         "E7" => dispatch!(e07),
         "E8" => dispatch!(e08),
         "E9" => dispatch!(e09),
-        "E10" => dispatch!(e10),
+        "E10" => dispatch!(e10, no_seed),
         "E11" => dispatch!(e11),
         "E12" => dispatch!(e12),
         "E13" => dispatch!(e13),
@@ -75,4 +153,76 @@ pub fn run_all(quick: bool) -> Vec<ExperimentReport> {
     ALL.iter()
         .map(|id| run_by_id(id, quick).expect("known id"))
         .collect()
+}
+
+/// Runs the given experiments across `jobs` worker threads and collects
+/// a [`RunReport`].
+///
+/// Each experiment builds its own `Simulation`s from its own config, so
+/// experiments share no mutable state and the fan-out cannot perturb
+/// results: output order follows `ids` (not completion order) and every
+/// per-experiment trace is bit-identical to a serial run. `jobs = 1`
+/// *is* the serial run — same code path, same report bytes.
+///
+/// # Panics
+///
+/// Panics on an unknown id (callers validate ids against [`ALL`]
+/// first) or `jobs == 0`.
+pub fn run_report(ids: &[&str], quick: bool, seed: Option<u64>, jobs: usize) -> RunReport {
+    assert!(jobs > 0, "jobs must be >= 1");
+    for id in ids {
+        assert!(ALL.contains(id), "unknown experiment id {id}");
+    }
+    let workers = jobs.min(ids.len()).max(1);
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<ExperimentRun>> = Vec::new();
+    slots.resize_with(ids.len(), || None);
+    let slot_refs: Vec<std::sync::Mutex<&mut Option<ExperimentRun>>> =
+        slots.iter_mut().map(std::sync::Mutex::new).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(id) = ids.get(i) else { break };
+                let t0 = Instant::now();
+                let report = run_seeded(id, quick, seed).expect("id validated above");
+                let run = ExperimentRun {
+                    report,
+                    seed,
+                    wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+                };
+                **slot_refs[i].lock().expect("slot lock") = Some(run);
+            });
+        }
+    });
+
+    drop(slot_refs);
+    RunReport {
+        mode: if quick { "quick" } else { "full" }.to_string(),
+        runs: slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptions_cover_registry_in_order() {
+        assert_eq!(DESCRIPTIONS.len(), ALL.len());
+        for (i, (id, desc)) in DESCRIPTIONS.iter().enumerate() {
+            assert_eq!(*id, ALL[i]);
+            assert!(!desc.is_empty());
+        }
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run_by_id("E99", true).is_none());
+        assert!(run_seeded("", true, Some(1)).is_none());
+    }
 }

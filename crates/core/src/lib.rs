@@ -26,4 +26,7 @@ pub mod experiments;
 pub mod report;
 
 pub use claims::{claim, Claim, CLAIMS};
-pub use report::{ExperimentReport, Finding};
+pub use report::{
+    diff_verdicts, verdicts_from_json, ClaimVerdict, Expect, ExperimentReport, ExperimentRun,
+    Finding, RunReport,
+};

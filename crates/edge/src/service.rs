@@ -224,9 +224,7 @@ impl Node for EdgeNode {
             } => {
                 let needs_ttp = match self {
                     EdgeNode::Server { strategy, ttp, .. } => {
-                        *strategy == Strategy::CentralizedCloud
-                            && !session_token
-                            && ttp.is_some()
+                        *strategy == Strategy::CentralizedCloud && !session_token && ttp.is_some()
                     }
                     _ => false,
                 };
@@ -398,8 +396,9 @@ pub fn build_world(cfg: &EdgeConfig, seed: u64) -> (Simulation<EdgeNode>, EdgeWo
                 // Round-robin across the region's nano-DCs.
                 let cursor = region_edge_cursor.entry(r).or_insert(0);
                 let region_pos = cfg.regions.iter().position(|&x| x == r).expect("region");
-                let id =
-                    first_edge + region_pos * cfg.edges_per_region + (*cursor % cfg.edges_per_region);
+                let id = first_edge
+                    + region_pos * cfg.edges_per_region
+                    + (*cursor % cfg.edges_per_region);
                 *cursor += 1;
                 id
             }

@@ -341,7 +341,9 @@ mod tests {
         use rand::Rng;
         let targets: Vec<Point> = {
             let rng = sim.rng();
-            (0..30).map(|_| [rng.gen::<f64>(), rng.gen::<f64>()]).collect()
+            (0..30)
+                .map(|_| [rng.gen::<f64>(), rng.gen::<f64>()])
+                .collect()
         };
         for (i, &t) in targets.iter().enumerate() {
             let origin = ids[(i * 17) % ids.len()];
@@ -370,7 +372,9 @@ mod tests {
             use rand::Rng;
             let targets: Vec<Point> = {
                 let rng = sim.rng();
-                (0..40).map(|_| [rng.gen::<f64>(), rng.gen::<f64>()]).collect()
+                (0..40)
+                    .map(|_| [rng.gen::<f64>(), rng.gen::<f64>()])
+                    .collect()
             };
             for (i, &t) in targets.iter().enumerate() {
                 let origin = ids[(i * 13) % ids.len()];
@@ -408,7 +412,10 @@ mod tests {
         // O(2d) with split imbalance slack — far below log2(400) ~ 8.6
         // entries *per row* that prefix DHTs keep.
         assert!(mean < 10.0, "mean neighbors {mean}");
-        assert!(mean >= 4.0, "2-d zones must average >= 2d neighbors: {mean}");
+        assert!(
+            mean >= 4.0,
+            "2-d zones must average >= 2d neighbors: {mean}"
+        );
     }
 
     #[test]

@@ -279,11 +279,7 @@ impl ChordNode {
     /// The finger (or successor) with the largest key in `(self, target)`.
     fn closest_preceding(&self, target: &Key, self_node: NodeId) -> Option<Contact> {
         let mut best: Option<Contact> = None;
-        let candidates = self
-            .fingers
-            .iter()
-            .flatten()
-            .chain(self.successors.iter());
+        let candidates = self.fingers.iter().flatten().chain(self.successors.iter());
         for c in candidates {
             if c.node == self_node {
                 continue;
@@ -515,8 +511,7 @@ pub fn build_ring<S: SchedulerFor<ChordNode>>(
         key: keys[i % n],
     };
     for i in 0..n {
-        let successors: Vec<Contact> =
-            (1..=cfg.successor_list).map(|d| contact(i + d)).collect();
+        let successors: Vec<Contact> = (1..=cfg.successor_list).map(|d| contact(i + d)).collect();
         let predecessor = contact((i + n - 1) % n);
         // Finger j points at the first node whose key >= key + 2^j.
         let mut fingers: Vec<Option<Contact>> = Vec::with_capacity(KEY_BITS);
@@ -567,7 +562,12 @@ mod tests {
             for r in &sim.node(id).results {
                 assert!(r.success, "lookup timed out: {r:?}");
                 let owner = true_owner(&sim, &ids, &r.target);
-                assert_eq!(r.successor.unwrap().node, owner, "wrong owner for {:?}", r.target);
+                assert_eq!(
+                    r.successor.unwrap().node,
+                    owner,
+                    "wrong owner for {:?}",
+                    r.target
+                );
                 checked += 1;
             }
         }
@@ -593,7 +593,11 @@ mod tests {
         assert_eq!(hops.count(), 60);
         // log2(256) = 8; mean hops should be in the classic 0.5*log2(n)
         // to 1.5*log2(n) band.
-        assert!(hops.mean() >= 2.0 && hops.mean() <= 12.0, "mean {}", hops.mean());
+        assert!(
+            hops.mean() >= 2.0 && hops.mean() <= 12.0,
+            "mean {}",
+            hops.mean()
+        );
     }
 
     #[test]

@@ -191,8 +191,9 @@ pub fn build_network<S: SchedulerFor<FloodNode>>(
                 let count = if rng.gen::<f64>() < cfg.power_sharer_fraction {
                     rng.gen_range(cfg.power_library.0..=cfg.power_library.1)
                 } else {
-                    (Exp::with_mean(cfg.mean_files_per_sharer).sample(&mut rng).ceil()
-                        as usize)
+                    (Exp::with_mean(cfg.mean_files_per_sharer)
+                        .sample(&mut rng)
+                        .ceil() as usize)
                         .max(1)
                 };
                 for _ in 0..count.min(cfg.catalog_size) {
@@ -248,7 +249,10 @@ mod tests {
             popular_hits as f64 > 3.0 * rare_hits as f64,
             "popular hits {popular_hits} rare hits {rare_hits}"
         );
-        assert!(answered(0, 40) >= 35, "popular file should almost always be found");
+        assert!(
+            answered(0, 40) >= 35,
+            "popular file should almost always be found"
+        );
     }
 
     #[test]

@@ -161,7 +161,10 @@ mod tests {
     fn fanout_one_dies_out() {
         let (sim, ids) = run_broadcast(1, 400);
         let ratio = delivery_ratio(&sim, &ids, 1);
-        assert!(ratio < 0.8, "fanout 1 should not blanket the network: {ratio}");
+        assert!(
+            ratio < 0.8,
+            "fanout 1 should not blanket the network: {ratio}"
+        );
     }
 
     #[test]

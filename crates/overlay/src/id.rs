@@ -254,7 +254,10 @@ mod tests {
         assert_eq!(d.leading_zeros(), KEY_BITS - 1);
         assert_eq!(d.bucket(), Some(0));
         assert_eq!(Key::ZERO.xor_distance(&Key::ZERO).bucket(), None);
-        assert_eq!(Key::ZERO.xor_distance(&Key::MAX).bucket(), Some(KEY_BITS - 1));
+        assert_eq!(
+            Key::ZERO.xor_distance(&Key::MAX).bucket(),
+            Some(KEY_BITS - 1)
+        );
     }
 
     #[test]
@@ -297,10 +300,16 @@ mod tests {
     #[test]
     fn from_u64_is_uniform_ish() {
         // Leading byte should take many distinct values across inputs.
-        let mut firsts: Vec<u8> = (0..256u64).map(|i| Key::from_u64(i).as_bytes()[0]).collect();
+        let mut firsts: Vec<u8> = (0..256u64)
+            .map(|i| Key::from_u64(i).as_bytes()[0])
+            .collect();
         firsts.sort_unstable();
         firsts.dedup();
-        assert!(firsts.len() > 150, "only {} distinct leading bytes", firsts.len());
+        assert!(
+            firsts.len() > 150,
+            "only {} distinct leading bytes",
+            firsts.len()
+        );
     }
 
     #[test]

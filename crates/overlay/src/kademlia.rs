@@ -262,13 +262,17 @@ impl KadNode {
                 continue;
             }
             if bucket.len() < k {
-                bucket.push(BucketEntry { contact, last_seen: now });
-            } else if let Some((pos, _)) = bucket
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.last_seen)
+                bucket.push(BucketEntry {
+                    contact,
+                    last_seen: now,
+                });
+            } else if let Some((pos, _)) =
+                bucket.iter().enumerate().min_by_key(|(_, e)| e.last_seen)
             {
-                bucket[pos] = BucketEntry { contact, last_seen: now };
+                bucket[pos] = BucketEntry {
+                    contact,
+                    last_seen: now,
+                };
             }
         }
     }
@@ -332,17 +336,8 @@ impl KadNode {
 
     /// The k closest contacts to `target` from the routing table.
     pub fn closest_contacts(&self, target: &Key, n: usize) -> Vec<Contact> {
-        let mut all: Vec<Contact> = self
-            .buckets
-            .iter()
-            .flatten()
-            .map(|e| e.contact)
-            .collect();
-        all.sort_by(|a, b| {
-            a.key
-                .xor_distance(target)
-                .cmp(&b.key.xor_distance(target))
-        });
+        let mut all: Vec<Contact> = self.buckets.iter().flatten().map(|e| e.contact).collect();
+        all.sort_by_key(|c| c.key.xor_distance(target));
         all.truncate(n);
         all
     }
@@ -507,11 +502,7 @@ impl KadNode {
             if c.key == my_key {
                 continue;
             }
-            if lookup
-                .shortlist
-                .iter()
-                .any(|e| e.contact.node == c.node)
-            {
+            if lookup.shortlist.iter().any(|e| e.contact.node == c.node) {
                 continue;
             }
             lookup.shortlist.push(ShortEntry {
@@ -545,11 +536,7 @@ impl KadNode {
         let target = match self.lookups.get_mut(&id) {
             Some(lookup) => {
                 lookup.inflight = lookup.inflight.saturating_sub(1);
-                if let Some(e) = lookup
-                    .shortlist
-                    .iter_mut()
-                    .find(|e| e.contact.node == from)
-                {
+                if let Some(e) = lookup.shortlist.iter_mut().find(|e| e.contact.node == from) {
                     e.state = EntryState::Responded;
                 }
                 lookup.target
@@ -688,11 +675,7 @@ impl Node for KadNode {
         if let Some(lookup) = self.lookups.get_mut(&id) {
             lookup.inflight = lookup.inflight.saturating_sub(1);
             lookup.timeouts += 1;
-            if let Some(e) = lookup
-                .shortlist
-                .iter_mut()
-                .find(|e| e.contact.node == peer)
-            {
+            if let Some(e) = lookup.shortlist.iter_mut().find(|e| e.contact.node == peer) {
                 e.state = EntryState::Failed;
             }
         }

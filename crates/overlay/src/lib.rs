@@ -7,14 +7,14 @@
 
 #![warn(missing_docs)]
 
-pub mod id;
-pub mod kademlia;
+pub mod can;
 pub mod chord;
 pub mod flood;
 pub mod gossip;
+pub mod id;
+pub mod kademlia;
 pub mod onehop;
+pub mod pastry;
 pub mod superpeer;
 pub mod swarm;
 pub mod sybil;
-pub mod pastry;
-pub mod can;

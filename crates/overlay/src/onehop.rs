@@ -314,8 +314,7 @@ mod tests {
         let t = Key::from_u64(123456);
         let owner = sim.node(ids[0]).owner_of(&t).unwrap();
         // Verify against brute force over the actual keys.
-        let mut keys: Vec<(Key, NodeId)> =
-            ids.iter().map(|&i| (sim.node(i).key(), i)).collect();
+        let mut keys: Vec<(Key, NodeId)> = ids.iter().map(|&i| (sim.node(i).key(), i)).collect();
         keys.sort();
         let expected = keys
             .iter()

@@ -440,7 +440,11 @@ impl Node for PastryNode {
                     },
                 );
             }
-            PastryMsg::LeafPong { rpc, from: c, leaves } => {
+            PastryMsg::LeafPong {
+                rpc,
+                from: c,
+                leaves,
+            } => {
                 self.pending.remove(&rpc);
                 self.learn(c);
                 for l in leaves {
@@ -553,7 +557,10 @@ mod tests {
             rebuilt = rebuilt << 4 | digit(&k, i);
         }
         // First four digits are the top 16 bits of the key.
-        assert_eq!(rebuilt, (k.as_bytes()[0] as usize) << 8 | k.as_bytes()[1] as usize);
+        assert_eq!(
+            rebuilt,
+            (k.as_bytes()[0] as usize) << 8 | k.as_bytes()[1] as usize
+        );
         assert_eq!(shared_prefix(&k, &k), DIGITS);
     }
 
@@ -573,7 +580,12 @@ mod tests {
             for r in &sim.node(id).results {
                 assert!(r.success, "{r:?}");
                 let owner = true_owner(&sim, &ids, &r.target);
-                assert_eq!(r.owner.unwrap().node, owner, "wrong owner for {:?}", r.target);
+                assert_eq!(
+                    r.owner.unwrap().node,
+                    owner,
+                    "wrong owner for {:?}",
+                    r.target
+                );
                 checked += 1;
             }
         }
@@ -627,6 +639,10 @@ mod tests {
         assert_eq!(ring_distance(&a, &b), ring_distance(&b, &a));
         // ZERO and MAX are adjacent on the ring.
         let d = ring_distance(&Key::ZERO, &Key::MAX);
-        assert_eq!(d.leading_zeros(), KEY_BITS - 1, "wrap distance must be tiny");
+        assert_eq!(
+            d.leading_zeros(),
+            KEY_BITS - 1,
+            "wrap distance must be tiny"
+        );
     }
 }

@@ -213,12 +213,12 @@ impl SwarmSim {
         for p in &self.peers {
             match (p.class, p.completed_round) {
                 (PeerClass::Seed, _) => {}
-                (PeerClass::Contributor, Some(r)) => {
-                    report.contributor_times.record(r as f64 * self.cfg.round_secs)
-                }
-                (PeerClass::FreeRider, Some(r)) => {
-                    report.free_rider_times.record(r as f64 * self.cfg.round_secs)
-                }
+                (PeerClass::Contributor, Some(r)) => report
+                    .contributor_times
+                    .record(r as f64 * self.cfg.round_secs),
+                (PeerClass::FreeRider, Some(r)) => report
+                    .free_rider_times
+                    .record(r as f64 * self.cfg.round_secs),
                 (_, None) => report.unfinished += 1,
             }
         }
@@ -244,8 +244,8 @@ impl SwarmSim {
                 PeerClass::FreeRider => false,
                 PeerClass::Seed | PeerClass::Contributor => true,
             };
-            if !budget_ok || (self.peers[i].class == PeerClass::Contributor
-                && self.peers[i].have_count == 0)
+            if !budget_ok
+                || (self.peers[i].class == PeerClass::Contributor && self.peers[i].have_count == 0)
             {
                 continue;
             }

@@ -116,10 +116,7 @@ mod tests {
 
     #[test]
     fn availability_is_ratio_of_means() {
-        let m = ChurnModel::exponential(
-            SimDuration::from_secs(30.0),
-            SimDuration::from_secs(10.0),
-        );
+        let m = ChurnModel::exponential(SimDuration::from_secs(30.0), SimDuration::from_secs(10.0));
         assert!((m.availability().unwrap() - 0.75).abs() < 1e-9);
     }
 

@@ -128,7 +128,10 @@ impl Weibull {
     ///
     /// Panics if `lambda` or `k` is not strictly positive and finite.
     pub fn new(lambda: f64, k: f64) -> Self {
-        assert!(lambda.is_finite() && lambda > 0.0, "lambda must be positive");
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "lambda must be positive"
+        );
         assert!(k.is_finite() && k > 0.0, "k must be positive");
         Weibull { lambda, k }
     }

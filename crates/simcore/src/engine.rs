@@ -35,6 +35,7 @@
 //! assert_eq!(sim.node(a).heard, 1); // got the pong back
 //! ```
 
+use crate::metrics::{LogHistogram, Metric, MetricsSnapshot};
 use crate::net::NetworkModel;
 use crate::rng::{rng_from_seed, SimRng};
 use crate::sched::{BinaryHeapScheduler, Scheduler, TimingWheel};
@@ -248,6 +249,11 @@ pub struct Simulation<N: Node, S = TimingWheel<EngineEvent<<N as Node>::Msg>>> {
     rng: SimRng,
     stats: NetStats,
     events_processed: u64,
+    /// Events dequeued but discarded without reaching a handler: stale
+    /// timers, deliveries to offline nodes, and redundant start/stop.
+    events_cancelled: u64,
+    /// Distribution of per-message sizes handed to the network model.
+    msg_bytes: LogHistogram,
     scratch: Vec<Action<N::Msg>>,
     trace: Option<Trace>,
 }
@@ -286,6 +292,8 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
             rng: rng_from_seed(seed),
             stats: NetStats::default(),
             events_processed: 0,
+            events_cancelled: 0,
+            msg_bytes: LogHistogram::new(),
             scratch: Vec::new(),
             trace: None,
         }
@@ -361,10 +369,7 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
         self.push_event(
             self.now + delay,
             dst,
-            EventKind::Deliver {
-                src: EXTERNAL,
-                msg,
-            },
+            EventKind::Deliver { src: EXTERNAL, msg },
         );
     }
 
@@ -440,6 +445,39 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
         self.events_processed
     }
 
+    /// Events dequeued but discarded without reaching a handler (stale
+    /// timers, deliveries to offline nodes, redundant starts/stops).
+    pub fn events_cancelled(&self) -> u64 {
+        self.events_cancelled
+    }
+
+    /// A [`MetricsSnapshot`] of the engine's counters: event-loop and
+    /// scheduler activity, network traffic, and the per-message size
+    /// distribution. Snapshots from independent simulations merge with
+    /// [`MetricsSnapshot::merge`], which is how multi-simulation
+    /// experiments report one combined engine section.
+    ///
+    /// Everything in the snapshot is a deterministic function of the
+    /// simulation (no wall-clock), so serialized snapshots are
+    /// byte-stable across runs and machines.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let sched = self.queue.op_stats();
+        let mut m = MetricsSnapshot::new();
+        m.set_counter("events_scheduled", self.seq);
+        m.set_counter("events_fired", self.events_processed);
+        m.set_counter("events_cancelled", self.events_cancelled);
+        m.set_peak("peak_queue_depth", sched.peak_len);
+        m.set_counter("sched_cascades", sched.cascades);
+        m.set_peak("sched_overflow_peak", sched.overflow_peak);
+        m.set_counter("messages_sent", self.stats.sent);
+        m.set_counter("messages_delivered", self.stats.delivered);
+        m.set_counter("messages_dropped_offline", self.stats.dropped_offline);
+        m.set_counter("messages_dropped_net", self.stats.dropped_net);
+        m.set_counter("bytes_sent", self.stats.bytes_sent);
+        m.set("message_bytes", Metric::Dist(self.msg_bytes.clone()));
+        m
+    }
+
     /// The engine RNG (for drivers that need randomness in the same stream).
     pub fn rng(&mut self) -> &mut SimRng {
         &mut self.rng
@@ -495,6 +533,7 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
             EventKind::Deliver { src, msg } => {
                 if !self.slots[ev.node].online {
                     self.stats.dropped_offline += 1;
+                    self.events_cancelled += 1;
                     return;
                 }
                 self.stats.delivered += 1;
@@ -503,12 +542,14 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
             EventKind::Timer { tag, epoch } => {
                 let slot = &self.slots[ev.node];
                 if !slot.online || slot.timer_epoch != epoch {
+                    self.events_cancelled += 1;
                     return; // stale timer from before an offline period
                 }
                 self.with_node(ev.node, |node, ctx| node.on_timer(tag, ctx));
             }
             EventKind::Start => {
                 if self.slots[ev.node].online {
+                    self.events_cancelled += 1;
                     return;
                 }
                 self.slots[ev.node].online = true;
@@ -520,6 +561,7 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
             }
             EventKind::Stop => {
                 if !self.slots[ev.node].online {
+                    self.events_cancelled += 1;
                     return;
                 }
                 self.with_node(ev.node, |node, ctx| node.on_stop(ctx));
@@ -561,6 +603,7 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
                 Action::Send { dst, msg, bytes } => {
                     self.stats.sent += 1;
                     self.stats.bytes_sent += bytes;
+                    self.msg_bytes.record(bytes);
                     match self.net.delay(id, dst, bytes, self.now, &mut self.rng) {
                         Some(d) => {
                             self.push_event(self.now + d, dst, EventKind::Deliver { src: id, msg })
@@ -735,10 +778,7 @@ mod tests {
         let a = sim.add_node(Peer::default());
         sim.set_churn(
             a,
-            ChurnModel::exponential(
-                SimDuration::from_secs(10.0),
-                SimDuration::from_secs(10.0),
-            ),
+            ChurnModel::exponential(SimDuration::from_secs(10.0), SimDuration::from_secs(10.0)),
         );
         sim.run_until(SimTime::from_secs(500.0));
         let n = sim.node(a);
@@ -851,6 +891,36 @@ mod tests {
             run::<TimingWheel<EngineEvent<Msg>>>(),
             run::<BinaryHeapScheduler<EngineEvent<Msg>>>()
         );
+    }
+
+    #[test]
+    fn metrics_snapshot_reflects_engine_activity() {
+        let (mut sim, a, b) = two_peers();
+        sim.run_until(SimTime::from_secs(0.001)); // starts
+        sim.schedule_stop(b, SimTime::from_secs(0.002));
+        sim.run_until(SimTime::from_secs(0.01));
+        sim.invoke(a, |_n, ctx| {
+            ctx.send_sized(b, Msg::Ping(9), 1024); // dropped: b offline
+            ctx.set_timer(SimDuration::from_secs(1.0), 1);
+        });
+        sim.run_until(SimTime::from_secs(2.0));
+        let m = sim.metrics_snapshot();
+        assert_eq!(m.counter("events_scheduled"), sim.events_processed());
+        assert_eq!(m.counter("events_fired"), sim.events_processed());
+        assert_eq!(m.counter("messages_sent"), 1);
+        assert_eq!(m.counter("messages_dropped_offline"), 1);
+        assert_eq!(m.counter("events_cancelled"), 1);
+        assert_eq!(m.counter("bytes_sent"), 1024);
+        assert!(m.counter("peak_queue_depth") >= 1);
+        match m.get("message_bytes") {
+            Some(crate::metrics::Metric::Dist(h)) => {
+                assert_eq!(h.count(), 1);
+                assert_eq!(h.max(), 1024);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Snapshots are a pure function of the simulation state.
+        assert_eq!(sim.metrics_snapshot(), m);
     }
 
     #[test]

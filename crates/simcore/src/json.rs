@@ -1,0 +1,579 @@
+//! A minimal, dependency-free JSON value: deterministic writer plus a
+//! strict parser.
+//!
+//! The build environment vendors no serde, so machine-readable run
+//! reports are serialized by hand through this module. Two properties
+//! matter more than speed here:
+//!
+//! - **Determinism** — objects keep insertion order and numbers render
+//!   through one canonical formatter, so identical values always
+//!   produce byte-identical text (the claim-regression CI gate diffs
+//!   these bytes).
+//! - **Round-tripping** — the parser accepts everything the writer
+//!   emits, so baselines written by one run can be audited by the next.
+//!
+//! # Examples
+//!
+//! ```
+//! use decent_sim::json::Json;
+//!
+//! let doc = Json::obj([
+//!     ("name", Json::str("E7")),
+//!     ("tps", Json::num(3.3)),
+//!     ("holds", Json::Bool(true)),
+//! ]);
+//! let text = doc.to_string_compact();
+//! assert_eq!(text, r#"{"name":"E7","tps":3.3,"holds":true}"#);
+//! assert_eq!(Json::parse(&text).unwrap(), doc);
+//! ```
+
+use std::fmt;
+
+/// A JSON document node.
+///
+/// Objects are ordered `(key, value)` lists — insertion order is
+/// preserved on write and parse, which keeps serialized reports
+/// deterministic and their diffs readable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string node.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// A number node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN or infinite (JSON cannot represent them).
+    pub fn num(x: f64) -> Json {
+        assert!(x.is_finite(), "JSON numbers must be finite, got {x}");
+        Json::Num(x)
+    }
+
+    /// An integer number node (exact for `|x| <= 2^53`).
+    pub fn int(x: u64) -> Json {
+        Json::Num(x as f64)
+    }
+
+    /// An object node from `(key, value)` pairs.
+    pub fn obj<K: Into<String>, I: IntoIterator<Item = (K, Json)>>(pairs: I) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// An array node.
+    pub fn arr<I: IntoIterator<Item = Json>>(items: I) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Looks up `key` in an object node; `None` on other node kinds.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The array items, or `None` for non-arrays.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string value, or `None` for non-strings.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, or `None` for non-numbers.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, or `None` for non-booleans.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Serializes with no whitespace.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes with two-space indentation (stable, diff-friendly).
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (nl, pad, pad_in) = match indent {
+            Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
+            None => ("", String::new(), String::new()),
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => out.push_str(&fmt_number(*x)),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    item.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document; trailing non-whitespace is an error.
+    pub fn parse(text: &str) -> Result<Json, ParseError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(value)
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string_compact())
+    }
+}
+
+/// The canonical number formatter: integers without a fraction render
+/// as integers, everything else uses Rust's shortest round-trip form.
+fn fmt_number(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 9.007_199_254_740_992e15 {
+        format!("{}", x as i64)
+    } else {
+        let s = format!("{x:?}");
+        debug_assert!(s.parse::<f64>() == Ok(x));
+        s
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON syntax error with a byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\' && c >= 0x20) {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'u') => {
+                            let cp = self.unicode_escape()?;
+                            out.push(cp);
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    /// Parses the `XXXX` of a `\uXXXX` escape (cursor on the `u`),
+    /// combining surrogate pairs.
+    fn unicode_escape(&mut self) -> Result<char, ParseError> {
+        let hex4 = |p: &mut Self| -> Result<u32, ParseError> {
+            p.pos += 1; // consume 'u'
+            let end = p.pos + 4;
+            if end > p.bytes.len() {
+                return Err(p.err("truncated \\u escape"));
+            }
+            let s = std::str::from_utf8(&p.bytes[p.pos..end])
+                .map_err(|_| p.err("invalid \\u escape"))?;
+            let v = u32::from_str_radix(s, 16).map_err(|_| p.err("invalid \\u escape"))?;
+            p.pos = end;
+            Ok(v)
+        };
+        let hi = hex4(self)?;
+        let cp = if (0xD800..0xDC00).contains(&hi) {
+            if self.peek() != Some(b'\\') {
+                return Err(self.err("unpaired surrogate"));
+            }
+            self.pos += 1;
+            if self.peek() != Some(b'u') {
+                return Err(self.err("unpaired surrogate"));
+            }
+            let lo = hex4(self)?;
+            if !(0xDC00..0xE000).contains(&lo) {
+                return Err(self.err("invalid low surrogate"));
+            }
+            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+        } else {
+            hi
+        };
+        char::from_u32(cp).ok_or_else(|| self.err("invalid code point"))
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        text.parse::<f64>()
+            .ok()
+            .filter(|x| x.is_finite())
+            .map(Json::Num)
+            .ok_or_else(|| self.err(format!("invalid number '{text}'")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "0", "-1", "42", "3.25", "1e300"] {
+            let v = Json::parse(text).unwrap();
+            assert_eq!(Json::parse(&v.to_string_compact()).unwrap(), v, "{text}");
+        }
+        assert_eq!(Json::parse("42").unwrap().as_num(), Some(42.0));
+        assert_eq!(Json::parse("\"hi\"").unwrap().as_str(), Some("hi"));
+    }
+
+    #[test]
+    fn number_formatting_is_canonical() {
+        assert_eq!(Json::int(0).to_string_compact(), "0");
+        assert_eq!(
+            Json::int(9007199254740991).to_string_compact(),
+            "9007199254740991"
+        );
+        assert_eq!(Json::num(-2.0).to_string_compact(), "-2");
+        assert_eq!(Json::num(0.1).to_string_compact(), "0.1");
+        assert_eq!(
+            Json::num(1.0 / 3.0).to_string_compact(),
+            "0.3333333333333333"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_numbers_are_rejected() {
+        Json::num(f64::NAN);
+    }
+
+    #[test]
+    fn strings_escape_and_round_trip() {
+        let nasty = "a\"b\\c\nd\te\u{0007}f/é漢";
+        let v = Json::str(nasty);
+        let text = v.to_string_compact();
+        assert_eq!(Json::parse(&text).unwrap().as_str(), Some(nasty));
+        // Standard escapes parse too.
+        assert_eq!(Json::parse(r#""A😀\/""#).unwrap().as_str(), Some("A😀/"));
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let doc = Json::obj([
+            (
+                "a",
+                Json::arr([Json::int(1), Json::Null, Json::Bool(false)]),
+            ),
+            ("b", Json::obj([("nested", Json::str("x"))])),
+            ("empty_arr", Json::arr([])),
+            ("empty_obj", Json::obj::<String, _>([])),
+        ]);
+        for text in [doc.to_string_compact(), doc.to_string_pretty()] {
+            assert_eq!(Json::parse(&text).unwrap(), doc);
+        }
+    }
+
+    #[test]
+    fn object_key_order_is_preserved() {
+        let text = r#"{"z":1,"a":2,"m":3}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.to_string_compact(), text);
+    }
+
+    #[test]
+    fn pretty_output_is_stable() {
+        let doc = Json::obj([("k", Json::arr([Json::int(1), Json::int(2)]))]);
+        assert_eq!(
+            doc.to_string_pretty(),
+            "{\n  \"k\": [\n    1,\n    2\n  ]\n}\n"
+        );
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        for (text, what) in [
+            ("{", "expected"),
+            ("[1,]", "unexpected"),
+            ("\"abc", "unterminated"),
+            ("12 34", "trailing"),
+            ("{\"a\" 1}", "expected ':'"),
+            ("nul", "expected 'null'"),
+        ] {
+            let err = Json::parse(text).unwrap_err();
+            assert!(err.message.contains(what), "{text}: {err}");
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let doc = Json::obj([("x", Json::int(1))]);
+        assert_eq!(doc.get("x").and_then(Json::as_num), Some(1.0));
+        assert!(doc.get("y").is_none());
+        assert!(doc.as_arr().is_none());
+        assert_eq!(Json::Bool(true).as_bool(), Some(true));
+        assert_eq!(Json::arr([Json::Null]).as_arr().map(|a| a.len()), Some(1));
+    }
+}

@@ -13,7 +13,9 @@
 //! - overlay topology generators ([`topology`]);
 //! - churn models fit to P2P measurement studies ([`churn`]);
 //! - distributions ([`dist`]), deterministic RNG streams ([`rng`]);
-//! - measurement primitives ([`metrics`]) and result tables ([`report`]).
+//! - measurement primitives ([`metrics`]), result tables ([`report`]),
+//!   and a dependency-free JSON value for machine-readable run reports
+//!   ([`json`]).
 //!
 //! # Examples
 //!
@@ -47,6 +49,7 @@
 pub mod churn;
 pub mod dist;
 pub mod engine;
+pub mod json;
 pub mod metrics;
 pub mod net;
 pub mod report;
@@ -65,15 +68,19 @@ pub mod prelude {
         Context, Driver, EngineEvent, HeapSim, NoDriver, Node, NodeId, SchedulerFor, Simulation,
         EXTERNAL,
     };
-    pub use crate::metrics::{gini, top_k_share, Counter, Histogram, Summary, TimeSeries};
+    pub use crate::json::Json;
+    pub use crate::metrics::{
+        gini, top_k_share, Counter, Histogram, LogHistogram, Metric, MetricsSnapshot, Summary,
+        TimeSeries,
+    };
     pub use crate::net::{
         ConstantLatency, LanNet, Lossy, NetworkModel, Region, RegionNet, UniformLatency,
     };
     pub use crate::report::{fmt_f, fmt_pct, fmt_si, Table};
     pub use crate::rng::{derive_seed, rng_from_seed, SimRng};
-    pub use crate::sched::{BinaryHeapScheduler, Scheduler, TimingWheel};
+    pub use crate::sched::{BinaryHeapScheduler, SchedStats, Scheduler, TimingWheel};
     pub use crate::sweep::sweep;
     pub use crate::time::{SimDuration, SimTime};
-    pub use crate::trace::{EventRecord, EventTag, Trace};
     pub use crate::topology::Graph;
+    pub use crate::trace::{EventRecord, EventTag, Trace};
 }

@@ -96,7 +96,11 @@ impl NetworkModel for UniformLatency {
         rng: &mut SimRng,
     ) -> Option<SimDuration> {
         let span = (self.max - self.min).as_nanos();
-        let extra = if span == 0 { 0 } else { rng.gen_range(0..=span) };
+        let extra = if span == 0 {
+            0
+        } else {
+            rng.gen_range(0..=span)
+        };
         Some(self.min + SimDuration::from_nanos(extra))
     }
 }
@@ -115,7 +119,10 @@ impl<M: NetworkModel> Lossy<M> {
     ///
     /// Panics if `p` is not in `[0, 1]`.
     pub fn new(inner: M, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0,1]"
+        );
         Lossy { inner, p }
     }
 }
@@ -384,7 +391,10 @@ mod tests {
         let mut m = UniformLatency::from_millis(10.0, 20.0);
         let mut rng = rng_from_seed(2);
         for _ in 0..1000 {
-            let d = m.delay(0, 1, 0, SimTime::ZERO, &mut rng).unwrap().as_millis();
+            let d = m
+                .delay(0, 1, 0, SimTime::ZERO, &mut rng)
+                .unwrap()
+                .as_millis();
             assert!((10.0..=20.0).contains(&d), "{d}");
         }
     }
@@ -417,11 +427,19 @@ mod tests {
         let mut net = RegionNet::new(vec![Region::Europe, Region::Europe]);
         let mut rng = rng_from_seed(4);
         let small: f64 = (0..200)
-            .map(|_| net.delay(0, 1, 1_000, SimTime::ZERO, &mut rng).unwrap().as_millis())
+            .map(|_| {
+                net.delay(0, 1, 1_000, SimTime::ZERO, &mut rng)
+                    .unwrap()
+                    .as_millis()
+            })
             .sum::<f64>()
             / 200.0;
         let big: f64 = (0..200)
-            .map(|_| net.delay(0, 1, 1_000_000, SimTime::ZERO, &mut rng).unwrap().as_millis())
+            .map(|_| {
+                net.delay(0, 1, 1_000_000, SimTime::ZERO, &mut rng)
+                    .unwrap()
+                    .as_millis()
+            })
             .sum::<f64>()
             / 200.0;
         // 1 MB over 15 Mbps upload is roughly 530 ms of serialization.

@@ -50,6 +50,27 @@ use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
+/// Operation counters maintained by a [`Scheduler`].
+///
+/// Purely observational: tracking these is a couple of integer updates
+/// per operation and never changes dequeue order. They surface through
+/// [`crate::engine::Simulation::metrics_snapshot`] so every run report
+/// can state how hard the event queue was driven.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Events ever enqueued.
+    pub scheduled: u64,
+    /// Events ever dequeued.
+    pub popped: u64,
+    /// Largest number of simultaneously pending events.
+    pub peak_len: u64,
+    /// Implementation-specific reorganizations (timing-wheel cascades;
+    /// 0 for the binary heap).
+    pub cascades: u64,
+    /// Peak size of the far-future overflow heap (timing wheel only).
+    pub overflow_peak: u64,
+}
+
 /// A priority queue of timestamped events, dequeued in `(time, seq)` order.
 ///
 /// # Contract
@@ -83,6 +104,12 @@ pub trait Scheduler<T> {
     /// True when no events are pending.
     fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Lifetime operation counters (zeroes for implementations that do
+    /// not track them).
+    fn op_stats(&self) -> SchedStats {
+        SchedStats::default()
     }
 }
 
@@ -120,23 +147,29 @@ impl<T> Ord for HeapEntry<T> {
 /// far-future/past scheduling patterns.
 pub struct BinaryHeapScheduler<T> {
     heap: BinaryHeap<Reverse<HeapEntry<T>>>,
+    stats: SchedStats,
 }
 
 impl<T> Scheduler<T> for BinaryHeapScheduler<T> {
     fn new() -> Self {
         BinaryHeapScheduler {
             heap: BinaryHeap::new(),
+            stats: SchedStats::default(),
         }
     }
 
     fn schedule(&mut self, time: SimTime, seq: u64, item: T) {
         self.heap.push(Reverse(HeapEntry { time, seq, item }));
+        self.stats.scheduled += 1;
+        self.stats.peak_len = self.stats.peak_len.max(self.heap.len() as u64);
     }
 
     fn pop(&mut self) -> Option<(SimTime, u64, T)> {
-        self.heap
-            .pop()
-            .map(|Reverse(e)| (e.time, e.seq, e.item))
+        let out = self.heap.pop().map(|Reverse(e)| (e.time, e.seq, e.item));
+        if out.is_some() {
+            self.stats.popped += 1;
+        }
+        out
     }
 
     fn next_time(&mut self) -> Option<SimTime> {
@@ -145,6 +178,10 @@ impl<T> Scheduler<T> for BinaryHeapScheduler<T> {
 
     fn len(&self) -> usize {
         self.heap.len()
+    }
+
+    fn op_stats(&self) -> SchedStats {
+        self.stats
     }
 }
 
@@ -218,6 +255,7 @@ pub struct TimingWheel<T> {
     /// Events beyond the wheel horizon: `(time, seq, slab index)`.
     overflow: BinaryHeap<Reverse<(u64, u64, u32)>>,
     len: usize,
+    stats: SchedStats,
 }
 
 impl<T> TimingWheel<T> {
@@ -250,6 +288,7 @@ impl<T> TimingWheel<T> {
             lane_pos: 0,
             overflow: BinaryHeap::new(),
             len: 0,
+            stats: SchedStats::default(),
         }
     }
 
@@ -342,6 +381,7 @@ impl<T> TimingWheel<T> {
         }
         let node = &self.slab[idx as usize];
         self.overflow.push(Reverse((node.time, node.seq, idx)));
+        self.stats.overflow_peak = self.stats.overflow_peak.max(self.overflow.len() as u64);
     }
 
     /// Unlinks and returns every node in `slots[level][slot]`.
@@ -410,15 +450,18 @@ impl<T> TimingWheel<T> {
     /// boundary (i.e. is a multiple of 64 ticks).
     fn cascade(&mut self) {
         debug_assert_eq!(self.current % SLOTS as u64, 0);
+        self.stats.cascades += 1;
         // Level k enters a new slot when current is a multiple of 64^k.
         // Drain top-down so cascaded events land in already-drained
         // lower-level slots only via `place`.
         for level in (1..LEVELS).rev() {
-            if !self.current.is_multiple_of(1u64 << (SLOT_BITS * level as u32)) {
+            if !self
+                .current
+                .is_multiple_of(1u64 << (SLOT_BITS * level as u32))
+            {
                 continue;
             }
-            let slot =
-                ((self.current >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+            let slot = ((self.current >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
             let mut head = self.take_slot(level, slot);
             while head != NIL {
                 let next = self.slab[head as usize].next;
@@ -452,6 +495,8 @@ impl<T> Scheduler<T> for TimingWheel<T> {
         let idx = self.alloc(time.as_nanos(), seq, item);
         self.place(idx);
         self.len += 1;
+        self.stats.scheduled += 1;
+        self.stats.peak_len = self.stats.peak_len.max(self.len as u64);
     }
 
     fn pop(&mut self) -> Option<(SimTime, u64, T)> {
@@ -461,6 +506,7 @@ impl<T> Scheduler<T> for TimingWheel<T> {
         let idx = self.lane[self.lane_pos];
         self.lane_pos += 1;
         self.len -= 1;
+        self.stats.popped += 1;
         let (time, seq, item) = self.release(idx);
         Some((SimTime::from_nanos(time), seq, item))
     }
@@ -475,6 +521,10 @@ impl<T> Scheduler<T> for TimingWheel<T> {
 
     fn len(&self) -> usize {
         self.len
+    }
+
+    fn op_stats(&self) -> SchedStats {
+        self.stats
     }
 }
 
@@ -511,7 +561,10 @@ mod tests {
         assert!(w.is_empty() && h.is_empty());
         assert_eq!(w.next_time(), None);
         assert_eq!(h.next_time(), None);
-        assert_eq!(w.pop(), None.map(|(t, q, i): (SimTime, u64, u32)| (t, q, i)));
+        assert_eq!(
+            w.pop(),
+            None.map(|(t, q, i): (SimTime, u64, u32)| (t, q, i))
+        );
         assert!(h.pop().is_none());
     }
 
@@ -589,6 +642,39 @@ mod tests {
             "slab grew to {} despite freelist",
             w.slab.len()
         );
+    }
+
+    #[test]
+    fn op_stats_count_operations() {
+        let mut w: TimingWheel<u32> = TimingWheel::new();
+        let mut h: BinaryHeapScheduler<u32> = BinaryHeapScheduler::new();
+        for s in [&mut w as &mut dyn Scheduler<u32>, &mut h] {
+            for seq in 0..10u64 {
+                s.schedule(SimTime::from_secs(seq as f64 * 0.001), seq, 0);
+            }
+            for _ in 0..4 {
+                s.pop();
+            }
+            let st = s.op_stats();
+            assert_eq!(st.scheduled, 10);
+            assert_eq!(st.popped, 4);
+            assert_eq!(st.peak_len, 10);
+        }
+        // Popping an empty scheduler counts nothing.
+        let mut e: BinaryHeapScheduler<u32> = BinaryHeapScheduler::new();
+        assert!(e.pop().is_none());
+        assert_eq!(e.op_stats(), SchedStats::default());
+    }
+
+    #[test]
+    fn wheel_op_stats_track_cascades_and_overflow() {
+        let mut w: TimingWheel<u32> = TimingWheel::with_tick_shift(4);
+        // Far beyond the horizon: must hit the overflow heap.
+        w.schedule(SimTime::from_nanos(1 << 36), 0, 0);
+        w.schedule(SimTime::from_nanos(1 << 37), 1, 1);
+        assert_eq!(w.op_stats().overflow_peak, 2);
+        while w.pop().is_some() {}
+        assert!(w.op_stats().cascades > 0 || w.op_stats().popped == 2);
     }
 
     #[test]

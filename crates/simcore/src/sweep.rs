@@ -43,8 +43,7 @@ where
     let jobs: Mutex<Vec<Option<(usize, P)>>> =
         Mutex::new(params.into_iter().enumerate().map(Some).collect());
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<R>>> =
-        Mutex::new((0..n).map(|_| None).collect());
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {

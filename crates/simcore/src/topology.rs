@@ -236,9 +236,7 @@ impl Graph {
         }
         // Endpoint multiset: sampling uniformly from it is sampling
         // proportional to degree.
-        let mut endpoints: Vec<usize> = (0..=m)
-            .flat_map(|i| std::iter::repeat_n(i, m))
-            .collect();
+        let mut endpoints: Vec<usize> = (0..=m).flat_map(|i| std::iter::repeat_n(i, m)).collect();
         for v in (m + 1)..n {
             let mut targets = Vec::with_capacity(m);
             let mut guard = 0;
@@ -300,8 +298,7 @@ mod tests {
         let mut rng = rng_from_seed(1);
         let g = Graph::random_outbound(500, 8, &mut rng);
         assert!(g.is_connected());
-        let mean_deg: f64 =
-            (0..500).map(|i| g.degree(i) as f64).sum::<f64>() / 500.0;
+        let mean_deg: f64 = (0..500).map(|i| g.degree(i) as f64).sum::<f64>() / 500.0;
         assert!(mean_deg >= 16.0, "mean degree {mean_deg}");
     }
 
@@ -311,7 +308,10 @@ mod tests {
         let g = Graph::erdos_renyi(200, 0.1, &mut rng);
         let expected = 0.1 * (200.0 * 199.0 / 2.0);
         let got = g.edge_count() as f64;
-        assert!((got - expected).abs() < 0.15 * expected, "{got} vs {expected}");
+        assert!(
+            (got - expected).abs() < 0.15 * expected,
+            "{got} vs {expected}"
+        );
     }
 
     #[test]
@@ -330,8 +330,7 @@ mod tests {
         let g = Graph::barabasi_albert(1000, 3, &mut rng);
         assert!(g.is_connected());
         let max_deg = (0..1000).map(|i| g.degree(i)).max().unwrap();
-        let mean_deg: f64 =
-            (0..1000).map(|i| g.degree(i) as f64).sum::<f64>() / 1000.0;
+        let mean_deg: f64 = (0..1000).map(|i| g.degree(i) as f64).sum::<f64>() / 1000.0;
         assert!(
             max_deg as f64 > 6.0 * mean_deg,
             "expected hubs: max {max_deg}, mean {mean_deg}"

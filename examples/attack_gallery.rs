@@ -20,8 +20,16 @@ fn main() {
     let victim_key = Key::from_u64(0xBEEF);
     for (label, sybils, placement) in [
         ("no attack", 1, SybilPlacement::Uniform),
-        ("uniform sybils, 1:1 with honest", 400, SybilPlacement::Uniform),
-        ("eclipse, 30 targeted identities", 30, SybilPlacement::Eclipse { prefix_bits: 24 }),
+        (
+            "uniform sybils, 1:1 with honest",
+            400,
+            SybilPlacement::Uniform,
+        ),
+        (
+            "eclipse, 30 targeted identities",
+            30,
+            SybilPlacement::Eclipse { prefix_bits: 24 },
+        ),
     ] {
         let cfg = SybilConfig {
             honest: 400,
@@ -43,7 +51,10 @@ fn main() {
     }
 
     println!("\n== 2. Selfish mining (paper III-C P1) ==");
-    println!("  {:<10} {:>14} {:>14} {:>10}", "pool size", "revenue share", "fair share", "profits");
+    println!(
+        "  {:<10} {:>14} {:>14} {:>10}",
+        "pool size", "revenue share", "fair share", "profits"
+    );
     for alpha in [0.15, 0.25, 0.35, 0.45] {
         let out = selfish::simulate(alpha, 0.5, 1_000_000, 52);
         println!(
@@ -51,7 +62,11 @@ fn main() {
             alpha,
             out.attacker_share() * 100.0,
             alpha * 100.0,
-            if out.attacker_share() > alpha { "YES" } else { "no" }
+            if out.attacker_share() > alpha {
+                "YES"
+            } else {
+                "no"
+            }
         );
     }
 

@@ -32,13 +32,22 @@ fn main() {
     sim.run_until(SimTime::from_hours(24.0));
     let r = report(&sim, ids[nodes - 1]);
     println!("  chain height      : {}", r.height);
-    println!("  mean interval     : {:.0} s (target 600)", r.mean_interval_secs);
+    println!(
+        "  mean interval     : {:.0} s (target 600)",
+        r.mean_interval_secs
+    );
     println!("  throughput        : {:.2} tx/s (offered 50 tx/s)", r.tps);
     println!("  stale-block rate  : {:.2}%", r.stale_rate * 100.0);
     println!("  mean block size   : {:.0} kB", r.mean_block_bytes / 1e3);
     println!();
-    println!("the 1 MB / 600 s protocol ceiling is {:.1} tx/s — the paper's", 2000.0 / 600.0);
-    println!("3.3-7 tx/s band; VISA-scale load would need ~{}x more.", (24_000.0 / r.tps) as u64);
+    println!(
+        "the 1 MB / 600 s protocol ceiling is {:.1} tx/s — the paper's",
+        2000.0 / 600.0
+    );
+    println!(
+        "3.3-7 tx/s band; VISA-scale load would need ~{}x more.",
+        (24_000.0 / r.tps) as u64
+    );
 
     // What would a 35% selfish pool earn on this network?
     println!();

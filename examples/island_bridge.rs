@@ -6,9 +6,7 @@
 //! cargo run --release --example island_bridge
 //! ```
 
-use decent::bft::bridge::{
-    atomic_transfer, atomicity_holds, build_islands, TransferOutcome,
-};
+use decent::bft::bridge::{atomic_transfer, atomicity_holds, build_islands, TransferOutcome};
 use decent::bft::ledger::FabricConfig;
 use decent::sim::prelude::*;
 

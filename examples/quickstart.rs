@@ -46,7 +46,12 @@ fn main() {
     let reader = ids[499];
     sim.invoke(reader, |n, ctx| n.start_lookup(key, true, ctx));
     sim.run_until(sim.now() + SimDuration::from_secs(30.0));
-    let r = sim.node(reader).results.last().expect("lookup done").clone();
+    let r = sim
+        .node(reader)
+        .results
+        .last()
+        .expect("lookup done")
+        .clone();
     println!(
         "value lookup: found={} in {} with {} RPCs",
         r.found_value, r.latency, r.rpcs
@@ -55,10 +60,7 @@ fn main() {
 
     // 4. Now let heavy churn hit the same network and try again.
     for &id in &ids {
-        sim.set_churn(
-            id,
-            ChurnModel::kad_measured(SimDuration::from_mins(10.0)),
-        );
+        sim.set_churn(id, ChurnModel::kad_measured(SimDuration::from_mins(10.0)));
     }
     sim.run_until(sim.now() + SimDuration::from_mins(20.0));
     let online: Vec<_> = sim.online_nodes();
@@ -77,6 +79,7 @@ fn main() {
     }
     println!(
         "network totals: {} messages, {} dropped at offline nodes",
-        sim.stats().sent, sim.stats().dropped_offline
+        sim.stats().sent,
+        sim.stats().dropped_offline
     );
 }

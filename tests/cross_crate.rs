@@ -122,7 +122,13 @@ fn superpeers_beat_flooding_on_traffic() {
         &mut sim2,
         10,
         290,
-        |i, _rng| if i % 3 == 0 { vec![(i % 50) as u32] } else { vec![] },
+        |i, _rng| {
+            if i % 3 == 0 {
+                vec![(i % 50) as u32]
+            } else {
+                vec![]
+            }
+        },
         94,
     );
     sim2.run_until(SimTime::from_secs(1.0));

@@ -52,9 +52,7 @@ fn kademlia_trace_is_scheduler_independent() {
     );
 }
 
-fn chain_trace_on<S: SchedulerFor<decent::chain::node::ChainNode>>(
-    seed: u64,
-) -> (u64, u64, f64) {
+fn chain_trace_on<S: SchedulerFor<decent::chain::node::ChainNode>>(seed: u64) -> (u64, u64, f64) {
     let mut sim: Simulation<decent::chain::node::ChainNode, S> =
         Simulation::with_scheduler(seed, ConstantLatency::from_millis(80.0));
     let ids = build_chain(&mut sim, &NetworkConfig::default(), seed ^ 1);
@@ -96,9 +94,7 @@ fn market_and_swarm_and_selfish_are_deterministic() {
     let m2 = Market::new(MarketConfig::default(), 41).run();
     assert_eq!(m1, m2);
 
-    let mk = |seed| {
-        SwarmSim::with_population(SwarmConfig::default(), 80, 0.3, 2, seed).run(2000)
-    };
+    let mk = |seed| SwarmSim::with_population(SwarmConfig::default(), 80, 0.3, 2, seed).run(2000);
     assert_eq!(mk(42), mk(42));
 
     assert_eq!(

@@ -99,7 +99,11 @@ fn pbft_survives_two_silent_primaries_in_a_row() {
     }
     sim.run_until(SimTime::from_secs(15.0));
     let honest = sim.node(ids[2]);
-    assert!(honest.view() >= 2, "two view changes expected, got {}", honest.view());
+    assert!(
+        honest.view() >= 2,
+        "two view changes expected, got {}",
+        honest.view()
+    );
     assert_eq!(honest.executed.len(), 1000);
 }
 
@@ -132,7 +136,8 @@ fn raft_crash_recover_storm_preserves_committed_prefix() {
     let ids = build_raft(&mut sim, &RaftConfig::default());
     sim.run_until(SimTime::from_secs(1.0));
     for &id in &ids {
-        sim.node_mut(id).submit_many(0..3000, SimTime::from_secs(1.0));
+        sim.node_mut(id)
+            .submit_many(0..3000, SimTime::from_secs(1.0));
     }
     // Rolling restarts: each server crashes for 1 s, staggered.
     for (i, &id) in ids.iter().enumerate() {

@@ -41,7 +41,11 @@ fn assert_findings(id: &str, expected: &[(&str, &str)], md_fnv: u64, md_len: usi
         "{id}: a paper claim stopped holding at quick scale"
     );
     let md = rep.to_markdown();
-    assert_eq!((fnv(&md), md.len()), (md_fnv, md_len), "{id}: report markdown drifted");
+    assert_eq!(
+        (fnv(&md), md.len()),
+        (md_fnv, md_len),
+        "{id}: report markdown drifted"
+    );
 }
 
 #[test]
@@ -55,8 +59,8 @@ fn e1_quick_golden() {
                 "medians: KAD 2.050s vs Mainline 71.6s",
             ),
         ],
-        0xac2d_734a_3f65_89ff,
-        616,
+        0xc5ed_4c13_d538_7b5c,
+        661,
     );
 }
 
@@ -72,8 +76,8 @@ fn e7_quick_golden() {
                 "19.2k tx/s, 5.0kx Bitcoin",
             ),
         ],
-        0xe6a9_a518_1ca3_6850,
-        884,
+        0xeb2f_6073_3b51_173d,
+        938,
     );
 }
 
@@ -95,8 +99,8 @@ fn e12_quick_golden() {
                 "PBFT p50 in milliseconds; PoW needs ~6 blocks (~1 h) for confidence",
             ),
         ],
-        0xffb1_36e7_9b0a_05bd,
-        963,
+        0x8127_d00c_8bac_3178,
+        1039,
     );
 }
 
@@ -111,7 +115,9 @@ fn kad_engine_golden_on_both_schedulers() {
         sim.run_until(SimTime::from_secs(1.0));
         for i in 0..50u64 {
             let origin = ids[(i as usize * 13) % ids.len()];
-            sim.invoke(origin, |n, ctx| n.start_lookup(Key::from_u64(i), false, ctx));
+            sim.invoke(origin, |n, ctx| {
+                n.start_lookup(Key::from_u64(i), false, ctx)
+            });
         }
         sim.run_until(SimTime::from_secs(120.0));
         (

@@ -4,12 +4,12 @@ use proptest::prelude::*;
 
 use decent::chain::block::{Block, BlockId, ChainView};
 use decent::chain::feemarket::{simulate_congestion, FeeMarketConfig};
-use decent::chain::pos;
-use decent::overlay::can::Zone;
-use decent::overlay::pastry::{digit, shared_prefix, DIGITS};
 use decent::chain::ledger::{Address, Ledger, OutPoint, Transaction, TxOut};
+use decent::chain::pos;
 use decent::chain::selfish;
+use decent::overlay::can::Zone;
 use decent::overlay::id::{Key, KEY_BITS};
+use decent::overlay::pastry::{digit, shared_prefix, DIGITS};
 use decent::sim::metrics::{gini, top_k_share, Histogram};
 use decent::sim::rng::rng_from_seed;
 use decent::sim::topology::Graph;
@@ -310,13 +310,13 @@ mod sched_equivalence {
         // moduli make exact collisions (same nanosecond) common.
         let payload = word >> 8;
         let nanos = match word & 0x7 {
-            0 => 0,                              // immediate: same-time ties
-            1 => payload % 4,                    // sub-tick jitter
-            2 => payload % 2_000_000,            // < 2 ms
-            3 => payload % 80_000_000,           // < 80 ms
-            4 => payload % 10_000_000_000,       // < 10 s
-            5 => payload % 1_000_000_000_000,    // < ~17 min (wheel horizon)
-            _ => payload % 100_000_000_000_000,  // ~28 h: overflow territory
+            0 => 0,                             // immediate: same-time ties
+            1 => payload % 4,                   // sub-tick jitter
+            2 => payload % 2_000_000,           // < 2 ms
+            3 => payload % 80_000_000,          // < 80 ms
+            4 => payload % 10_000_000_000,      // < 10 s
+            5 => payload % 1_000_000_000_000,   // < ~17 min (wheel horizon)
+            _ => payload % 100_000_000_000_000, // ~28 h: overflow territory
         };
         SimDuration::from_nanos(nanos)
     }
@@ -372,7 +372,10 @@ mod sched_equivalence {
                 // (epoch bump drops them), then bring it back.
                 5 => {
                     sim.schedule_stop(node, sim.now() + word_to_delay(word >> 3));
-                    sim.schedule_start(node, sim.now() + word_to_delay(word >> 3) + SimDuration::from_secs(1.0));
+                    sim.schedule_start(
+                        node,
+                        sim.now() + word_to_delay(word >> 3) + SimDuration::from_secs(1.0),
+                    );
                 }
                 // Advance simulated time.
                 _ => {

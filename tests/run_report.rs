@@ -1,0 +1,143 @@
+//! Run-report integration: the machine-readable JSON report is
+//! deterministic (serial == parallel, byte for byte), round-trips
+//! through the parser, and the claim-regression diff catches verdict
+//! flips the way the CI gate relies on.
+
+use decent::core::experiments::run_report;
+use decent::core::report::{diff_verdicts, verdicts_from_json, BASELINE_SCHEMA, RUN_REPORT_SCHEMA};
+use decent::sim::json::Json;
+
+/// A cheap but representative slice of the registry: E10 is closed-form
+/// (no simulation), E16 and E18 run Monte Carlo / fee-market sims.
+const FAST_IDS: [&str; 3] = ["E10", "E16", "E18"];
+
+/// The tentpole determinism property: fanning experiments across a
+/// thread pool must not change a single byte of the canonical report.
+#[test]
+fn serial_and_parallel_reports_are_byte_identical() {
+    let serial = run_report(&FAST_IDS, true, None, 1);
+    let parallel = run_report(&FAST_IDS, true, None, 4);
+    assert_eq!(serial.to_json_text(), parallel.to_json_text());
+    // The structured values agree too, not just the serialization.
+    assert_eq!(serial.verdicts(), parallel.verdicts());
+}
+
+/// A seed override changes the measurement streams but not determinism.
+#[test]
+fn seed_override_is_deterministic_and_recorded() {
+    let a = run_report(&["E16"], true, Some(42), 2);
+    let b = run_report(&["E16"], true, Some(42), 1);
+    assert_eq!(a.to_json_text(), b.to_json_text());
+    let doc = a.to_json();
+    let exp = &doc.get("experiments").unwrap().as_arr().unwrap()[0];
+    assert_eq!(exp.get("seed").and_then(Json::as_num), Some(42.0));
+}
+
+/// Schema shape: every experiment entry carries id, title, seed,
+/// claims (with id/measured/value/threshold/holds), tables, metrics —
+/// and the whole document round-trips through the parser.
+#[test]
+fn report_json_has_the_documented_shape_and_round_trips() {
+    let run = run_report(&FAST_IDS, true, None, 2);
+    let text = run.to_json_text();
+    let doc = Json::parse(&text).expect("report parses");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some(RUN_REPORT_SCHEMA)
+    );
+    assert_eq!(doc.get("mode").and_then(Json::as_str), Some("quick"));
+    let exps = doc.get("experiments").unwrap().as_arr().unwrap();
+    assert_eq!(exps.len(), FAST_IDS.len());
+    for (exp, id) in exps.iter().zip(FAST_IDS) {
+        assert_eq!(exp.get("id").and_then(Json::as_str), Some(id));
+        assert!(exp.get("title").and_then(Json::as_str).is_some());
+        assert_eq!(exp.get("seed"), Some(&Json::Null));
+        for claim in exp.get("claims").unwrap().as_arr().unwrap() {
+            let cid = claim.get("id").and_then(Json::as_str).expect("claim id");
+            assert!(cid.starts_with(&format!("{id}.")), "{cid} not under {id}");
+            assert!(claim.get("measured").and_then(Json::as_str).is_some());
+            assert!(claim.get("value").and_then(Json::as_num).is_some());
+            let threshold = claim.get("threshold").expect("threshold");
+            assert!(threshold.get("op").and_then(Json::as_str).is_some());
+            assert!(claim.get("holds").and_then(Json::as_bool).is_some());
+        }
+        assert!(exp.get("tables").unwrap().as_arr().is_some());
+        assert!(exp.get("metrics").is_some());
+    }
+    let summary = doc.get("summary").expect("summary");
+    assert_eq!(
+        summary.get("experiments").and_then(Json::as_num),
+        Some(FAST_IDS.len() as f64)
+    );
+    let claims = summary.get("claims").and_then(Json::as_num).unwrap();
+    assert_eq!(claims as usize, run.total_claims());
+    // Wall-clock never leaks into the canonical document.
+    assert!(!text.contains("wall"));
+}
+
+/// Engine metrics reach the per-experiment report: simulation-backed
+/// experiments expose non-zero event counters.
+#[test]
+fn simulation_experiments_carry_engine_metrics() {
+    let run = run_report(&["E5"], true, None, 1);
+    let metrics = &run.runs[0].report.metrics;
+    assert!(
+        metrics.counter("events_fired") > 0,
+        "E5 runs Kademlia lookups; its report should carry engine metrics"
+    );
+    assert!(metrics.counter("messages_sent") > 0);
+}
+
+/// The regression gate's failure mode, demonstrated end to end: flip
+/// one committed verdict and the diff must name exactly that claim.
+#[test]
+fn baseline_diff_catches_an_artificially_flipped_verdict() {
+    let run = run_report(&FAST_IDS, true, None, 2);
+    let baseline_doc = run.baseline_json();
+    assert_eq!(
+        baseline_doc.get("schema").and_then(Json::as_str),
+        Some(BASELINE_SCHEMA)
+    );
+    // Pristine baseline: gate passes.
+    let baseline = verdicts_from_json(&baseline_doc).expect("baseline parses");
+    assert!(diff_verdicts(&run.verdicts(), &baseline).is_empty());
+
+    // Flip one verdict in the committed file, as a regression would.
+    let mut flipped = baseline.clone();
+    flipped[0].holds = !flipped[0].holds;
+    let lines = diff_verdicts(&run.verdicts(), &flipped);
+    assert_eq!(lines.len(), 1, "{lines:?}");
+    assert!(lines[0].contains("verdict flip"), "{lines:?}");
+    assert!(lines[0].contains(&flipped[0].id), "{lines:?}");
+
+    // Remove a claim from the run (simulating a deleted check): the
+    // gate reports it as missing rather than silently passing.
+    let truncated = &run.verdicts()[1..];
+    let lines = diff_verdicts(truncated, &baseline);
+    assert!(
+        lines.iter().any(|l| l.contains("missing claim")),
+        "{lines:?}"
+    );
+
+    // A brand-new claim absent from the baseline also fails the gate.
+    let mut extended = run.verdicts();
+    extended.push(decent::core::report::ClaimVerdict {
+        id: "E99.new-check".to_string(),
+        holds: true,
+    });
+    let lines = diff_verdicts(&extended, &baseline);
+    assert!(
+        lines.iter().any(|l| l.contains("unknown claim")),
+        "{lines:?}"
+    );
+}
+
+/// Baseline text written by one run parses back to the same verdicts
+/// (what `--write-baseline` then `--baseline` does across CI runs).
+#[test]
+fn baseline_round_trips_through_disk_format() {
+    let run = run_report(&["E10"], true, None, 1);
+    let text = run.baseline_json().to_string_pretty();
+    let reparsed = verdicts_from_json(&Json::parse(&text).unwrap()).unwrap();
+    assert_eq!(reparsed, run.verdicts());
+}
