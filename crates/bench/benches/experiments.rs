@@ -1,4 +1,4 @@
-//! One Criterion benchmark per experiment (E1–E18), each running its
+//! One Criterion benchmark per experiment (E1–E19), each running its
 //! CI-sized configuration end to end. These are the regeneration
 //! targets promised in DESIGN.md: `cargo bench --bench experiments`
 //! re-derives every table/figure (at quick scale) and times it.

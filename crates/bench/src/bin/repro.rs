@@ -127,7 +127,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String> {
                 let list = args.next().ok_or("--exp requires an id list argument")?;
                 let ids: Vec<String> = list
                     .split(',')
-                    .map(|s| s.trim().to_string())
+                    .map(|s| s.trim().to_ascii_uppercase())
                     .filter(|s| !s.is_empty())
                     .collect();
                 if ids.is_empty() {
@@ -403,6 +403,12 @@ mod tests {
             cli.selected,
             Some(vec!["E7".to_string(), "E12".to_string(), "E1".to_string()])
         );
+        // Ids are case-insensitive: `--exp e19` is the documented form too.
+        let cli = parse(&["--exp", "e19,e7"]).unwrap();
+        assert_eq!(
+            cli.selected,
+            Some(vec!["E19".to_string(), "E7".to_string()])
+        );
     }
 
     #[test]
@@ -410,9 +416,10 @@ mod tests {
         let err = parse(&["--exp", "E99"]).unwrap_err();
         assert!(err.contains("unknown experiment id: E99"), "{err}");
         assert!(err.contains("E1"), "error should list known ids: {err}");
-        // A bad id hidden behind valid ones is still caught.
+        // A bad id hidden behind valid ones is still caught (ids are
+        // uppercased before validation).
         let err = parse(&["--exp", "E1,Exx,E7"]).unwrap_err();
-        assert!(err.contains("unknown experiment id: Exx"), "{err}");
+        assert!(err.contains("unknown experiment id: EXX"), "{err}");
     }
 
     #[test]

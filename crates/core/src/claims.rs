@@ -147,6 +147,14 @@ pub const CLAIMS: &[Claim] = &[
                     transactions failed; on-chain state is extremely expensive",
         experiment: "E18",
     },
+    Claim {
+        id: "C19",
+        section: "II-B P2, IV",
+        statement: "Open overlays degrade gracefully under partitions and churn, \
+                    while consensus among a permissioned subset halts in any \
+                    partition lacking a quorum and resumes only on heal",
+        experiment: "E19",
+    },
 ];
 
 /// Looks up a claim by id.
@@ -160,16 +168,16 @@ mod tests {
 
     #[test]
     fn catalog_is_complete_and_unique() {
-        assert_eq!(CLAIMS.len(), 18);
+        assert_eq!(CLAIMS.len(), 19);
         let mut ids: Vec<&str> = CLAIMS.iter().map(|c| c.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 18);
-        // Every claim maps to a distinct experiment E1..E18.
+        assert_eq!(ids.len(), 19);
+        // Every claim maps to a distinct experiment E1..E19.
         let mut exps: Vec<&str> = CLAIMS.iter().map(|c| c.experiment).collect();
         exps.sort_unstable();
         exps.dedup();
-        assert_eq!(exps.len(), 18);
+        assert_eq!(exps.len(), 19);
     }
 
     #[test]

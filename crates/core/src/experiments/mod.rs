@@ -25,6 +25,7 @@ pub mod e15;
 pub mod e16;
 pub mod e17;
 pub mod e18;
+pub mod e19;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -33,15 +34,16 @@ use crate::report::{ExperimentReport, ExperimentRun, RunReport};
 
 /// Experiment ids in order. E1-E15 reproduce the paper's explicit
 /// quantitative claims; E16-E18 cover the secondary claims it makes in
-/// passing (nothing-at-stake, layer-2 centralization, dapp congestion).
-pub const ALL: [&str; 18] = [
+/// passing (nothing-at-stake, layer-2 centralization, dapp congestion);
+/// E19 stresses both architectures with scripted fault injection.
+pub const ALL: [&str; 19] = [
     "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15",
-    "E16", "E17", "E18",
+    "E16", "E17", "E18", "E19",
 ];
 
 /// `(id, one-line description)` for every experiment, in [`ALL`] order.
 /// This is what `repro --list` prints.
-pub const DESCRIPTIONS: [(&str, &str); 18] = [
+pub const DESCRIPTIONS: [(&str, &str); 19] = [
     (
         "E1",
         "DHT lookup latency: eMule KAD vs. BitTorrent Mainline (II-A)",
@@ -87,6 +89,10 @@ pub const DESCRIPTIONS: [(&str, &str); 18] = [
         "Layer-2 channels: throughput through centralization (III-C P2)",
     ),
     ("E18", "A viral dapp congests the whole chain (III-C P3)"),
+    (
+        "E19",
+        "Resilience across a partition-heal cycle: DHT vs. PBFT (II-B P2, IV)",
+    ),
 ];
 
 /// Runs one experiment by id at quick (CI) or full (paper) scale.
@@ -144,6 +150,7 @@ pub fn run_seeded(id: &str, quick: bool, seed: Option<u64>) -> Option<Experiment
         "E16" => dispatch!(e16),
         "E17" => dispatch!(e17),
         "E18" => dispatch!(e18),
+        "E19" => dispatch!(e19),
         _ => return None,
     })
 }

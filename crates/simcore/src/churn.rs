@@ -51,6 +51,13 @@ pub struct ChurnModel {
 
 impl ChurnModel {
     /// Exponential sessions and offline periods with the given means.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either mean is zero (or non-finite): an exponential
+    /// distribution with zero mean is degenerate. For always-on nodes or
+    /// instant restarts use [`ChurnModel::fixed`] with
+    /// [`SimDuration::ZERO`], which is well-defined.
     pub fn exponential(mean_session: SimDuration, mean_offtime: SimDuration) -> Self {
         ChurnModel {
             session: Durations::Exponential(Exp::with_mean(mean_session.as_secs())),
@@ -58,8 +65,19 @@ impl ChurnModel {
         }
     }
 
-    /// Heavy-tailed sessions as measured on eMule KAD (Weibull, shape 0.5)
-    /// with exponential offline periods of the same mean.
+    /// Heavy-tailed sessions as measured on eMule KAD (Steiner et al.):
+    /// Weibull with shape 0.5 and mean `mean_session`, paired with
+    /// exponential offline periods of the **same** mean.
+    ///
+    /// Contract: both phases have finite mean `mean_session`, so
+    /// [`availability`](ChurnModel::availability) is 0.5 (up to
+    /// floating-point rounding of the Weibull mean) regardless of the
+    /// mean chosen — the model varies session *shape* (many short
+    /// sessions, few very long ones), not the online fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_session` is zero (degenerate Weibull scale).
     pub fn kad_measured(mean_session: SimDuration) -> Self {
         ChurnModel {
             session: Durations::Weibull(Weibull::with_mean(mean_session.as_secs(), 0.5)),
@@ -67,7 +85,15 @@ impl ChurnModel {
         }
     }
 
-    /// Pareto sessions (shape `alpha > 1`) with exponential offline periods.
+    /// Pareto sessions with the given finite mean and shape `alpha`, and
+    /// exponential offline periods.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha <= 1`: such tails have an infinite mean, so no
+    /// scale can produce `mean_session`. To model infinite-mean session
+    /// tails, use [`ChurnModel::heavy_tailed`], which parameterizes by
+    /// scale instead of mean.
     pub fn pareto(mean_session: SimDuration, alpha: f64, mean_offtime: SimDuration) -> Self {
         ChurnModel {
             session: Durations::Pareto(Pareto::with_mean(mean_session.as_secs(), alpha)),
@@ -75,7 +101,25 @@ impl ChurnModel {
         }
     }
 
+    /// Pareto sessions parameterized by raw scale (minimum session) and
+    /// any shape `alpha > 0`, with exponential offline periods.
+    ///
+    /// Unlike [`ChurnModel::pareto`], this accepts `alpha <= 1` —
+    /// infinite-mean session tails, the regime where a long-run online
+    /// fraction does not exist and
+    /// [`availability`](ChurnModel::availability) returns `None`.
+    pub fn heavy_tailed(min_session: SimDuration, alpha: f64, mean_offtime: SimDuration) -> Self {
+        ChurnModel {
+            session: Durations::Pareto(Pareto::new(min_session.as_secs(), alpha)),
+            offtime: Durations::Exponential(Exp::with_mean(mean_offtime.as_secs())),
+        }
+    }
+
     /// Deterministic session and offline durations (for tests).
+    ///
+    /// Zero durations are allowed: `fixed(s, SimDuration::ZERO)` models a
+    /// node that restarts instantly (availability 1.0; the engine will
+    /// schedule the restart at the same timestamp as the stop).
     pub fn fixed(session: SimDuration, offtime: SimDuration) -> Self {
         ChurnModel {
             session: Durations::Fixed(session),
@@ -93,9 +137,34 @@ impl ChurnModel {
         self.offtime.sample(rng)
     }
 
-    /// Long-run fraction of time the node is online.
+    /// Long-run fraction of time the node is online:
+    /// `E[session] / (E[session] + E[offtime])`.
     ///
-    /// Returns `None` when a mean is infinite (heavy Pareto tails).
+    /// Boundary behaviour, pinned by tests:
+    ///
+    /// - Returns `None` when either phase has an infinite mean (Pareto
+    ///   `alpha <= 1`, constructible via [`ChurnModel::heavy_tailed`]) —
+    ///   the ratio of means does not exist, and time-averaged online
+    ///   fraction converges to no limit.
+    /// - A zero offline mean (e.g. `fixed(s, SimDuration::ZERO)`) yields
+    ///   exactly `Some(1.0)`; a zero session mean yields `Some(0.0)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use decent_sim::churn::ChurnModel;
+    /// use decent_sim::time::SimDuration;
+    ///
+    /// let m = ChurnModel::kad_measured(SimDuration::from_mins(30.0));
+    /// assert!((m.availability().unwrap() - 0.5).abs() < 1e-9);
+    ///
+    /// let heavy = ChurnModel::heavy_tailed(
+    ///     SimDuration::from_secs(10.0),
+    ///     0.9, // infinite-mean tail
+    ///     SimDuration::from_mins(5.0),
+    /// );
+    /// assert_eq!(heavy.availability(), None);
+    /// ```
     pub fn availability(&self) -> Option<f64> {
         let mean = |d: &Durations| match d {
             Durations::Exponential(x) => x.mean(),
@@ -126,6 +195,73 @@ mod tests {
         let mut rng = rng_from_seed(1);
         assert_eq!(m.sample_session(&mut rng), SimDuration::from_secs(5.0));
         assert_eq!(m.sample_offtime(&mut rng), SimDuration::from_secs(1.0));
+    }
+
+    #[test]
+    fn zero_offtime_means_always_available() {
+        // The documented boundary: instant restarts are expressed with a
+        // fixed zero offtime, and the availability ratio is exactly 1.
+        let m = ChurnModel::fixed(SimDuration::from_secs(60.0), SimDuration::ZERO);
+        assert_eq!(m.availability(), Some(1.0));
+        let mut rng = rng_from_seed(7);
+        assert_eq!(m.sample_offtime(&mut rng), SimDuration::ZERO);
+        // And the mirror image: zero sessions give availability 0.
+        let off = ChurnModel::fixed(SimDuration::ZERO, SimDuration::from_secs(60.0));
+        assert_eq!(off.availability(), Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exponential_rejects_zero_offtime_mean() {
+        // Zero means are degenerate for the exponential family; the
+        // documented escape hatch is `fixed(_, SimDuration::ZERO)`.
+        let _ = ChurnModel::exponential(SimDuration::from_secs(60.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean is infinite for alpha <= 1")]
+    fn pareto_rejects_infinite_mean_shape() {
+        // `pareto` parameterizes by mean, so alpha <= 1 is unsatisfiable.
+        let _ = ChurnModel::pareto(
+            SimDuration::from_mins(30.0),
+            1.0,
+            SimDuration::from_mins(5.0),
+        );
+    }
+
+    #[test]
+    fn heavy_tail_availability_is_none() {
+        // alpha <= 1: infinite session mean, no long-run online fraction.
+        let m = ChurnModel::heavy_tailed(
+            SimDuration::from_secs(10.0),
+            0.9,
+            SimDuration::from_mins(5.0),
+        );
+        assert_eq!(m.availability(), None);
+        // The same family with alpha > 1 has a finite mean again.
+        let tame = ChurnModel::heavy_tailed(
+            SimDuration::from_secs(10.0),
+            2.0,
+            SimDuration::from_secs(20.0),
+        );
+        // Pareto(x_min=10, alpha=2) has mean 20s -> 20/(20+20) = 0.5.
+        assert!((tame.availability().unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kad_measured_availability_is_half() {
+        // Weibull sessions and exponential offtimes share one mean, so
+        // the availability contract is 0.5 at any scale.
+        for mins in [1.0, 30.0, 600.0] {
+            let m = ChurnModel::kad_measured(SimDuration::from_mins(mins));
+            assert!((m.availability().unwrap() - 0.5).abs() < 1e-9, "{mins}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be positive")]
+    fn kad_measured_rejects_zero_mean() {
+        let _ = ChurnModel::kad_measured(SimDuration::ZERO);
     }
 
     #[test]

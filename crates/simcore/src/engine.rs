@@ -182,6 +182,8 @@ pub struct NetStats {
     pub dropped_offline: u64,
     /// Messages dropped by the network model (loss).
     pub dropped_net: u64,
+    /// Duplicate copies scheduled by the network model (fault injection).
+    pub duplicated: u64,
     /// Total bytes handed to the network model.
     pub bytes_sent: u64,
 }
@@ -475,6 +477,21 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
         m.set_counter("messages_dropped_net", self.stats.dropped_net);
         m.set_counter("bytes_sent", self.stats.bytes_sent);
         m.set("message_bytes", Metric::Dist(self.msg_bytes.clone()));
+        // Fault-injection metrics exist only when the network model is a
+        // [`Faulty`](crate::fault::Faulty) wrapper, so snapshots of
+        // fault-free simulations are byte-identical to earlier releases.
+        if let Some(fs) = self.net.fault_stats() {
+            m.set_counter("faults_activated", fs.activated);
+            m.set_peak("faults_active", fs.peak_active);
+            m.set_counter("msgs_dropped_partition", fs.dropped_partition);
+            m.set_counter("msgs_dropped_degraded", fs.dropped_degraded);
+            m.set_counter("msgs_delayed_degraded", fs.delayed_degraded);
+            m.set_counter("msgs_duplicated", self.stats.duplicated);
+            m.set(
+                "partition_duration_ms",
+                Metric::Dist(fs.partition_duration_ms),
+            );
+        }
         m
     }
 
@@ -606,6 +623,21 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
                     self.msg_bytes.record(bytes);
                     match self.net.delay(id, dst, bytes, self.now, &mut self.rng) {
                         Some(d) => {
+                            // Fault-injected duplication: a no-op (and no
+                            // RNG draw) for every plain network model.
+                            if let Some(d2) =
+                                self.net.duplicate(id, dst, bytes, self.now, &mut self.rng)
+                            {
+                                self.stats.duplicated += 1;
+                                self.push_event(
+                                    self.now + d2,
+                                    dst,
+                                    EventKind::Deliver {
+                                        src: id,
+                                        msg: msg.clone(),
+                                    },
+                                );
+                            }
                             self.push_event(self.now + d, dst, EventKind::Deliver { src: id, msg })
                         }
                         None => self.stats.dropped_net += 1,

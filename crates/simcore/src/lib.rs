@@ -10,6 +10,8 @@
 //!   message-passing [`engine::Node`]s with timers and churn;
 //! - composable network models ([`net`]) including a planet-scale
 //!   region latency/bandwidth matrix;
+//! - scripted fault injection ([`fault`]): partitions, crash bursts,
+//!   link degradation, duplication — deterministic and replayable;
 //! - overlay topology generators ([`topology`]);
 //! - churn models fit to P2P measurement studies ([`churn`]);
 //! - distributions ([`dist`]), deterministic RNG streams ([`rng`]);
@@ -49,6 +51,7 @@
 pub mod churn;
 pub mod dist;
 pub mod engine;
+pub mod fault;
 pub mod json;
 pub mod metrics;
 pub mod net;
@@ -68,6 +71,7 @@ pub mod prelude {
         Context, Driver, EngineEvent, HeapSim, NoDriver, Node, NodeId, SchedulerFor, Simulation,
         EXTERNAL,
     };
+    pub use crate::fault::{FaultEvent, FaultKind, FaultPlan, FaultStats, Faulty, LinkSet};
     pub use crate::json::Json;
     pub use crate::metrics::{
         gini, top_k_share, Counter, Histogram, LogHistogram, Metric, MetricsSnapshot, Summary,

@@ -341,7 +341,7 @@ impl LogHistogram {
 
     /// The bucket index for value `v`.
     ///
-    /// Values below [`LOG_HIST_SUBS`] get exact unit buckets; larger
+    /// Values below `LOG_HIST_SUBS` (4) get exact unit buckets; larger
     /// values index `(octave, sub-bucket)` pairs.
     pub fn bucket_index(v: u64) -> usize {
         if v < LOG_HIST_SUBS as u64 {

@@ -8,6 +8,7 @@
 use rand::Rng;
 
 use crate::engine::NodeId;
+use crate::fault::FaultStats;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 
@@ -26,6 +27,40 @@ pub trait NetworkModel {
         now: SimTime,
         rng: &mut SimRng,
     ) -> Option<SimDuration>;
+
+    /// Optionally schedules a second, duplicate delivery of the message.
+    ///
+    /// The engine calls this once per message whose [`delay`] returned
+    /// `Some`; a `Some(d)` here delivers an extra copy after `d`. The
+    /// default implementation never duplicates and — by contract —
+    /// consumes no RNG, so plain models are unaffected by the extra call.
+    /// Overridden by [`Faulty`](crate::fault::Faulty) during scripted
+    /// duplication windows.
+    ///
+    /// [`delay`]: NetworkModel::delay
+    fn duplicate(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> Option<SimDuration> {
+        let _ = (src, dst, bytes, now, rng);
+        None
+    }
+
+    /// Fault-injection statistics, when this model records them.
+    ///
+    /// `None` for plain models (the default). [`Faulty`](crate::fault::Faulty)
+    /// returns its counters here, which is how
+    /// [`Simulation::metrics_snapshot`](crate::engine::Simulation::metrics_snapshot)
+    /// surfaces `faults_active`, `msgs_dropped_partition`, and friends
+    /// without downcasting the boxed model. Wrappers ([`Lossy`]) forward to
+    /// their inner model.
+    fn fault_stats(&self) -> Option<FaultStats> {
+        None
+    }
 }
 
 /// Fixed one-way latency, no loss, infinite bandwidth.
@@ -141,6 +176,21 @@ impl<M: NetworkModel> NetworkModel for Lossy<M> {
         } else {
             self.inner.delay(s, d, b, now, rng)
         }
+    }
+
+    fn duplicate(
+        &mut self,
+        s: NodeId,
+        d: NodeId,
+        b: u64,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> Option<SimDuration> {
+        self.inner.duplicate(s, d, b, now, rng)
+    }
+
+    fn fault_stats(&self) -> Option<FaultStats> {
+        self.inner.fault_stats()
     }
 }
 

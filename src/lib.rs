@@ -12,7 +12,7 @@
 //!   channels (paper §IV);
 //! - [`edge`] — edge-centric vs. centralized-cloud service placement
 //!   with permissioned trust (paper §V / Fig. 1);
-//! - [`core`] — the claim catalog and experiments E1–E18 that
+//! - [`core`] — the claim catalog and experiments E1–E19 that
 //!   regenerate every quantitative statement in the paper.
 //!
 //! # Examples

@@ -129,6 +129,102 @@ fn pbft_halts_beyond_its_fault_budget() {
     assert_eq!(sim.node(ids[1]).executed.len(), 0);
 }
 
+/// A scripted 5/2 partition stalls exactly the minority side of a PBFT
+/// cluster, and the quorum side never notices.
+#[test]
+fn scripted_partition_stalls_only_the_pbft_minority() {
+    let cfg = PbftConfig {
+        n: 7,
+        ..PbftConfig::default()
+    };
+    let plan = FaultPlan::new().partition(
+        SimTime::from_secs(2.0),
+        SimTime::from_secs(30.0),
+        vec![5, 6],
+    );
+    let mut sim = Simulation::new(68, Faulty::new(LanNet::datacenter(), plan));
+    let ids = build_pbft(&mut sim, &cfg, &[]);
+    sim.run_until(SimTime::from_secs(3.0));
+    let now = sim.now();
+    for &id in &ids {
+        sim.node_mut(id).submit_many(0..500, now);
+    }
+    sim.run_until(SimTime::from_secs(20.0));
+    // Majority (holds the 2f+1 = 5 quorum) executes everything; the cut
+    // minority executes nothing and burns view-change attempts instead.
+    assert_eq!(sim.node(ids[0]).executed.len(), 500);
+    assert_eq!(sim.node(ids[4]).executed.len(), 500);
+    assert_eq!(sim.node(ids[5]).executed.len(), 0, "minority must stall");
+    assert_eq!(sim.node(ids[6]).executed.len(), 0, "minority must stall");
+    assert!(sim.node(ids[6]).view_changes > 0, "futile view changes");
+    // The engine accounted for every message that hit the cut.
+    assert!(sim.metrics_snapshot().counter("msgs_dropped_partition") > 0);
+}
+
+/// Kademlia lookups on the majority side keep terminating while the
+/// network is bisected, and the healed network answers for both sides.
+#[test]
+fn dht_lookups_terminate_across_a_bisection() {
+    let plan = FaultPlan::new().bisect(
+        SimTime::from_secs(5.0),
+        SimTime::from_secs(60.0),
+        &(0..300).collect::<Vec<_>>(),
+    );
+    let mut sim = Simulation::new(
+        69,
+        Faulty::new(UniformLatency::from_millis(20.0, 80.0), plan),
+    );
+    let ids = build_kad(&mut sim, 300, &KadConfig::default(), 0.0, 8, 70);
+    sim.run_until(SimTime::from_secs(10.0));
+    // Mid-partition: origins on the first half (the side `bisect` cuts
+    // at the midpoint) can only see their own half.
+    for i in 0..20u64 {
+        let origin = ids[(i as usize * 7) % 150];
+        sim.invoke(origin, |n, ctx| {
+            n.start_lookup(Key::from_u64(i), false, ctx);
+        });
+    }
+    sim.run_until(SimTime::from_secs(70.0));
+    let mid: usize = ids[..150]
+        .iter()
+        .map(|&id| sim.node(id).results.len())
+        .sum();
+    assert_eq!(mid, 20, "every mid-partition lookup must terminate");
+    // Post-heal: lookups work from either side again.
+    for i in 0..20u64 {
+        let origin = ids[(i as usize * 7) % 300];
+        sim.invoke(origin, |n, ctx| {
+            n.start_lookup(Key::from_u64(1000 + i), false, ctx);
+        });
+    }
+    sim.run_until(SimTime::from_secs(120.0));
+    let total: usize = ids.iter().map(|&id| sim.node(id).results.len()).sum();
+    assert_eq!(total, 40, "post-heal lookups must terminate too");
+}
+
+/// `FaultPlan::schedule_crashes` takes the scripted node set down as
+/// first-class engine events and brings it back at the window's end.
+#[test]
+fn crash_burst_downs_and_recovers_the_scripted_set() {
+    let burst: Vec<NodeId> = (10..40).collect();
+    let plan = FaultPlan::new().crash_burst(
+        SimTime::from_secs(5.0),
+        SimTime::from_secs(15.0),
+        burst.clone(),
+    );
+    let mut sim = Simulation::new(71, UniformLatency::from_millis(20.0, 80.0));
+    let ids = build_kad(&mut sim, 80, &KadConfig::default(), 0.0, 8, 72);
+    plan.schedule_crashes(&mut sim);
+    sim.run_until(SimTime::from_secs(10.0));
+    assert!(burst.iter().all(|&id| !sim.is_online(ids[id])));
+    assert!(sim.is_online(ids[0]) && sim.is_online(ids[79]));
+    sim.run_until(SimTime::from_secs(20.0));
+    assert!(
+        burst.iter().all(|&id| sim.is_online(ids[id])),
+        "burst nodes must recover at the window end"
+    );
+}
+
 /// Raft under a crash-recover churn schedule never loses commits.
 #[test]
 fn raft_crash_recover_storm_preserves_committed_prefix() {

@@ -139,6 +139,65 @@ fn kad_engine_golden_on_both_schedulers() {
     );
 }
 
+/// A scripted partition-heal cycle over the Kademlia workload: the
+/// `Faulty` wrapper's drop/degrade accounting and the engine trace are
+/// pinned, identical on both schedulers. Any drift in these numbers
+/// means fault activation ordering, the partition drop rule, or the
+/// degradation RNG discipline changed.
+#[test]
+fn faulty_partition_heal_golden_on_both_schedulers() {
+    fn run<S: SchedulerFor<decent_overlay::kademlia::KadNode>>() -> (u64, u64, u64, u64, u64, u64) {
+        let plan = FaultPlan::new()
+            .partition(
+                SimTime::from_secs(10.0),
+                SimTime::from_secs(40.0),
+                (100..200).collect(),
+            )
+            .degrade(
+                SimTime::from_secs(50.0),
+                SimTime::from_secs(70.0),
+                LinkSet::All,
+                3.0,
+                0.05,
+            );
+        let mut sim: Simulation<decent_overlay::kademlia::KadNode, S> = Simulation::with_scheduler(
+            42,
+            Faulty::new(UniformLatency::from_millis(20.0, 80.0), plan),
+        );
+        let ids = kad_build(&mut sim, 200, &KadConfig::default(), 0.1, 8, 7);
+        sim.run_until(SimTime::from_secs(1.0));
+        // Three lookup waves: pre-partition, mid-partition (majority
+        // origins), and inside the degradation window.
+        for (wave, t) in [(0u64, 2.0), (1, 15.0), (2, 55.0)] {
+            sim.run_until(SimTime::from_secs(t));
+            for i in 0..30u64 {
+                let origin = ids[(i as usize * 13) % 100];
+                sim.invoke(origin, |n, ctx| {
+                    n.start_lookup(Key::from_u64(wave * 1000 + i), false, ctx)
+                });
+            }
+        }
+        sim.run_until(SimTime::from_secs(120.0));
+        let m = sim.metrics_snapshot();
+        (
+            sim.events_processed(),
+            sim.stats().sent,
+            sim.stats().delivered,
+            m.counter("msgs_dropped_partition"),
+            m.counter("msgs_dropped_degraded"),
+            m.counter("msgs_delayed_degraded"),
+        )
+    }
+    let wheel = run::<TimingWheel<EngineEvent<decent_overlay::kademlia::KadMsg>>>();
+    let heap = run::<BinaryHeapScheduler<EngineEvent<decent_overlay::kademlia::KadMsg>>>();
+    assert_eq!(wheel, heap, "schedulers diverged under fault injection");
+    assert_eq!(
+        wheel,
+        (7002, 4716, 3995, 651, 70, 1339),
+        "faulty partition-heal trace drifted"
+    );
+}
+
 /// Two simulated hours of a 40-node PoW chain: event count, height, and
 /// throughput pinned, identical on both schedulers.
 #[test]

@@ -356,8 +356,19 @@ mod sched_equivalence {
     /// Replays `words` as engine operations against scheduler `S` and
     /// returns the full observable outcome.
     pub fn replay<S: SchedulerFor<Probe>>(seed: u64, words: &[u64]) -> (u64, Vec<u64>, NetStats) {
-        let mut sim: Simulation<Probe, S> =
-            Simulation::with_scheduler(seed, UniformLatency::from_millis(5.0, 50.0));
+        replay_net::<S>(seed, words, UniformLatency::from_millis(5.0, 50.0))
+    }
+
+    /// [`replay`] against an explicit network model — the lever for
+    /// proving two models observationally identical (delivery times,
+    /// drop accounting, *and* RNG stream, since any extra draw shifts
+    /// every later delay and therefore the digests).
+    pub fn replay_net<S: SchedulerFor<Probe>>(
+        seed: u64,
+        words: &[u64],
+        net: impl NetworkModel + 'static,
+    ) -> (u64, Vec<u64>, NetStats) {
+        let mut sim: Simulation<Probe, S> = Simulation::with_scheduler(seed, net);
         let ids: Vec<NodeId> = (0..8).map(|_| sim.add_node(Probe::default())).collect();
         for &word in words {
             let node = ids[(word >> 3) as usize % ids.len()];
@@ -438,5 +449,30 @@ proptest! {
         let wheel = replay::<TimingWheel<EngineEvent<u64>>>(seed, &words);
         let heap = replay::<BinaryHeapScheduler<EngineEvent<u64>>>(seed, &words);
         prop_assert_eq!(wheel, heap);
+    }
+
+    // `Faulty<M>` with an empty `FaultPlan` must be observationally
+    // identical to bare `M`: same delivery times, same drop accounting,
+    // and — critically — the same RNG stream. A single stray draw in
+    // the no-fault fast path would shift every subsequent uniform
+    // delay and change the digests, so equality here pins the
+    // "zero-overhead when inactive" contract under both schedulers.
+    #[test]
+    fn empty_fault_plan_is_observationally_inert(
+        seed in any::<u64>(),
+        words in proptest::collection::vec(any::<u64>(), 0..120),
+    ) {
+        use decent::sim::prelude::*;
+        use sched_equivalence::replay_net;
+        let bare = || UniformLatency::from_millis(5.0, 50.0);
+        let faulty = || Faulty::new(bare(), FaultPlan::new());
+        let w_bare = replay_net::<TimingWheel<EngineEvent<u64>>>(seed, &words, bare());
+        let w_faulty = replay_net::<TimingWheel<EngineEvent<u64>>>(seed, &words, faulty());
+        prop_assert_eq!(&w_bare, &w_faulty);
+        let h_bare = replay_net::<BinaryHeapScheduler<EngineEvent<u64>>>(seed, &words, bare());
+        let h_faulty =
+            replay_net::<BinaryHeapScheduler<EngineEvent<u64>>>(seed, &words, faulty());
+        prop_assert_eq!(&h_bare, &h_faulty);
+        prop_assert_eq!(&w_bare, &h_bare);
     }
 }
