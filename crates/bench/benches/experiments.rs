@@ -5,12 +5,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use decent_core::experiments;
+use decent_core::{experiments, scenario};
 
 fn bench_all_experiments(c: &mut Criterion) {
     let mut group = c.benchmark_group("experiments");
     group.sample_size(10);
-    for id in experiments::ALL {
+    for id in scenario::ids() {
         group.bench_function(format!("bench_{}", id.to_lowercase()), |b| {
             b.iter(|| {
                 let report = experiments::run_by_id(id, true).expect("known id");

@@ -216,6 +216,45 @@ fn bench_graph_generation(c: &mut Criterion) {
     });
 }
 
+/// The sensitivity fan-out primitive. Two regimes:
+///
+/// - `overhead_64k`: a near-empty closure over a dense grid, dominated
+///   by work distribution itself — the regime the atomic-cursor rewrite
+///   of `sweep` (replacing the double-Mutex job/result queues) targets.
+///   Serial must not regress; parallel must not collapse under
+///   contention on tiny work items.
+/// - `mc_64`: a selfish-mining Monte Carlo per grid point, the shape of
+///   a real `repro --sweep` run where per-point work dominates.
+fn bench_sweep_fanout(c: &mut Criterion) {
+    use decent_sim::sweep::{grid, sweep_with};
+
+    let mut group = c.benchmark_group("sweep_fanout");
+    let dense = grid(0.0, 1.0, 65_536);
+    group.bench_function("overhead_64k_serial", |b| {
+        b.iter(|| black_box(sweep_with(&dense, 1, |x| x * 2.0)))
+    });
+    group.bench_function("overhead_64k_parallel", |b| {
+        b.iter(|| black_box(sweep_with(&dense, 4, |x| x * 2.0)))
+    });
+    let alphas = grid(0.05, 0.45, 64);
+    group.sample_size(10);
+    group.bench_function("mc_64_serial", |b| {
+        b.iter(|| {
+            black_box(sweep_with(&alphas, 1, |&a| {
+                selfish::simulate(a, 0.5, 20_000, 5).attacker_share()
+            }))
+        })
+    });
+    group.bench_function("mc_64_parallel", |b| {
+        b.iter(|| {
+            black_box(sweep_with(&alphas, 4, |&a| {
+                selfish::simulate(a, 0.5, 20_000, 5).attacker_share()
+            }))
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_engine_events,
@@ -226,6 +265,7 @@ criterion_group!(
     bench_kademlia_lookup,
     bench_pbft_round,
     bench_selfish_mc,
-    bench_graph_generation
+    bench_graph_generation,
+    bench_sweep_fanout
 );
 criterion_main!(benches);

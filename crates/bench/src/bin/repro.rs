@@ -6,13 +6,15 @@
 //!       [--json PATH] [--format md|json] [--summary PATH]
 //!       [--jobs N] [--seed N]
 //!       [--baseline PATH] [--write-baseline PATH]
+//!       [--sweep EXP:param=lo..hi:steps]
 //! ```
 //!
 //! `--quick` runs CI-sized configurations (seconds); the default runs
 //! paper-sized configurations (minutes). `--csv DIR` additionally
 //! writes every result table as `DIR/<exp>_<n>.csv`. `--claims` prints
-//! the claim catalog and exits; `--list` prints the experiment registry
-//! with one-line descriptions and exits.
+//! the claim catalog and exits; `--list` prints the scenario registry —
+//! one line per experiment plus its sweepable parameters and seed
+//! behaviour — and exits.
 //!
 //! Experiments are independent simulations, so they fan out across a
 //! thread pool (`--jobs`, default = available cores). Parallelism never
@@ -24,18 +26,28 @@
 //! verdicts against a committed claims file and exits 1 on any verdict
 //! flip or missing claim; `--write-baseline PATH` regenerates that file.
 //!
+//! Sensitivity analysis: `--sweep E19:partition_frac=0.1..0.5:3` runs
+//! the experiment at every grid point of the named parameter and emits
+//! per-claim robustness curves (verdict + headline value per point, and
+//! the crossover interval wherever a verdict flips). Grid point `i`
+//! seeds from `(base seed, i)`, so sweeps are deterministic and serial
+//! vs `--jobs N` output is byte-identical. A sweep reports flips, it
+//! does not fail on them: claims *expected* to flip off-default are the
+//! point of the exercise.
+//!
 //! Exit codes: 0 success, 1 claim failures or baseline regressions,
 //! 2 bad arguments.
 
 use std::process::ExitCode;
 
 use decent_core::report::{diff_verdicts, verdicts_from_json, RunReport};
-use decent_core::{claims, experiments};
+use decent_core::sensitivity::{run_sweep, SweepSpec};
+use decent_core::{claims, experiments, scenario};
 use decent_sim::json::Json;
 
 const USAGE: &str = "usage: repro [--quick] [--exp E1,E2,...] [--csv DIR] [--claims] [--list] \
 [--json PATH] [--format md|json] [--summary PATH] [--jobs N] [--seed N] \
-[--baseline PATH] [--write-baseline PATH]";
+[--baseline PATH] [--write-baseline PATH] [--sweep EXP:param=lo..hi:steps]";
 
 /// Output format for stdout.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +75,7 @@ struct Cli {
     seed: Option<u64>,
     baseline: Option<std::path::PathBuf>,
     write_baseline: Option<std::path::PathBuf>,
+    sweep: Option<SweepSpec>,
 }
 
 /// Parses and validates arguments. Experiment ids are checked against the
@@ -123,6 +136,12 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String> {
                     .map_err(|_| format!("--seed expects an unsigned integer, got {s}"))?;
                 cli.seed = Some(s);
             }
+            "--sweep" => {
+                let spec = args
+                    .next()
+                    .ok_or("--sweep requires an EXP:param=lo..hi:steps argument")?;
+                cli.sweep = Some(SweepSpec::parse(&spec)?);
+            }
             "--exp" => {
                 let list = args.next().ok_or("--exp requires an id list argument")?;
                 let ids: Vec<String> = list
@@ -133,17 +152,30 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String> {
                 if ids.is_empty() {
                     return Err("--exp requires at least one experiment id".into());
                 }
+                let known = scenario::ids();
                 for id in &ids {
-                    if !experiments::ALL.contains(&id.as_str()) {
+                    if !known.contains(&id.as_str()) {
                         return Err(format!(
                             "unknown experiment id: {id} (known: {})",
-                            experiments::ALL.join(", ")
+                            known.join(", ")
                         ));
                     }
                 }
                 cli.selected = Some(ids);
             }
             other => return Err(format!("unrecognized argument: {other}")),
+        }
+    }
+    if cli.sweep.is_some() {
+        for (set, flag) in [
+            (cli.selected.is_some(), "--exp"),
+            (cli.csv_dir.is_some(), "--csv"),
+            (cli.baseline.is_some(), "--baseline"),
+            (cli.write_baseline.is_some(), "--write-baseline"),
+        ] {
+            if set {
+                return Err(format!("--sweep cannot be combined with {flag}"));
+            }
         }
     }
     Ok(cli)
@@ -182,21 +214,58 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     if cli.list {
-        for (id, desc) in experiments::DESCRIPTIONS {
-            println!("{id:<4} {desc}");
+        // Everything here derives from the scenario registry: the ids,
+        // the titles (shared with the report headers), the sweepable
+        // parameter maps, and which scenarios actually consume a seed.
+        for s in scenario::all(true) {
+            let seed_note = if s.seed().is_none() {
+                "  (closed-form: no RNG, --seed is a no-op)"
+            } else {
+                ""
+            };
+            println!("{:<4} {}{}", s.id(), s.description(), seed_note);
+            for p in s.params() {
+                println!("       --sweep {}:{}=..  {}", s.id(), p.name, p.help);
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+    let jobs = cli.jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    if let Some(spec) = &cli.sweep {
+        let sweep = match run_sweep(spec, cli.quick, cli.seed, jobs) {
+            Ok(s) => s,
+            Err(msg) => {
+                eprintln!("repro: {msg}");
+                return ExitCode::from(2);
+            }
+        };
+        match cli.format {
+            Format::Markdown => print!("{}", sweep.to_markdown()),
+            Format::Json => print!("{}", sweep.to_json_text()),
+        }
+        if let Some(path) = &cli.json_path {
+            if let Err(e) = std::fs::write(path, sweep.to_json_text()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Some(path) = &cli.summary_path {
+            if let Err(e) = std::fs::write(path, sweep.to_markdown()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
         }
         return ExitCode::SUCCESS;
     }
     let ids: Vec<String> = cli
         .selected
         .clone()
-        .unwrap_or_else(|| experiments::ALL.iter().map(|s| s.to_string()).collect());
+        .unwrap_or_else(|| scenario::ids().iter().map(|s| s.to_string()).collect());
     let id_refs: Vec<&str> = ids.iter().map(String::as_str).collect();
-    let jobs = cli.jobs.unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    });
 
     let run = experiments::run_report(&id_refs, cli.quick, cli.seed, jobs);
 
@@ -438,5 +507,43 @@ mod tests {
         assert!(parse(&["--frobnicate"])
             .unwrap_err()
             .contains("unrecognized argument"));
+    }
+
+    #[test]
+    fn sweep_spec_parses() {
+        let cli = parse(&["--sweep", "E19:partition_frac=0.1..0.5:3", "--quick"]).unwrap();
+        let spec = cli.sweep.unwrap();
+        assert_eq!(spec.exp, "E19");
+        assert_eq!(spec.param, "partition_frac");
+        assert_eq!((spec.lo, spec.hi, spec.steps), (0.1, 0.5, 3));
+    }
+
+    #[test]
+    fn malformed_sweep_is_rejected() {
+        assert!(parse(&["--sweep"]).unwrap_err().contains("requires"));
+        assert!(parse(&["--sweep", "E19"])
+            .unwrap_err()
+            .contains("EXP:param=lo..hi:steps"));
+        assert!(parse(&["--sweep", "E19:x=2..1:3"])
+            .unwrap_err()
+            .contains("below"));
+    }
+
+    #[test]
+    fn sweep_conflicts_with_point_run_flags() {
+        for flags in [
+            vec!["--sweep", "E4:session_mins=5..60:2", "--exp", "E4"],
+            vec!["--sweep", "E4:session_mins=5..60:2", "--csv", "out"],
+            vec!["--sweep", "E4:session_mins=5..60:2", "--baseline", "b.json"],
+            vec![
+                "--sweep",
+                "E4:session_mins=5..60:2",
+                "--write-baseline",
+                "b.json",
+            ],
+        ] {
+            let err = parse(&flags).unwrap_err();
+            assert!(err.contains("cannot be combined"), "{flags:?}: {err}");
+        }
     }
 }

@@ -15,6 +15,10 @@ use decent_overlay::kademlia::{build_network, KadConfig};
 use decent_sim::prelude::*;
 
 use crate::report::{Expect, ExperimentReport, Table};
+use crate::scenario::{self, Param, ParamSpec, Scenario};
+
+/// One-line title shared by the report header and the registry listing.
+pub const TITLE: &str = "DHT lookup latency: eMule KAD vs. BitTorrent Mainline (II-A)";
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -45,6 +49,50 @@ impl Config {
             lookups: 120,
             ..Config::default()
         }
+    }
+}
+
+/// Sweepable knobs.
+const PARAMS: &[Param<Config>] = &[
+    Param {
+        name: "nodes",
+        help: "network size per deployment (min 16)",
+        get: |c| c.nodes as f64,
+        set: |c, v| c.nodes = v.round().max(16.0) as usize,
+    },
+    Param {
+        name: "lookups",
+        help: "lookups per deployment (min 1)",
+        get: |c| c.lookups as f64,
+        set: |c, v| c.lookups = v.round().max(1.0) as usize,
+    },
+];
+
+impl Scenario for Config {
+    fn id(&self) -> &'static str {
+        "E1"
+    }
+    fn description(&self) -> &'static str {
+        TITLE
+    }
+    fn seed(&self) -> Option<u64> {
+        Some(self.seed)
+    }
+    fn set_seed(&mut self, seed: u64) -> bool {
+        self.seed = seed;
+        true
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        scenario::specs(PARAMS)
+    }
+    fn get_param(&self, name: &str) -> Option<f64> {
+        scenario::get_in(PARAMS, self, name)
+    }
+    fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
+        scenario::set_in(PARAMS, self, name, value)
+    }
+    fn run(&self) -> ExperimentReport {
+        run(self)
     }
 }
 
@@ -122,10 +170,7 @@ fn run_deployment(cfg: &Config, dep: &Deployment, seed: u64) -> (Histogram, Metr
 
 /// Runs E1 and produces the report.
 pub fn run(cfg: &Config) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "E1",
-        "DHT lookup latency: eMule KAD vs. BitTorrent Mainline (II-A)",
-    );
+    let mut report = ExperimentReport::new("E1", TITLE);
     let mut table = Table::new(
         "Lookup latency by deployment",
         &[

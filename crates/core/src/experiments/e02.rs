@@ -11,6 +11,10 @@ use decent_overlay::flood::{build_network, FloodConfig};
 use decent_sim::prelude::*;
 
 use crate::report::{Expect, ExperimentReport, Table};
+use crate::scenario::{self, Param, ParamSpec, Scenario};
+
+/// One-line title shared by the report header and the registry listing.
+pub const TITLE: &str = "Free riding on Gnutella (II-B P1)";
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -44,6 +48,56 @@ impl Config {
             queries: 500,
             ..Config::default()
         }
+    }
+}
+
+/// Sweepable knobs.
+const PARAMS: &[Param<Config>] = &[
+    Param {
+        name: "nodes",
+        help: "overlay size (min 16)",
+        get: |c| c.nodes as f64,
+        set: |c, v| c.nodes = v.round().max(16.0) as usize,
+    },
+    Param {
+        name: "queries",
+        help: "flooded queries (min 1)",
+        get: |c| c.queries as f64,
+        set: |c, v| c.queries = v.round().max(1.0) as usize,
+    },
+    Param {
+        name: "ttl",
+        help: "query time-to-live in hops (1-16)",
+        get: |c| c.ttl as f64,
+        set: |c, v| c.ttl = v.round().clamp(1.0, 16.0) as u32,
+    },
+];
+
+impl Scenario for Config {
+    fn id(&self) -> &'static str {
+        "E2"
+    }
+    fn description(&self) -> &'static str {
+        TITLE
+    }
+    fn seed(&self) -> Option<u64> {
+        Some(self.seed)
+    }
+    fn set_seed(&mut self, seed: u64) -> bool {
+        self.seed = seed;
+        true
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        scenario::specs(PARAMS)
+    }
+    fn get_param(&self, name: &str) -> Option<f64> {
+        scenario::get_in(PARAMS, self, name)
+    }
+    fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
+        scenario::set_in(PARAMS, self, name, value)
+    }
+    fn run(&self) -> ExperimentReport {
+        run(self)
     }
 }
 
@@ -106,7 +160,7 @@ pub fn run(cfg: &Config) -> ExperimentReport {
         .sum::<f64>()
         / cfg.queries as f64;
 
-    let mut report = ExperimentReport::new("E2", "Free riding on Gnutella (II-B P1)");
+    let mut report = ExperimentReport::new("E2", TITLE);
     let mut t = Table::new("Population and answer concentration", &["metric", "value"]);
     t.row(["peers".to_string(), cfg.nodes.to_string()]);
     t.row([

@@ -8,7 +8,11 @@
 use decent_overlay::swarm::{SwarmConfig, SwarmSim};
 
 use crate::report::{Expect, ExperimentReport, Table};
+use crate::scenario::{self, Param, ParamSpec, Scenario};
 use decent_sim::report::fmt_f;
+
+/// One-line title shared by the report header and the registry listing.
+pub const TITLE: &str = "Tit-for-tat incentives (II-B P1)";
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -48,9 +52,65 @@ impl Config {
     }
 }
 
+/// Sweepable knobs.
+const PARAMS: &[Param<Config>] = &[
+    Param {
+        name: "leechers",
+        help: "leechers in the swarm (min 8)",
+        get: |c| c.leechers as f64,
+        set: |c, v| c.leechers = v.round().max(8.0) as usize,
+    },
+    Param {
+        name: "free_rider_fraction",
+        help: "fraction of leechers that never upload (0-1)",
+        get: |c| c.free_rider_fraction,
+        set: |c, v| c.free_rider_fraction = v.clamp(0.0, 1.0),
+    },
+    Param {
+        name: "seeds",
+        help: "initial seeds (min 1)",
+        get: |c| c.seeds as f64,
+        set: |c, v| c.seeds = v.round().max(1.0) as usize,
+    },
+    Param {
+        name: "pieces",
+        help: "pieces in the torrent (min 10)",
+        get: |c| c.pieces as f64,
+        set: |c, v| c.pieces = v.round().max(10.0) as usize,
+    },
+];
+
+impl Scenario for Config {
+    fn id(&self) -> &'static str {
+        "E3"
+    }
+    fn description(&self) -> &'static str {
+        TITLE
+    }
+    fn seed(&self) -> Option<u64> {
+        Some(self.seed)
+    }
+    fn set_seed(&mut self, seed: u64) -> bool {
+        self.seed = seed;
+        true
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        scenario::specs(PARAMS)
+    }
+    fn get_param(&self, name: &str) -> Option<f64> {
+        scenario::get_in(PARAMS, self, name)
+    }
+    fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
+        scenario::set_in(PARAMS, self, name, value)
+    }
+    fn run(&self) -> ExperimentReport {
+        run(self)
+    }
+}
+
 /// Runs E3 and produces the report.
 pub fn run(cfg: &Config) -> ExperimentReport {
-    let mut report = ExperimentReport::new("E3", "Tit-for-tat incentives (II-B P1)");
+    let mut report = ExperimentReport::new("E3", TITLE);
     let mut t = Table::new(
         "Completion time by peer class",
         &[

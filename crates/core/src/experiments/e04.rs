@@ -11,6 +11,10 @@ use decent_overlay::kademlia::{build_network, KadConfig, KadNode};
 use decent_sim::prelude::*;
 
 use crate::report::{Expect, ExperimentReport, Table};
+use crate::scenario::{self, Param, ParamSpec, Scenario};
+
+/// One-line title shared by the report header and the registry listing.
+pub const TITLE: &str = "Churn vs. performance; stable servers have no rival (II-B P2)";
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -45,6 +49,59 @@ impl Config {
             sessions_mins: vec![Some(10.0), Some(120.0), None],
             ..Config::default()
         }
+    }
+}
+
+/// Sweepable knobs. `session_mins` is the churn axis the paper's claim
+/// hinges on: it drives the *churniest* level (the first entry of
+/// `sessions_mins`), which the claim checks compare against the stable
+/// baseline — sweeping it charts where the churn penalty fades.
+const PARAMS: &[Param<Config>] = &[
+    Param {
+        name: "nodes",
+        help: "network size (min 16)",
+        get: |c| c.nodes as f64,
+        set: |c, v| c.nodes = v.round().max(16.0) as usize,
+    },
+    Param {
+        name: "lookups",
+        help: "lookups per churn level (min 1)",
+        get: |c| c.lookups as f64,
+        set: |c, v| c.lookups = v.round().max(1.0) as usize,
+    },
+    Param {
+        name: "session_mins",
+        help: "mean session length of the churniest level, minutes (min 1)",
+        get: |c| c.sessions_mins[0].unwrap_or(0.0),
+        set: |c, v| c.sessions_mins[0] = Some(v.max(1.0)),
+    },
+];
+
+impl Scenario for Config {
+    fn id(&self) -> &'static str {
+        "E4"
+    }
+    fn description(&self) -> &'static str {
+        TITLE
+    }
+    fn seed(&self) -> Option<u64> {
+        Some(self.seed)
+    }
+    fn set_seed(&mut self, seed: u64) -> bool {
+        self.seed = seed;
+        true
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        scenario::specs(PARAMS)
+    }
+    fn get_param(&self, name: &str) -> Option<f64> {
+        scenario::get_in(PARAMS, self, name)
+    }
+    fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
+        scenario::set_in(PARAMS, self, name, value)
+    }
+    fn run(&self) -> ExperimentReport {
+        run(self)
     }
 }
 
@@ -122,10 +179,7 @@ fn run_level(cfg: &Config, session: Option<f64>, lan: bool, seed: u64) -> Row {
 
 /// Runs E4 and produces the report.
 pub fn run(cfg: &Config) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "E4",
-        "Churn vs. performance; stable servers have no rival (II-B P2)",
-    );
+    let mut report = ExperimentReport::new("E4", TITLE);
     let mut t = Table::new(
         "Lookup latency under churn",
         &["deployment", "p50 (s)", "p99 (s)", "timeout-free lookups"],
@@ -160,8 +214,9 @@ pub fn run(cfg: &Config) -> ExperimentReport {
         "churn degrades tail latency",
         "churn causes performance problems and latency",
         format!(
-            "p99 {}s at 10-min sessions vs {}s with no churn",
+            "p99 {}s at {:.0}-min sessions vs {}s with no churn",
             fmt_f(churniest.p99),
+            cfg.sessions_mins[0].unwrap_or(0.0),
             fmt_f(stable_p2p.p99)
         ),
         churniest.p99,

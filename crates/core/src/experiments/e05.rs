@@ -12,6 +12,10 @@ use decent_overlay::sybil::{build_attacked_network, measure_capture, SybilConfig
 use decent_sim::prelude::*;
 
 use crate::report::{Expect, ExperimentReport, Table};
+use crate::scenario::{self, Param, ParamSpec, Scenario};
+
+/// One-line title shared by the report header and the registry listing.
+pub const TITLE: &str = "Sybil attacks on open overlays (II-B P3)";
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -49,9 +53,60 @@ impl Config {
     }
 }
 
+/// Sweepable knobs. `sybil_ratio` drives the heaviest attack level (the
+/// last entry of `ratios`), which the capture claim is checked against.
+const PARAMS: &[Param<Config>] = &[
+    Param {
+        name: "honest",
+        help: "honest population (min 32)",
+        get: |c| c.honest as f64,
+        set: |c, v| c.honest = v.round().max(32.0) as usize,
+    },
+    Param {
+        name: "lookups",
+        help: "lookups per attack level (min 1)",
+        get: |c| c.lookups as f64,
+        set: |c, v| c.lookups = v.round().max(1.0) as usize,
+    },
+    Param {
+        name: "sybil_ratio",
+        help: "sybil-to-honest ratio of the heaviest attack level (0.05-4)",
+        get: |c| *c.ratios.last().expect("at least one ratio level"),
+        set: |c, v| *c.ratios.last_mut().expect("at least one ratio level") = v.clamp(0.05, 4.0),
+    },
+];
+
+impl Scenario for Config {
+    fn id(&self) -> &'static str {
+        "E5"
+    }
+    fn description(&self) -> &'static str {
+        TITLE
+    }
+    fn seed(&self) -> Option<u64> {
+        Some(self.seed)
+    }
+    fn set_seed(&mut self, seed: u64) -> bool {
+        self.seed = seed;
+        true
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        scenario::specs(PARAMS)
+    }
+    fn get_param(&self, name: &str) -> Option<f64> {
+        scenario::get_in(PARAMS, self, name)
+    }
+    fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
+        scenario::set_in(PARAMS, self, name, value)
+    }
+    fn run(&self) -> ExperimentReport {
+        run(self)
+    }
+}
+
 /// Runs E5 and produces the report.
 pub fn run(cfg: &Config) -> ExperimentReport {
-    let mut report = ExperimentReport::new("E5", "Sybil attacks on open overlays (II-B P3)");
+    let mut report = ExperimentReport::new("E5", TITLE);
     let victim_key = Key::from_u64(0xBEEF);
     let mut t = Table::new(
         "Lookup capture vs. sybil identities",

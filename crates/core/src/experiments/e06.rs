@@ -21,6 +21,10 @@ use decent_overlay::pastry::{self, PastryConfig};
 use decent_sim::prelude::*;
 
 use crate::report::{Expect, ExperimentReport, Table};
+use crate::scenario::{self, Param, ParamSpec, Scenario};
+
+/// One-line title shared by the report header and the registry listing.
+pub const TITLE: &str = "One-hop full membership vs. multi-hop DHTs (II-B, [23][24])";
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -54,6 +58,56 @@ impl Config {
             lookups: 60,
             ..Config::default()
         }
+    }
+}
+
+/// Sweepable knobs.
+const PARAMS: &[Param<Config>] = &[
+    Param {
+        name: "nodes",
+        help: "head-to-head network size (min 16)",
+        get: |c| c.nodes as f64,
+        set: |c, v| c.nodes = v.round().max(16.0) as usize,
+    },
+    Param {
+        name: "lookups",
+        help: "lookups per protocol (min 1)",
+        get: |c| c.lookups as f64,
+        set: |c, v| c.lookups = v.round().max(1.0) as usize,
+    },
+    Param {
+        name: "session_mins",
+        help: "mean session length driving membership events, minutes (min 1)",
+        get: |c| c.session_mins,
+        set: |c, v| c.session_mins = v.max(1.0),
+    },
+];
+
+impl Scenario for Config {
+    fn id(&self) -> &'static str {
+        "E6"
+    }
+    fn description(&self) -> &'static str {
+        TITLE
+    }
+    fn seed(&self) -> Option<u64> {
+        Some(self.seed)
+    }
+    fn set_seed(&mut self, seed: u64) -> bool {
+        self.seed = seed;
+        true
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        scenario::specs(PARAMS)
+    }
+    fn get_param(&self, name: &str) -> Option<f64> {
+        scenario::get_in(PARAMS, self, name)
+    }
+    fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
+        scenario::set_in(PARAMS, self, name, value)
+    }
+    fn run(&self) -> ExperimentReport {
+        run(self)
     }
 }
 
@@ -272,10 +326,7 @@ pub fn onehop_bandwidth_per_node(n: usize, session_mins: f64, entry_bytes: f64, 
 
 /// Runs E6 and produces the report.
 pub fn run(cfg: &Config) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "E6",
-        "One-hop full membership vs. multi-hop DHTs (II-B, [23][24])",
-    );
+    let mut report = ExperimentReport::new("E6", TITLE);
     let rows = vec![
         measure_can(cfg, cfg.seed ^ 0x05),
         measure_chord(cfg, cfg.seed ^ 0x10),

@@ -15,6 +15,10 @@ use decent_chain::pow::PowParams;
 use decent_sim::prelude::*;
 
 use crate::report::{Expect, ExperimentReport, Table};
+use crate::scenario::{self, Param, ParamSpec, Scenario};
+
+/// One-line title shared by the report header and the registry listing.
+pub const TITLE: &str = "Throughput: VISA vs. Bitcoin vs. Ethereum (III-C P2)";
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -53,6 +57,62 @@ impl Config {
             oltp_shards: 32,
             ..Config::default()
         }
+    }
+}
+
+/// Sweepable knobs.
+const PARAMS: &[Param<Config>] = &[
+    Param {
+        name: "chain_nodes",
+        help: "nodes in each blockchain network (min 8)",
+        get: |c| c.chain_nodes as f64,
+        set: |c, v| c.chain_nodes = v.round().max(8.0) as usize,
+    },
+    Param {
+        name: "bitcoin_hours",
+        help: "simulated hours for the Bitcoin-like run (min 1)",
+        get: |c| c.bitcoin_hours,
+        set: |c, v| c.bitcoin_hours = v.max(1.0),
+    },
+    Param {
+        name: "ethereum_mins",
+        help: "simulated minutes for the Ethereum-like run (min 5)",
+        get: |c| c.ethereum_mins,
+        set: |c, v| c.ethereum_mins = v.max(5.0),
+    },
+    Param {
+        name: "oltp_shards",
+        help: "OLTP shards in the VISA cluster (min 1)",
+        get: |c| c.oltp_shards as f64,
+        set: |c, v| c.oltp_shards = v.round().max(1.0) as usize,
+    },
+];
+
+impl Scenario for Config {
+    fn id(&self) -> &'static str {
+        "E7"
+    }
+    fn description(&self) -> &'static str {
+        TITLE
+    }
+    fn seed(&self) -> Option<u64> {
+        Some(self.seed)
+    }
+    fn set_seed(&mut self, seed: u64) -> bool {
+        self.seed = seed;
+        true
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        scenario::specs(PARAMS)
+    }
+    fn get_param(&self, name: &str) -> Option<f64> {
+        scenario::get_in(PARAMS, self, name)
+    }
+    fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
+        scenario::set_in(PARAMS, self, name, value)
+    }
+    fn run(&self) -> ExperimentReport {
+        run(self)
     }
 }
 
@@ -128,8 +188,7 @@ fn run_oltp(cfg: &Config, horizon: SimDuration, seed: u64) -> (f64, MetricsSnaps
 
 /// Runs E7 and produces the report.
 pub fn run(cfg: &Config) -> ExperimentReport {
-    let mut report =
-        ExperimentReport::new("E7", "Throughput: VISA vs. Bitcoin vs. Ethereum (III-C P2)");
+    let mut report = ExperimentReport::new("E7", TITLE);
     let (btc_tps, btc_stale, btc_metrics) = run_chain(
         cfg,
         PowParams::bitcoin(),

@@ -9,6 +9,10 @@ use decent_sim::metrics::top_k_share;
 use decent_sim::report::{fmt_f, fmt_pct, fmt_si};
 
 use crate::report::{Expect, ExperimentReport, Table};
+use crate::scenario::{self, Param, ParamSpec, Scenario};
+
+/// One-line title shared by the report header and the registry listing.
+pub const TITLE: &str = "Mining centralization: pools, farms, and dead desktops (III-C P1)";
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -45,12 +49,65 @@ impl Config {
     }
 }
 
+/// Sweepable knobs (reaching through to the market model).
+const PARAMS: &[Param<Config>] = &[
+    Param {
+        name: "pools",
+        help: "pools available for miners to join (min 2)",
+        get: |c| c.pools as f64,
+        set: |c, v| c.pools = v.round().max(2.0) as usize,
+    },
+    Param {
+        name: "months",
+        help: "months of market evolution simulated (min 12)",
+        get: |c| c.market.months as f64,
+        set: |c, v| c.market.months = v.round().max(12.0) as usize,
+    },
+    Param {
+        name: "hobbyists",
+        help: "desktop miners at month 0 (min 10)",
+        get: |c| c.market.hobbyists as f64,
+        set: |c, v| c.market.hobbyists = v.round().max(10.0) as usize,
+    },
+    Param {
+        name: "price_growth",
+        help: "monthly BTC price growth factor (0.9-1.2)",
+        get: |c| c.market.price_growth,
+        set: |c, v| c.market.price_growth = v.clamp(0.9, 1.2),
+    },
+];
+
+impl Scenario for Config {
+    fn id(&self) -> &'static str {
+        "E8"
+    }
+    fn description(&self) -> &'static str {
+        TITLE
+    }
+    fn seed(&self) -> Option<u64> {
+        Some(self.seed)
+    }
+    fn set_seed(&mut self, seed: u64) -> bool {
+        self.seed = seed;
+        true
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        scenario::specs(PARAMS)
+    }
+    fn get_param(&self, name: &str) -> Option<f64> {
+        scenario::get_in(PARAMS, self, name)
+    }
+    fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
+        scenario::set_in(PARAMS, self, name, value)
+    }
+    fn run(&self) -> ExperimentReport {
+        run(self)
+    }
+}
+
 /// Runs E8 and produces the report.
 pub fn run(cfg: &Config) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "E8",
-        "Mining centralization: pools, farms, and dead desktops (III-C P1)",
-    );
+    let mut report = ExperimentReport::new("E8", TITLE);
     let mut market = Market::new(cfg.market.clone(), cfg.seed);
     let snaps = market.run();
     let mut t = Table::new(

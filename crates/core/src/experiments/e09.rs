@@ -15,6 +15,10 @@ use decent_sim::prelude::SimDuration;
 use decent_sim::report::{fmt_f, fmt_pct};
 
 use crate::report::{Expect, ExperimentReport, Table};
+use crate::scenario::{self, Param, ParamSpec, Scenario};
+
+/// One-line title shared by the report header and the registry listing.
+pub const TITLE: &str = "Selfish mining: minority pools beat their fair share (III-C P1, [30])";
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -25,6 +29,8 @@ pub struct Config {
     pub gammas: Vec<f64>,
     /// Block discoveries per Monte Carlo run.
     pub blocks: u64,
+    /// Selfish pool share (α) for the relay-network validation run.
+    pub pool_share: f64,
     /// Base RNG seed.
     pub seed: u64,
 }
@@ -35,6 +41,7 @@ impl Default for Config {
             alphas: vec![0.10, 0.20, 0.25, 0.30, 1.0 / 3.0, 0.40, 0.45],
             gammas: vec![0.0, 0.5, 1.0],
             blocks: 2_000_000,
+            pool_share: 0.42,
             seed: 0xE9,
         }
     }
@@ -50,12 +57,56 @@ impl Config {
     }
 }
 
+/// Sweepable knobs. `pool_share` is the selfish-mining axis: it drives
+/// the relay-network validation the `E9.relay-network` claim checks, so
+/// sweeping it locates the share below which the attack stops paying on
+/// a real propagation network.
+const PARAMS: &[Param<Config>] = &[
+    Param {
+        name: "pool_share",
+        help: "selfish pool share α in the relay-network validation (0.05-0.49)",
+        get: |c| c.pool_share,
+        set: |c, v| c.pool_share = v.clamp(0.05, 0.49),
+    },
+    Param {
+        name: "blocks",
+        help: "block discoveries per Monte Carlo run (min 10k)",
+        get: |c| c.blocks as f64,
+        set: |c, v| c.blocks = v.round().max(10_000.0) as u64,
+    },
+];
+
+impl Scenario for Config {
+    fn id(&self) -> &'static str {
+        "E9"
+    }
+    fn description(&self) -> &'static str {
+        TITLE
+    }
+    fn seed(&self) -> Option<u64> {
+        Some(self.seed)
+    }
+    fn set_seed(&mut self, seed: u64) -> bool {
+        self.seed = seed;
+        true
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        scenario::specs(PARAMS)
+    }
+    fn get_param(&self, name: &str) -> Option<f64> {
+        scenario::get_in(PARAMS, self, name)
+    }
+    fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
+        scenario::set_in(PARAMS, self, name, value)
+    }
+    fn run(&self) -> ExperimentReport {
+        run(self)
+    }
+}
+
 /// Runs E9 and produces the report.
 pub fn run(cfg: &Config) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "E9",
-        "Selfish mining: minority pools beat their fair share (III-C P1, [30])",
-    );
+    let mut report = ExperimentReport::new("E9", TITLE);
     let mut max_dev: f64 = 0.0;
     for &gamma in &cfg.gammas {
         let mut t = Table::new(
@@ -90,18 +141,21 @@ pub fn run(cfg: &Config) -> ExperimentReport {
     // Validation on the full relay network: gamma is not assumed but
     // emerges from block propagation.
     let (net_share, net_stale) = run_selfish_attack(
-        0.42,
+        cfg.pool_share,
         14,
         SimDuration::from_secs(60.0),
         SimDuration::from_days(if cfg.blocks > 1_000_000 { 6.0 } else { 2.0 }),
         cfg.seed ^ 0xE77,
     );
     let mut t_net = Table::new(
-        "Network-level validation (42% pool, gamma emergent)",
+        format!(
+            "Network-level validation ({:.0}% pool, gamma emergent)",
+            cfg.pool_share * 100.0
+        ),
         &["metric", "value"],
     );
     t_net.row(["selfish revenue share".to_string(), fmt_pct(net_share)]);
-    t_net.row(["fair share".to_string(), fmt_pct(0.42)]);
+    t_net.row(["fair share".to_string(), fmt_pct(cfg.pool_share)]);
     t_net.row([
         "stale-block rate under attack".to_string(),
         fmt_pct(net_stale),
@@ -163,7 +217,8 @@ pub fn run(cfg: &Config) -> ExperimentReport {
         "the attack survives a real relay network",
         "(gamma emerges from propagation instead of being assumed)",
         format!(
-            "42% pool earns {} on the event-simulated network (stale rate {})",
+            "{:.0}% pool earns {} on the event-simulated network (stale rate {})",
+            cfg.pool_share * 100.0,
             fmt_pct(net_share),
             fmt_pct(net_stale)
         ),

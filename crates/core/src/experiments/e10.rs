@@ -8,6 +8,10 @@ use decent_chain::economics::network_energy_twh_per_year;
 use decent_sim::report::{fmt_f, fmt_si};
 
 use crate::report::{Expect, ExperimentReport, Table};
+use crate::scenario::{self, Param, ParamSpec, Scenario};
+
+/// One-line title shared by the report header and the registry listing.
+pub const TITLE: &str = "Bitcoin energy consumption (III-B)";
 
 /// Austria's annual electricity consumption, TWh (c. 2018).
 pub const AUSTRIA_TWH: f64 = 70.0;
@@ -44,9 +48,57 @@ impl Config {
     }
 }
 
+/// Sweepable knobs.
+const PARAMS: &[Param<Config>] = &[
+    Param {
+        name: "tps",
+        help: "sustained transaction rate used for per-tx energy (min 0.1)",
+        get: |c| c.tps,
+        set: |c, v| c.tps = v.max(0.1),
+    },
+    Param {
+        name: "peak_hashrate",
+        help: "peak network hashrate tabulated, hashes/s (min 1e15)",
+        get: |c| *c.hashrates.last().expect("at least one hashrate"),
+        set: |c, v| *c.hashrates.last_mut().expect("at least one hashrate") = v.max(1e15),
+    },
+];
+
+impl Scenario for Config {
+    fn id(&self) -> &'static str {
+        "E10"
+    }
+    fn description(&self) -> &'static str {
+        TITLE
+    }
+    /// E10 is closed-form arithmetic over the fleet mix — there is no
+    /// RNG, so there is no seed to report.
+    fn seed(&self) -> Option<u64> {
+        None
+    }
+    /// Returns `false`: a seed override is a no-op here, and the
+    /// registry surfaces that (e.g. in `repro --list`) instead of
+    /// silently accepting it.
+    fn set_seed(&mut self, _seed: u64) -> bool {
+        false
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        scenario::specs(PARAMS)
+    }
+    fn get_param(&self, name: &str) -> Option<f64> {
+        scenario::get_in(PARAMS, self, name)
+    }
+    fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
+        scenario::set_in(PARAMS, self, name, value)
+    }
+    fn run(&self) -> ExperimentReport {
+        run(self)
+    }
+}
+
 /// Runs E10 and produces the report.
 pub fn run(cfg: &Config) -> ExperimentReport {
-    let mut report = ExperimentReport::new("E10", "Bitcoin energy consumption (III-B)");
+    let mut report = ExperimentReport::new("E10", TITLE);
     let mut t = Table::new(
         "Annualized network energy vs. hashrate",
         &[

@@ -16,6 +16,10 @@ use decent_chain::pow::PowParams;
 use decent_sim::prelude::*;
 
 use crate::report::{Expect, ExperimentReport, Table};
+use crate::scenario::{self, Param, ParamSpec, Scenario};
+
+/// One-line title shared by the report header and the registry listing.
+pub const TITLE: &str = "The scalability trilemma (III-C P2, [31])";
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -55,6 +59,62 @@ impl Config {
     }
 }
 
+/// Sweepable knobs.
+const PARAMS: &[Param<Config>] = &[
+    Param {
+        name: "chain_nodes",
+        help: "nodes in the permissionless base chain (min 8)",
+        get: |c| c.chain_nodes as f64,
+        set: |c, v| c.chain_nodes = v.round().max(8.0) as usize,
+    },
+    Param {
+        name: "chain_hours",
+        help: "simulated hours for the base chain (min 1)",
+        get: |c| c.chain_hours,
+        set: |c, v| c.chain_hours = v.max(1.0),
+    },
+    Param {
+        name: "shards",
+        help: "shard count for the sharded variant (min 2)",
+        get: |c| c.shards as f64,
+        set: |c, v| c.shards = v.round().max(2.0) as usize,
+    },
+    Param {
+        name: "committee",
+        help: "committee size for the permissioned variant (min 4)",
+        get: |c| c.committee as f64,
+        set: |c, v| c.committee = v.round().max(4.0) as usize,
+    },
+];
+
+impl Scenario for Config {
+    fn id(&self) -> &'static str {
+        "E11"
+    }
+    fn description(&self) -> &'static str {
+        TITLE
+    }
+    fn seed(&self) -> Option<u64> {
+        Some(self.seed)
+    }
+    fn set_seed(&mut self, seed: u64) -> bool {
+        self.seed = seed;
+        true
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        scenario::specs(PARAMS)
+    }
+    fn get_param(&self, name: &str) -> Option<f64> {
+        scenario::get_in(PARAMS, self, name)
+    }
+    fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
+        scenario::set_in(PARAMS, self, name, value)
+    }
+    fn run(&self) -> ExperimentReport {
+        run(self)
+    }
+}
+
 struct DesignPoint {
     name: String,
     tps: f64,
@@ -66,7 +126,7 @@ struct DesignPoint {
 
 /// Runs E11 and produces the report.
 pub fn run(cfg: &Config) -> ExperimentReport {
-    let mut report = ExperimentReport::new("E11", "The scalability trilemma (III-C P2, [31])");
+    let mut report = ExperimentReport::new("E11", TITLE);
 
     // Base permissionless chain.
     let mut rng = rng_from_seed(cfg.seed);

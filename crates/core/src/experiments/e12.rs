@@ -13,6 +13,10 @@ use decent_chain::pow::PowParams;
 use decent_sim::prelude::*;
 
 use crate::report::{Expect, ExperimentReport, Table};
+use crate::scenario::{self, Param, ParamSpec, Scenario};
+
+/// One-line title shared by the report header and the registry listing.
+pub const TITLE: &str = "Permissioned BFT/CFT vs. proof-of-work (IV, [34][35])";
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -50,6 +54,59 @@ impl Config {
     }
 }
 
+/// Sweepable knobs. `committee_max` drives the largest PBFT committee,
+/// which both throughput claims compare against.
+const PARAMS: &[Param<Config>] = &[
+    Param {
+        name: "committee_max",
+        help: "largest PBFT committee size swept (min 4)",
+        get: |c| *c.committee_sizes.last().expect("at least one size") as f64,
+        set: |c, v| {
+            *c.committee_sizes.last_mut().expect("at least one size") = v.round().max(4.0) as usize
+        },
+    },
+    Param {
+        name: "chain_nodes",
+        help: "nodes in the PoW comparison network (min 8)",
+        get: |c| c.chain_nodes as f64,
+        set: |c, v| c.chain_nodes = v.round().max(8.0) as usize,
+    },
+    Param {
+        name: "chain_hours",
+        help: "simulated hours for the PoW run (min 1)",
+        get: |c| c.chain_hours,
+        set: |c, v| c.chain_hours = v.max(1.0),
+    },
+];
+
+impl Scenario for Config {
+    fn id(&self) -> &'static str {
+        "E12"
+    }
+    fn description(&self) -> &'static str {
+        TITLE
+    }
+    fn seed(&self) -> Option<u64> {
+        Some(self.seed)
+    }
+    fn set_seed(&mut self, seed: u64) -> bool {
+        self.seed = seed;
+        true
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        scenario::specs(PARAMS)
+    }
+    fn get_param(&self, name: &str) -> Option<f64> {
+        scenario::get_in(PARAMS, self, name)
+    }
+    fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
+        scenario::set_in(PARAMS, self, name, value)
+    }
+    fn run(&self) -> ExperimentReport {
+        run(self)
+    }
+}
+
 fn measure_raft(seed: u64) -> (f64, f64, MetricsSnapshot) {
     let mut sim = Simulation::new(seed, LanNet::datacenter());
     let ids = build_cluster(&mut sim, &RaftConfig::default());
@@ -78,10 +135,7 @@ fn measure_raft(seed: u64) -> (f64, f64, MetricsSnapshot) {
 
 /// Runs E12 and produces the report.
 pub fn run(cfg: &Config) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "E12",
-        "Permissioned BFT/CFT vs. proof-of-work (IV, [34][35])",
-    );
+    let mut report = ExperimentReport::new("E12", TITLE);
     let mut t = Table::new(
         "Ordering throughput and commit latency",
         &["system", "replicas", "tx/s", "commit p50"],

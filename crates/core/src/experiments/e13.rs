@@ -12,6 +12,10 @@ use decent_edge::service::{run_workload, EdgeConfig, Strategy};
 use decent_sim::prelude::*;
 
 use crate::report::{Expect, ExperimentReport, Table};
+use crate::scenario::{self, Param, ParamSpec, Scenario};
+
+/// One-line title shared by the report header and the registry listing.
+pub const TITLE: &str = "Edge-centric + permissioned trust vs. centralized cloud (V, Fig. 1)";
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -45,6 +49,50 @@ impl Config {
     }
 }
 
+/// Sweepable knobs.
+const PARAMS: &[Param<Config>] = &[
+    Param {
+        name: "devices_per_region",
+        help: "edge devices per region (min 8)",
+        get: |c| c.devices_per_region as f64,
+        set: |c, v| c.devices_per_region = v.round().max(8.0) as usize,
+    },
+    Param {
+        name: "requests_per_device",
+        help: "requests issued per device (min 1)",
+        get: |c| c.requests_per_device as f64,
+        set: |c, v| c.requests_per_device = v.round().max(1.0) as usize,
+    },
+];
+
+impl Scenario for Config {
+    fn id(&self) -> &'static str {
+        "E13"
+    }
+    fn description(&self) -> &'static str {
+        TITLE
+    }
+    fn seed(&self) -> Option<u64> {
+        Some(self.seed)
+    }
+    fn set_seed(&mut self, seed: u64) -> bool {
+        self.seed = seed;
+        true
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        scenario::specs(PARAMS)
+    }
+    fn get_param(&self, name: &str) -> Option<f64> {
+        scenario::get_in(PARAMS, self, name)
+    }
+    fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
+        scenario::set_in(PARAMS, self, name, value)
+    }
+    fn run(&self) -> ExperimentReport {
+        run(self)
+    }
+}
+
 /// Measures the one-time federation-join cost on the permissioned
 /// ledger (a channel transaction committing on all peers).
 fn federation_join_ms(seed: u64) -> (f64, MetricsSnapshot) {
@@ -67,10 +115,7 @@ fn federation_join_ms(seed: u64) -> (f64, MetricsSnapshot) {
 
 /// Runs E13 and produces the report.
 pub fn run(cfg: &Config) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "E13",
-        "Edge-centric + permissioned trust vs. centralized cloud (V, Fig. 1)",
-    );
+    let mut report = ExperimentReport::new("E13", TITLE);
     let mut rows = Vec::new();
     let mut t = Table::new(
         "Service quality by architecture",

@@ -12,6 +12,10 @@ use decent_chain::pow::PowParams;
 use decent_sim::prelude::*;
 
 use crate::report::{Expect, ExperimentReport, Table};
+use crate::scenario::{self, Param, ParamSpec, Scenario};
+
+/// One-line title shared by the report header and the registry listing.
+pub const TITLE: &str = "Fork rate vs. block interval; difficulty retargeting (III-A)";
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -46,6 +50,57 @@ impl Config {
             blocks_per_level: 120,
             ..Config::default()
         }
+    }
+}
+
+/// Sweepable knobs. `fastest_interval` moves the shortest block interval
+/// in the series — the one the fork-rate claim keys on.
+const PARAMS: &[Param<Config>] = &[
+    Param {
+        name: "nodes",
+        help: "network size (min 8)",
+        get: |c| c.nodes as f64,
+        set: |c, v| c.nodes = v.round().max(8.0) as usize,
+    },
+    Param {
+        name: "fastest_interval",
+        help: "shortest target block interval swept, seconds (min 1)",
+        get: |c| c.intervals_secs[0],
+        set: |c, v| c.intervals_secs[0] = v.max(1.0),
+    },
+    Param {
+        name: "blocks_per_level",
+        help: "blocks observed per interval level (min 30)",
+        get: |c| c.blocks_per_level as f64,
+        set: |c, v| c.blocks_per_level = v.round().max(30.0) as u64,
+    },
+];
+
+impl Scenario for Config {
+    fn id(&self) -> &'static str {
+        "E14"
+    }
+    fn description(&self) -> &'static str {
+        TITLE
+    }
+    fn seed(&self) -> Option<u64> {
+        Some(self.seed)
+    }
+    fn set_seed(&mut self, seed: u64) -> bool {
+        self.seed = seed;
+        true
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        scenario::specs(PARAMS)
+    }
+    fn get_param(&self, name: &str) -> Option<f64> {
+        scenario::get_in(PARAMS, self, name)
+    }
+    fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
+        scenario::set_in(PARAMS, self, name, value)
+    }
+    fn run(&self) -> ExperimentReport {
+        run(self)
     }
 }
 
@@ -129,10 +184,7 @@ fn run_retarget(cfg: &Config, seed: u64) -> (f64, f64, f64, MetricsSnapshot) {
 
 /// Runs E14 and produces the report.
 pub fn run(cfg: &Config) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "E14",
-        "Fork rate vs. block interval; difficulty retargeting (III-A)",
-    );
+    let mut report = ExperimentReport::new("E14", TITLE);
     let mut t = Table::new(
         "Stale-block rate vs. target interval (planet-scale propagation)",
         &["target interval (s)", "measured interval (s)", "stale rate"],

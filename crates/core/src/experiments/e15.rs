@@ -12,6 +12,10 @@ use decent_chain::pow::PowParams;
 use decent_sim::prelude::*;
 
 use crate::report::{Expect, ExperimentReport, Table};
+use crate::scenario::{self, Param, ParamSpec, Scenario};
+
+/// One-line title shared by the report header and the registry listing.
+pub const TITLE: &str = "Resource growth: full nodes vs. light clients (III-C P1)";
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -48,12 +52,53 @@ impl Config {
     }
 }
 
+/// Sweepable knobs.
+const PARAMS: &[Param<Config>] = &[
+    Param {
+        name: "nodes",
+        help: "network size (min 8)",
+        get: |c| c.nodes as f64,
+        set: |c, v| c.nodes = v.round().max(8.0) as usize,
+    },
+    Param {
+        name: "days",
+        help: "simulated days of saturated chain activity (min 0.5)",
+        get: |c| c.days,
+        set: |c, v| c.days = v.max(0.5),
+    },
+];
+
+impl Scenario for Config {
+    fn id(&self) -> &'static str {
+        "E15"
+    }
+    fn description(&self) -> &'static str {
+        TITLE
+    }
+    fn seed(&self) -> Option<u64> {
+        Some(self.seed)
+    }
+    fn set_seed(&mut self, seed: u64) -> bool {
+        self.seed = seed;
+        true
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        scenario::specs(PARAMS)
+    }
+    fn get_param(&self, name: &str) -> Option<f64> {
+        scenario::get_in(PARAMS, self, name)
+    }
+    fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
+        scenario::set_in(PARAMS, self, name, value)
+    }
+    fn run(&self) -> ExperimentReport {
+        run(self)
+    }
+}
+
 /// Runs E15 and produces the report.
 pub fn run(cfg: &Config) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "E15",
-        "Resource growth: full nodes vs. light clients (III-C P1)",
-    );
+    let mut report = ExperimentReport::new("E15", TITLE);
     let mut sim = Simulation::new(cfg.seed, ConstantLatency::from_millis(80.0));
     let ncfg = NetworkConfig {
         nodes: cfg.nodes,

@@ -10,6 +10,10 @@ use decent_chain::pos::{attack_cost_units, simulate_pos_attack, simulate_pow_att
 use decent_sim::report::{fmt_pct, fmt_si};
 
 use crate::report::{Expect, ExperimentReport, Table};
+use crate::scenario::{self, Param, ParamSpec, Scenario};
+
+/// One-line title shared by the report header and the registry listing.
+pub const TITLE: &str = "Nothing-at-stake: 'killing' proof-of-stake is free (III-C P2, [32])";
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -46,12 +50,53 @@ impl Config {
     }
 }
 
+/// Sweepable knobs.
+const PARAMS: &[Param<Config>] = &[
+    Param {
+        name: "attacker",
+        help: "attacker stake/hashpower share (0.01-0.45)",
+        get: |c| c.attacker,
+        set: |c, v| c.attacker = v.clamp(0.01, 0.45),
+    },
+    Param {
+        name: "attempts",
+        help: "Monte Carlo attempts per point (min 500)",
+        get: |c| c.attempts as f64,
+        set: |c, v| c.attempts = v.round().max(500.0) as u64,
+    },
+];
+
+impl Scenario for Config {
+    fn id(&self) -> &'static str {
+        "E16"
+    }
+    fn description(&self) -> &'static str {
+        TITLE
+    }
+    fn seed(&self) -> Option<u64> {
+        Some(self.seed)
+    }
+    fn set_seed(&mut self, seed: u64) -> bool {
+        self.seed = seed;
+        true
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        scenario::specs(PARAMS)
+    }
+    fn get_param(&self, name: &str) -> Option<f64> {
+        scenario::get_in(PARAMS, self, name)
+    }
+    fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
+        scenario::set_in(PARAMS, self, name, value)
+    }
+    fn run(&self) -> ExperimentReport {
+        run(self)
+    }
+}
+
 /// Runs E16 and produces the report.
 pub fn run(cfg: &Config) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "E16",
-        "Nothing-at-stake: 'killing' proof-of-stake is free (III-C P2, [32])",
-    );
+    let mut report = ExperimentReport::new("E16", TITLE);
     let mut t = Table::new(
         "Probability of reversing a 6-confirmed payment (10% attacker)",
         &[

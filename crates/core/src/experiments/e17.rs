@@ -11,6 +11,10 @@ use decent_chain::channels::{run_workload, Topology};
 use decent_sim::report::{fmt_f, fmt_pct, fmt_si};
 
 use crate::report::{Expect, ExperimentReport, Table};
+use crate::scenario::{self, Param, ParamSpec, Scenario};
+
+/// One-line title shared by the report header and the registry listing.
+pub const TITLE: &str = "Layer-2 channels: throughput through centralization (III-C P2)";
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -50,12 +54,65 @@ impl Config {
     }
 }
 
+/// Sweepable knobs.
+const PARAMS: &[Param<Config>] = &[
+    Param {
+        name: "participants",
+        help: "participants in the channel network (min 20)",
+        get: |c| c.participants as f64,
+        set: |c, v| c.participants = v.round().max(20.0) as usize,
+    },
+    Param {
+        name: "payments",
+        help: "payments attempted (min 500)",
+        get: |c| c.payments as f64,
+        set: |c, v| c.payments = v.round().max(500.0) as u64,
+    },
+    Param {
+        name: "funding",
+        help: "channel funding per side (min 1)",
+        get: |c| c.funding,
+        set: |c, v| c.funding = v.max(1.0),
+    },
+    Param {
+        name: "amount",
+        help: "payment amount (min 0.01)",
+        get: |c| c.amount,
+        set: |c, v| c.amount = v.max(0.01),
+    },
+];
+
+impl Scenario for Config {
+    fn id(&self) -> &'static str {
+        "E17"
+    }
+    fn description(&self) -> &'static str {
+        TITLE
+    }
+    fn seed(&self) -> Option<u64> {
+        Some(self.seed)
+    }
+    fn set_seed(&mut self, seed: u64) -> bool {
+        self.seed = seed;
+        true
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        scenario::specs(PARAMS)
+    }
+    fn get_param(&self, name: &str) -> Option<f64> {
+        scenario::get_in(PARAMS, self, name)
+    }
+    fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
+        scenario::set_in(PARAMS, self, name, value)
+    }
+    fn run(&self) -> ExperimentReport {
+        run(self)
+    }
+}
+
 /// Runs E17 and produces the report.
 pub fn run(cfg: &Config) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "E17",
-        "Layer-2 channels: throughput through centralization (III-C P2)",
-    );
+    let mut report = ExperimentReport::new("E17", TITLE);
     let mut t = Table::new(
         "Channel-network workload (same payments, two topologies)",
         &[

@@ -8,6 +8,10 @@ use decent_chain::feemarket::{simulate_congestion, FeeMarketConfig};
 use decent_sim::report::{fmt_f, fmt_pct};
 
 use crate::report::{Expect, ExperimentReport, Table};
+use crate::scenario::{self, Param, ParamSpec, Scenario};
+
+/// One-line title shared by the report header and the registry listing.
+pub const TITLE: &str = "A viral dapp congests the whole chain (III-C P3, CryptoKitties)";
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -42,12 +46,59 @@ impl Config {
     }
 }
 
+/// Sweepable knobs (reaching through to the fee-market model).
+const PARAMS: &[Param<Config>] = &[
+    Param {
+        name: "viral_multiplier",
+        help: "demand multiplier during the viral window (min 1)",
+        get: |c| c.market.viral_multiplier,
+        set: |c, v| c.market.viral_multiplier = v.max(1.0),
+    },
+    Param {
+        name: "block_capacity",
+        help: "transactions per block (min 10)",
+        get: |c| c.market.block_capacity as f64,
+        set: |c, v| c.market.block_capacity = v.round().max(10.0) as usize,
+    },
+    Param {
+        name: "viral_blocks",
+        help: "length of the viral window in blocks (min 10)",
+        get: |c| c.market.viral_blocks as f64,
+        set: |c, v| c.market.viral_blocks = v.round().max(10.0) as usize,
+    },
+];
+
+impl Scenario for Config {
+    fn id(&self) -> &'static str {
+        "E18"
+    }
+    fn description(&self) -> &'static str {
+        TITLE
+    }
+    fn seed(&self) -> Option<u64> {
+        Some(self.seed)
+    }
+    fn set_seed(&mut self, seed: u64) -> bool {
+        self.seed = seed;
+        true
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        scenario::specs(PARAMS)
+    }
+    fn get_param(&self, name: &str) -> Option<f64> {
+        scenario::get_in(PARAMS, self, name)
+    }
+    fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
+        scenario::set_in(PARAMS, self, name, value)
+    }
+    fn run(&self) -> ExperimentReport {
+        run(self)
+    }
+}
+
 /// Runs E18 and produces the report.
 pub fn run(cfg: &Config) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "E18",
-        "A viral dapp congests the whole chain (III-C P3, CryptoKitties)",
-    );
+    let mut report = ExperimentReport::new("E18", TITLE);
     let mut r = simulate_congestion(&cfg.market, cfg.seed);
     let mut t = Table::new(
         "Fee market before / during / after the viral window",

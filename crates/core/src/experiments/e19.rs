@@ -23,6 +23,10 @@ use decent_overlay::kademlia::{build_network, KadConfig, KadNode};
 use decent_sim::prelude::*;
 
 use crate::report::{Expect, ExperimentReport, Table};
+use crate::scenario::{self, Param, ParamSpec, Scenario};
+
+/// One-line title shared by the report header and the registry listing.
+pub const TITLE: &str = "Resilience across a partition-heal cycle: DHT vs. PBFT (II-B P2, IV)";
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -35,6 +39,12 @@ pub struct Config {
     pub lookups_per_phase: usize,
     /// PBFT client requests submitted per phase.
     pub ops_per_phase: u64,
+    /// Fraction of DHT nodes cut off by the partition.
+    pub partition_frac: f64,
+    /// Duration of the DHT partition, seconds.
+    pub partition_secs: f64,
+    /// Duration of the correlated crash burst, seconds.
+    pub burst_secs: f64,
     /// Base RNG seed.
     pub seed: u64,
 }
@@ -46,6 +56,9 @@ impl Default for Config {
             values: 100,
             lookups_per_phase: 150,
             ops_per_phase: 400,
+            partition_frac: 0.4,
+            partition_secs: 60.0,
+            burst_secs: 30.0,
             seed: 0xE19,
         }
     }
@@ -62,14 +75,96 @@ impl Config {
             ..Config::default()
         }
     }
+
+    /// Nodes on the minority side of the DHT cut.
+    fn minority_count(&self) -> usize {
+        ((self.kad_nodes as f64 * self.partition_frac).round() as usize)
+            .clamp(1, self.kad_nodes - 1)
+    }
 }
 
-/// The scripted DHT timeline: bisection partition `[60 s, 120 s)`, then
-/// a correlated crash burst `[180 s, 210 s)`.
-const PART_AT: f64 = 60.0;
-const PART_HEAL: f64 = 120.0;
-const BURST_AT: f64 = 180.0;
-const BURST_END: f64 = 210.0;
+/// Sweepable knobs: the FaultPlan itself is the axis here. The timeline
+/// below is derived from these so a sweep moves the scripted faults, and
+/// at the defaults every derived time lands exactly on the historical
+/// schedule (partition `[60 s, 120 s)`, burst `[180 s, 210 s)`).
+const PARAMS: &[Param<Config>] = &[
+    Param {
+        name: "partition_frac",
+        help: "fraction of DHT nodes cut off by the partition (0.05-0.9)",
+        get: |c| c.partition_frac,
+        set: |c, v| c.partition_frac = v.clamp(0.05, 0.9),
+    },
+    Param {
+        name: "partition_secs",
+        help: "partition duration before the heal, seconds (30-600)",
+        get: |c| c.partition_secs,
+        set: |c, v| c.partition_secs = v.clamp(30.0, 600.0),
+    },
+    Param {
+        name: "burst_secs",
+        help: "correlated crash-burst width, seconds (10-300)",
+        get: |c| c.burst_secs,
+        set: |c, v| c.burst_secs = v.clamp(10.0, 300.0),
+    },
+    Param {
+        name: "lookups_per_phase",
+        help: "value lookups issued per phase (min 10)",
+        get: |c| c.lookups_per_phase as f64,
+        set: |c, v| c.lookups_per_phase = v.round().max(10.0) as usize,
+    },
+];
+
+impl Scenario for Config {
+    fn id(&self) -> &'static str {
+        "E19"
+    }
+    fn description(&self) -> &'static str {
+        TITLE
+    }
+    fn seed(&self) -> Option<u64> {
+        Some(self.seed)
+    }
+    fn set_seed(&mut self, seed: u64) -> bool {
+        self.seed = seed;
+        true
+    }
+    fn params(&self) -> Vec<ParamSpec> {
+        scenario::specs(PARAMS)
+    }
+    fn get_param(&self, name: &str) -> Option<f64> {
+        scenario::get_in(PARAMS, self, name)
+    }
+    fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
+        scenario::set_in(PARAMS, self, name, value)
+    }
+    fn run(&self) -> ExperimentReport {
+        run(self)
+    }
+}
+
+/// The scripted DHT timeline, derived from the config. The partition
+/// opens at a fixed 60 s; everything later shifts with its duration and
+/// the burst width.
+struct Timeline {
+    part_at: f64,
+    part_heal: f64,
+    burst_at: f64,
+    burst_end: f64,
+}
+
+impl Timeline {
+    fn of(cfg: &Config) -> Timeline {
+        let part_at = 60.0;
+        let part_heal = part_at + cfg.partition_secs;
+        let burst_at = part_heal + 60.0;
+        Timeline {
+            part_at,
+            part_heal,
+            burst_at,
+            burst_end: burst_at + cfg.burst_secs,
+        }
+    }
+}
 
 /// Per-phase DHT measurements.
 struct DhtPhase {
@@ -92,20 +187,23 @@ impl DhtPhase {
 
 fn run_dht(cfg: &Config) -> (Vec<DhtPhase>, MetricsSnapshot) {
     let n = cfg.kad_nodes;
-    // The minority side of the cut: the last 40% of nodes. The crash
-    // burst later takes out a correlated quarter (a "provider outage"),
-    // chosen disjoint from the lookup origins used during the burst.
-    let minority: Vec<NodeId> = (n - 2 * n / 5..n).collect();
+    let tl = Timeline::of(cfg);
+    // The minority side of the cut: the last `partition_frac` of nodes.
+    // The crash burst later takes out a correlated quarter (a "provider
+    // outage"), chosen disjoint from the lookup origins used during the
+    // burst.
+    let minority_count = cfg.minority_count();
+    let minority: Vec<NodeId> = (n - minority_count..n).collect();
     let burst: Vec<NodeId> = (n / 2..3 * n / 4).collect();
     let plan = FaultPlan::new()
         .partition(
-            SimTime::from_secs(PART_AT),
-            SimTime::from_secs(PART_HEAL),
+            SimTime::from_secs(tl.part_at),
+            SimTime::from_secs(tl.part_heal),
             minority,
         )
         .crash_burst(
-            SimTime::from_secs(BURST_AT),
-            SimTime::from_secs(BURST_END),
+            SimTime::from_secs(tl.burst_at),
+            SimTime::from_secs(tl.burst_end),
             burst,
         );
     let mut sim: Simulation<KadNode> = Simulation::new(
@@ -132,11 +230,26 @@ fn run_dht(cfg: &Config) -> (Vec<DhtPhase>, MetricsSnapshot) {
     // One batch of value lookups per phase, spread across the phase
     // window, from origins that are online and on the majority side of
     // whatever fault is active at the time.
+    // Phase windows scale with the fault schedule; at the default
+    // durations these evaluate to the historical 65-105 / 130-165 /
+    // 183-203 windows exactly.
+    let part_scale = cfg.partition_secs / 60.0;
+    let burst_scale = cfg.burst_secs / 30.0;
     let phases: [(&str, f64, f64, usize); 4] = [
         ("pre-partition", 20.0, 50.0, 0),
-        ("partitioned (majority)", 65.0, 105.0, 1),
-        ("healed", 130.0, 165.0, 0),
-        ("crash burst (survivors)", 183.0, 203.0, 2),
+        (
+            "partitioned (majority)",
+            tl.part_at + 5.0 * part_scale,
+            tl.part_heal - 15.0 * part_scale,
+            1,
+        ),
+        ("healed", tl.part_heal + 10.0, tl.part_heal + 45.0, 0),
+        (
+            "crash burst (survivors)",
+            tl.burst_at + 3.0 * burst_scale,
+            tl.burst_end - 7.0 * burst_scale,
+            2,
+        ),
     ];
     let mut out = Vec::new();
     for (pi, &(name, start, end, origin_mode)) in phases.iter().enumerate() {
@@ -149,7 +262,7 @@ fn run_dht(cfg: &Config) -> (Vec<DhtPhase>, MetricsSnapshot) {
                 // Anywhere; the majority (first 60%) during the cut; a
                 // survivor (first half, disjoint from the burst set)
                 // while the burst is active.
-                1 => ids[(j * 13) % (n - 2 * n / 5)],
+                1 => ids[(j * 13) % (n - minority_count)],
                 2 => ids[(j * 13) % (n / 2)],
                 _ => ids[(j * 13) % n],
             };
@@ -178,7 +291,7 @@ fn run_dht(cfg: &Config) -> (Vec<DhtPhase>, MetricsSnapshot) {
         }
         out.push(phase);
     }
-    sim.run_until(SimTime::from_secs(240.0));
+    sim.run_until(SimTime::from_secs(tl.burst_end + 30.0));
     (out, sim.metrics_snapshot())
 }
 
@@ -255,10 +368,7 @@ fn run_pbft(cfg: &Config) -> (PbftOutcome, MetricsSnapshot) {
 
 /// Runs E19 and produces the report.
 pub fn run(cfg: &Config) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "E19",
-        "Resilience across a partition-heal cycle: DHT vs. PBFT (II-B P2, IV)",
-    );
+    let mut report = ExperimentReport::new("E19", TITLE);
 
     let (dht, dht_metrics) = run_dht(cfg);
     let mut t = Table::new(

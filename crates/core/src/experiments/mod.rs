@@ -2,9 +2,12 @@
 //! [`crate::claims`] for the mapping).
 //!
 //! Every experiment exposes a `Config` (with `Default` = paper scale
-//! and `Config::quick()` = CI scale) and a `run(&Config) ->
-//! ExperimentReport` entry point. The harness entry points here add
-//! seed overrides ([`run_seeded`]) and a deterministic parallel runner
+//! and `Config::quick()` = CI scale), a `run(&Config) ->
+//! ExperimentReport` entry point, and an implementation of
+//! [`crate::scenario::Scenario`] on its `Config`. The scenario registry
+//! ([`crate::scenario::all`]) is the single source of truth for ids and
+//! descriptions; the harness entry points here add seed overrides
+//! ([`run_seeded`]) and a deterministic parallel runner
 //! ([`run_report`]) that fans experiments across a thread pool.
 
 pub mod e01;
@@ -31,69 +34,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use crate::report::{ExperimentReport, ExperimentRun, RunReport};
-
-/// Experiment ids in order. E1-E15 reproduce the paper's explicit
-/// quantitative claims; E16-E18 cover the secondary claims it makes in
-/// passing (nothing-at-stake, layer-2 centralization, dapp congestion);
-/// E19 stresses both architectures with scripted fault injection.
-pub const ALL: [&str; 19] = [
-    "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15",
-    "E16", "E17", "E18", "E19",
-];
-
-/// `(id, one-line description)` for every experiment, in [`ALL`] order.
-/// This is what `repro --list` prints.
-pub const DESCRIPTIONS: [(&str, &str); 19] = [
-    (
-        "E1",
-        "DHT lookup latency: eMule KAD vs. BitTorrent Mainline (II-A)",
-    ),
-    ("E2", "Free riding on Gnutella (II-B P1)"),
-    ("E3", "Tit-for-tat incentives in BitTorrent (II-B P1)"),
-    (
-        "E4",
-        "Churn vs. performance; stable servers have no rival (II-B P2)",
-    ),
-    ("E5", "Sybil attacks on open overlays (II-B P3)"),
-    ("E6", "One-hop full membership vs. multi-hop DHTs (II-B)"),
-    ("E7", "Throughput: VISA vs. Bitcoin vs. Ethereum (III-C P2)"),
-    (
-        "E8",
-        "Mining centralization: pools, farms, dead desktops (III-C P1)",
-    ),
-    (
-        "E9",
-        "Selfish mining: minority pools beat their fair share (III-C P1)",
-    ),
-    ("E10", "Bitcoin energy consumption at peak hashrate (III-B)"),
-    ("E11", "The scalability trilemma (III-C P2)"),
-    ("E12", "Permissioned BFT/CFT vs. proof-of-work (IV)"),
-    (
-        "E13",
-        "Edge-centric + permissioned trust vs. centralized cloud (V)",
-    ),
-    (
-        "E14",
-        "Fork rate vs. block interval; difficulty retargeting (III-A)",
-    ),
-    (
-        "E15",
-        "Resource growth: full nodes vs. light clients (III-C P1)",
-    ),
-    (
-        "E16",
-        "Nothing-at-stake: 'killing' proof-of-stake is free (III-C P2)",
-    ),
-    (
-        "E17",
-        "Layer-2 channels: throughput through centralization (III-C P2)",
-    ),
-    ("E18", "A viral dapp congests the whole chain (III-C P3)"),
-    (
-        "E19",
-        "Resilience across a partition-heal cycle: DHT vs. PBFT (II-B P2, IV)",
-    ),
-];
+use crate::scenario;
 
 /// Runs one experiment by id at quick (CI) or full (paper) scale.
 ///
@@ -106,60 +47,21 @@ pub fn run_by_id(id: &str, quick: bool) -> Option<ExperimentReport> {
 ///
 /// `seed = None` keeps the experiment's built-in config seed (the
 /// reproducible default). E10 is closed-form arithmetic with no RNG, so
-/// a seed override is a no-op there.
+/// a seed override is a no-op there ([`scenario::Scenario::set_seed`]
+/// returns `false`).
 ///
 /// Returns `None` for an unknown id.
 pub fn run_seeded(id: &str, quick: bool, seed: Option<u64>) -> Option<ExperimentReport> {
-    macro_rules! dispatch {
-        ($m:ident) => {{
-            let mut cfg = if quick {
-                $m::Config::quick()
-            } else {
-                $m::Config::default()
-            };
-            if let Some(s) = seed {
-                cfg.seed = s;
-            }
-            $m::run(&cfg)
-        }};
-        ($m:ident, no_seed) => {{
-            let cfg = if quick {
-                $m::Config::quick()
-            } else {
-                $m::Config::default()
-            };
-            $m::run(&cfg)
-        }};
+    let mut s = scenario::build(id, quick)?;
+    if let Some(seed) = seed {
+        s.set_seed(seed);
     }
-    Some(match id {
-        "E1" => dispatch!(e01),
-        "E2" => dispatch!(e02),
-        "E3" => dispatch!(e03),
-        "E4" => dispatch!(e04),
-        "E5" => dispatch!(e05),
-        "E6" => dispatch!(e06),
-        "E7" => dispatch!(e07),
-        "E8" => dispatch!(e08),
-        "E9" => dispatch!(e09),
-        "E10" => dispatch!(e10, no_seed),
-        "E11" => dispatch!(e11),
-        "E12" => dispatch!(e12),
-        "E13" => dispatch!(e13),
-        "E14" => dispatch!(e14),
-        "E15" => dispatch!(e15),
-        "E16" => dispatch!(e16),
-        "E17" => dispatch!(e17),
-        "E18" => dispatch!(e18),
-        "E19" => dispatch!(e19),
-        _ => return None,
-    })
+    Some(s.run())
 }
 
-/// Runs every experiment in order.
+/// Runs every experiment in registry order.
 pub fn run_all(quick: bool) -> Vec<ExperimentReport> {
-    ALL.iter()
-        .map(|id| run_by_id(id, quick).expect("known id"))
-        .collect()
+    scenario::all(quick).iter().map(|s| s.run()).collect()
 }
 
 /// Runs the given experiments across `jobs` worker threads and collects
@@ -173,12 +75,15 @@ pub fn run_all(quick: bool) -> Vec<ExperimentReport> {
 ///
 /// # Panics
 ///
-/// Panics on an unknown id (callers validate ids against [`ALL`]
-/// first) or `jobs == 0`.
+/// Panics on an unknown id (callers validate ids against
+/// [`scenario::ids`] first) or `jobs == 0`.
 pub fn run_report(ids: &[&str], quick: bool, seed: Option<u64>, jobs: usize) -> RunReport {
     assert!(jobs > 0, "jobs must be >= 1");
     for id in ids {
-        assert!(ALL.contains(id), "unknown experiment id {id}");
+        assert!(
+            scenario::build(id, quick).is_some(),
+            "unknown experiment id {id}"
+        );
     }
     let workers = jobs.min(ids.len()).max(1);
     let next = AtomicUsize::new(0);
@@ -219,17 +124,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn descriptions_cover_registry_in_order() {
-        assert_eq!(DESCRIPTIONS.len(), ALL.len());
-        for (i, (id, desc)) in DESCRIPTIONS.iter().enumerate() {
-            assert_eq!(*id, ALL[i]);
-            assert!(!desc.is_empty());
-        }
-    }
-
-    #[test]
     fn unknown_id_is_none() {
         assert!(run_by_id("E99", true).is_none());
         assert!(run_seeded("", true, Some(1)).is_none());
+    }
+
+    #[test]
+    fn run_by_id_matches_registry_run() {
+        let direct = run_by_id("E10", true).expect("known id");
+        let via_registry = scenario::build("E10", true).expect("known id").run();
+        assert_eq!(format!("{direct}"), format!("{via_registry}"));
     }
 }

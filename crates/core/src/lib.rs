@@ -24,9 +24,12 @@ pub mod ablations;
 pub mod claims;
 pub mod experiments;
 pub mod report;
+pub mod scenario;
+pub mod sensitivity;
 
 pub use claims::{claim, Claim, CLAIMS};
 pub use report::{
     diff_verdicts, verdicts_from_json, ClaimVerdict, Expect, ExperimentReport, ExperimentRun,
     Finding, RunReport,
 };
+pub use scenario::{ParamSpec, Scenario};

@@ -1,0 +1,383 @@
+//! The [`Scenario`] trait: one uniform surface over every experiment.
+//!
+//! Each `experiments::eNN` module used to be a free-standing
+//! `Config` + `run()` pair, wired together by a `macro_rules!` dispatch
+//! and two hand-maintained `ALL`/`DESCRIPTIONS` arrays. This module
+//! replaces all of that with a trait implemented *by the config types
+//! themselves* and a single factory registry ([`build`] / [`all`] /
+//! [`ids`]) the `repro --list` output and the dispatch all derive
+//! from.
+//!
+//! A scenario exposes:
+//!
+//! - identity: [`Scenario::id`] and [`Scenario::description`] (the same
+//!   title string the experiment's report header uses, so the listing
+//!   can never drift from the reports);
+//! - seeding: [`Scenario::seed`] / [`Scenario::set_seed`]. `set_seed`
+//!   returns whether the scenario actually consumes the seed — E10 is
+//!   closed-form arithmetic with no RNG, so a `--seed` override is
+//!   visibly a no-op there instead of a silently accepted one;
+//! - a typed parameter map ([`Scenario::params`]): named `f64`
+//!   getter/setter views over the config's sweepable knobs, which is
+//!   what makes generic sensitivity analysis
+//!   ([`crate::sensitivity`]) possible without bespoke per-experiment
+//!   code;
+//! - execution: [`Scenario::run`] produces the
+//!   [`ExperimentReport`].
+//!
+//! Integer-valued knobs round-trip exactly through their `f64` views
+//! (`get` widens, `set` rounds), so setting a parameter to its current
+//! value is a strict no-op and a one-point sweep reproduces a plain run
+//! byte-for-byte.
+
+use crate::experiments::{
+    e01, e02, e03, e04, e05, e06, e07, e08, e09, e10, e11, e12, e13, e14, e15, e16, e17, e18, e19,
+};
+use crate::report::ExperimentReport;
+
+/// A named, documented `f64` view over one sweepable knob of a config
+/// type `C`. Experiment modules declare a `&[Param<Config>]` table and
+/// forward the trait's param methods to it via [`specs`], [`get_in`]
+/// and [`set_in`].
+pub struct Param<C> {
+    /// Parameter name (stable: `repro --sweep EXP:name=..` keys on it).
+    pub name: &'static str,
+    /// One-line description shown by `repro --list`.
+    pub help: &'static str,
+    /// Reads the knob as an `f64`.
+    pub get: fn(&C) -> f64,
+    /// Writes the knob from an `f64` (rounding/clamping as the field
+    /// requires; must round-trip `set(get())` exactly).
+    pub set: fn(&mut C, f64),
+}
+
+/// A parameter's name and help text, detached from its config type —
+/// what [`Scenario::params`] hands to callers that only hold a trait
+/// object.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParamSpec {
+    /// Parameter name.
+    pub name: &'static str,
+    /// One-line description.
+    pub help: &'static str,
+}
+
+/// Type-erased specs for a module's param table.
+pub fn specs<C>(params: &[Param<C>]) -> Vec<ParamSpec> {
+    params
+        .iter()
+        .map(|p| ParamSpec {
+            name: p.name,
+            help: p.help,
+        })
+        .collect()
+}
+
+/// Reads the named parameter from `cfg`, if the table declares it.
+pub fn get_in<C>(params: &[Param<C>], cfg: &C, name: &str) -> Option<f64> {
+    params.iter().find(|p| p.name == name).map(|p| (p.get)(cfg))
+}
+
+/// Writes the named parameter into `cfg`. Rejects unknown names (the
+/// error lists what *is* sweepable) and non-finite values.
+pub fn set_in<C>(params: &[Param<C>], cfg: &mut C, name: &str, value: f64) -> Result<(), String> {
+    if !value.is_finite() {
+        return Err(format!("parameter {name} must be finite, got {value}"));
+    }
+    match params.iter().find(|p| p.name == name) {
+        Some(p) => {
+            (p.set)(cfg, value);
+            Ok(())
+        }
+        None => {
+            let known: Vec<&str> = params.iter().map(|p| p.name).collect();
+            Err(if known.is_empty() {
+                format!("unknown parameter {name} (this scenario has no sweepable parameters)")
+            } else {
+                format!("unknown parameter {name} (sweepable: {})", known.join(", "))
+            })
+        }
+    }
+}
+
+/// One experiment behind a uniform, object-safe surface: identity,
+/// seeding, a typed parameter map, and execution.
+///
+/// Implemented by each experiment's `Config` type; constructed through
+/// the registry ([`build`] / [`all`]) at either scale (`quick` = CI,
+/// default = paper).
+pub trait Scenario: Send {
+    /// Stable experiment id (`"E1"` … `"E19"`).
+    fn id(&self) -> &'static str;
+
+    /// One-line title — the same string the experiment's report header
+    /// carries, so `repro --list` and the reports cannot drift apart.
+    fn description(&self) -> &'static str;
+
+    /// The base RNG seed the run derives its streams from, or `None`
+    /// for closed-form scenarios with no RNG (E10).
+    fn seed(&self) -> Option<u64>;
+
+    /// Overrides the base seed. Returns whether the scenario consumes
+    /// it — `false` means the run is seed-independent and the override
+    /// had no effect (surfaced in `repro --list` instead of being
+    /// silently accepted).
+    fn set_seed(&mut self, seed: u64) -> bool;
+
+    /// The sweepable knobs this scenario exposes.
+    fn params(&self) -> Vec<ParamSpec>;
+
+    /// Reads a knob by name (`None` = not a declared parameter).
+    fn get_param(&self, name: &str) -> Option<f64>;
+
+    /// Writes a knob by name; errors name the sweepable set.
+    fn set_param(&mut self, name: &str, value: f64) -> Result<(), String>;
+
+    /// Runs the experiment on the current config.
+    fn run(&self) -> ExperimentReport;
+}
+
+/// Builds one scenario at quick (CI) or default (paper) scale.
+type Factory = fn(bool) -> Box<dyn Scenario>;
+
+/// The experiment registry: one factory per experiment, in id order.
+/// This is the single source of truth — ids ([`ids`]), listings, and
+/// dispatch ([`build`]) all derive from it. E1–E15 reproduce the
+/// paper's explicit quantitative claims; E16–E18 cover the secondary
+/// claims it makes in passing (nothing-at-stake, layer-2
+/// centralization, dapp congestion); E19 stresses both architectures
+/// with scripted fault injection.
+const FACTORIES: [Factory; 19] = [
+    |q| {
+        Box::new(if q {
+            e01::Config::quick()
+        } else {
+            e01::Config::default()
+        })
+    },
+    |q| {
+        Box::new(if q {
+            e02::Config::quick()
+        } else {
+            e02::Config::default()
+        })
+    },
+    |q| {
+        Box::new(if q {
+            e03::Config::quick()
+        } else {
+            e03::Config::default()
+        })
+    },
+    |q| {
+        Box::new(if q {
+            e04::Config::quick()
+        } else {
+            e04::Config::default()
+        })
+    },
+    |q| {
+        Box::new(if q {
+            e05::Config::quick()
+        } else {
+            e05::Config::default()
+        })
+    },
+    |q| {
+        Box::new(if q {
+            e06::Config::quick()
+        } else {
+            e06::Config::default()
+        })
+    },
+    |q| {
+        Box::new(if q {
+            e07::Config::quick()
+        } else {
+            e07::Config::default()
+        })
+    },
+    |q| {
+        Box::new(if q {
+            e08::Config::quick()
+        } else {
+            e08::Config::default()
+        })
+    },
+    |q| {
+        Box::new(if q {
+            e09::Config::quick()
+        } else {
+            e09::Config::default()
+        })
+    },
+    |q| {
+        Box::new(if q {
+            e10::Config::quick()
+        } else {
+            e10::Config::default()
+        })
+    },
+    |q| {
+        Box::new(if q {
+            e11::Config::quick()
+        } else {
+            e11::Config::default()
+        })
+    },
+    |q| {
+        Box::new(if q {
+            e12::Config::quick()
+        } else {
+            e12::Config::default()
+        })
+    },
+    |q| {
+        Box::new(if q {
+            e13::Config::quick()
+        } else {
+            e13::Config::default()
+        })
+    },
+    |q| {
+        Box::new(if q {
+            e14::Config::quick()
+        } else {
+            e14::Config::default()
+        })
+    },
+    |q| {
+        Box::new(if q {
+            e15::Config::quick()
+        } else {
+            e15::Config::default()
+        })
+    },
+    |q| {
+        Box::new(if q {
+            e16::Config::quick()
+        } else {
+            e16::Config::default()
+        })
+    },
+    |q| {
+        Box::new(if q {
+            e17::Config::quick()
+        } else {
+            e17::Config::default()
+        })
+    },
+    |q| {
+        Box::new(if q {
+            e18::Config::quick()
+        } else {
+            e18::Config::default()
+        })
+    },
+    |q| {
+        Box::new(if q {
+            e19::Config::quick()
+        } else {
+            e19::Config::default()
+        })
+    },
+];
+
+/// Number of registered scenarios.
+pub fn count() -> usize {
+    FACTORIES.len()
+}
+
+/// Registered experiment ids, in registry order.
+pub fn ids() -> Vec<&'static str> {
+    FACTORIES.iter().map(|f| f(true).id()).collect()
+}
+
+/// Builds every scenario at the given scale, in registry order.
+pub fn all(quick: bool) -> Vec<Box<dyn Scenario>> {
+    FACTORIES.iter().map(|f| f(quick)).collect()
+}
+
+/// Builds one scenario by id (case-insensitive: `"e19"` works).
+/// Returns `None` for an unknown id.
+pub fn build(id: &str, quick: bool) -> Option<Box<dyn Scenario>> {
+    FACTORIES
+        .iter()
+        .map(|f| f(quick))
+        .find(|s| s.id().eq_ignore_ascii_case(id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_well_formed() {
+        let ids = ids();
+        assert_eq!(ids.len(), count());
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(*id, format!("E{}", i + 1), "registry must stay in id order");
+            assert!(ids.iter().filter(|x| **x == *id).count() == 1, "dup {id}");
+        }
+    }
+
+    #[test]
+    fn build_is_case_insensitive_and_rejects_unknown() {
+        assert_eq!(build("e19", true).unwrap().id(), "E19");
+        assert_eq!(build("E7", false).unwrap().id(), "E7");
+        assert!(build("E99", true).is_none());
+        assert!(build("", true).is_none());
+    }
+
+    #[test]
+    fn params_are_unique_and_round_trip_at_defaults() {
+        for s in all(true).iter_mut() {
+            let specs = s.params();
+            for (i, p) in specs.iter().enumerate() {
+                assert!(!p.help.is_empty(), "{}:{} has no help", s.id(), p.name);
+                assert!(
+                    !specs[..i].iter().any(|q| q.name == p.name),
+                    "{} declares parameter {} twice",
+                    s.id(),
+                    p.name
+                );
+                // Integer and float knobs alike must round-trip their
+                // current value exactly: a one-point sweep at the
+                // default must be a strict no-op on the config.
+                let v = s.get_param(p.name).expect("declared param readable");
+                s.set_param(p.name, v).expect("declared param writable");
+                assert_eq!(
+                    s.get_param(p.name),
+                    Some(v),
+                    "{}:{} does not round-trip",
+                    s.id(),
+                    p.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn set_param_rejects_unknown_names_and_non_finite_values() {
+        let mut s = build("E4", true).unwrap();
+        let err = s.set_param("frobnication", 1.0).unwrap_err();
+        assert!(err.contains("unknown parameter"), "{err}");
+        assert!(err.contains("session_mins"), "error lists knobs: {err}");
+        let err = s.set_param("nodes", f64::NAN).unwrap_err();
+        assert!(err.contains("finite"), "{err}");
+    }
+
+    #[test]
+    fn e10_is_visibly_seedless() {
+        let mut s = build("E10", true).unwrap();
+        assert_eq!(s.seed(), None);
+        assert!(!s.set_seed(42), "E10 must report the seed as unused");
+        // Every other scenario consumes its seed.
+        for mut s in all(true) {
+            if s.id() != "E10" {
+                assert!(s.set_seed(7), "{} should use seeds", s.id());
+                assert_eq!(s.seed(), Some(7));
+            }
+        }
+    }
+}

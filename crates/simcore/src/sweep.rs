@@ -14,56 +14,109 @@ use std::sync::Mutex;
 /// Uses up to `std::thread::available_parallelism()` worker threads
 /// (capped by the number of parameters). Panics in `f` propagate.
 ///
+/// Workers claim points with a single atomic fetch-add over the
+/// immutable input slice; each result lands in its own pre-allocated
+/// slot. Nothing is locked on the hot path, so dense grids of cheap
+/// points no longer serialize on a shared work-queue mutex.
+///
 /// # Examples
 ///
 /// ```
 /// use decent_sim::sweep::sweep;
 ///
-/// let squares = sweep(vec![1u64, 2, 3, 4], |x| x * x);
+/// let squares = sweep(&[1u64, 2, 3, 4], |x| x * x);
 /// assert_eq!(squares, vec![1, 4, 9, 16]);
 /// ```
-pub fn sweep<P, R, F>(params: Vec<P>, f: F) -> Vec<R>
+pub fn sweep<P, R, F>(params: &[P], f: F) -> Vec<R>
 where
-    P: Send,
+    P: Sync,
     R: Send,
-    F: Fn(P) -> R + Sync,
+    F: Fn(&P) -> R + Sync,
 {
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    sweep_with(params, workers, f)
+}
+
+/// [`sweep`] with an explicit worker-thread count.
+///
+/// `jobs = 1` runs the points serially on the calling thread — same
+/// code path per point, so serial and parallel sweeps produce
+/// identical results for deterministic `f`.
+///
+/// # Panics
+///
+/// Panics if `jobs == 0`, or if `f` panics.
+pub fn sweep_with<P, R, F>(params: &[P], jobs: usize, f: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+{
+    assert!(jobs > 0, "jobs must be >= 1");
     let n = params.len();
     if n == 0 {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
-    if workers <= 1 {
-        return params.into_iter().map(f).collect();
+    if jobs == 1 || n == 1 {
+        return params.iter().map(f).collect();
     }
-    // Work queue of (index, param); results collected by index.
-    let jobs: Mutex<Vec<Option<(usize, P)>>> =
-        Mutex::new(params.into_iter().enumerate().map(Some).collect());
+    let workers = jobs.min(n);
+    // Points are claimed by a lock-free atomic cursor over the input
+    // slice; each worker writes into a distinct pre-sized result slot
+    // guarded by its own (uncontended) mutex.
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let mut results: Vec<Option<R>> = Vec::new();
+    results.resize_with(n, || None);
+    let slots: Vec<Mutex<&mut Option<R>>> = results.iter_mut().map(Mutex::new).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let (idx, param) = jobs.lock().expect("queue lock")[i]
-                    .take()
-                    .expect("each job taken once");
+                let Some(param) = params.get(i) else { break };
                 let out = f(param);
-                results.lock().expect("results lock")[idx] = Some(out);
+                **slots[i].lock().expect("slot lock") = Some(out);
             });
         }
     });
+    drop(slots);
     results
-        .into_inner()
-        .expect("threads joined")
         .into_iter()
-        .map(|r| r.expect("every job completed"))
+        .map(|r| r.expect("every point completed"))
+        .collect()
+}
+
+/// An evenly spaced inclusive grid of `steps` points from `lo` to `hi`.
+///
+/// `steps = 1` yields just `[lo]`; the first point is always exactly
+/// `lo` and (for `steps > 1`) the last exactly `hi`.
+///
+/// # Examples
+///
+/// ```
+/// use decent_sim::sweep::grid;
+///
+/// assert_eq!(grid(0.0, 1.0, 3), vec![0.0, 0.5, 1.0]);
+/// assert_eq!(grid(0.1, 0.5, 1), vec![0.1]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `steps == 0`.
+pub fn grid(lo: f64, hi: f64, steps: usize) -> Vec<f64> {
+    assert!(steps > 0, "a grid needs at least one point");
+    if steps == 1 {
+        return vec![lo];
+    }
+    (0..steps)
+        .map(|i| {
+            if i == steps - 1 {
+                hi
+            } else {
+                lo + (hi - lo) * i as f64 / (steps - 1) as f64
+            }
+        })
         .collect()
 }
 
@@ -73,14 +126,33 @@ mod tests {
 
     #[test]
     fn preserves_order() {
-        let out = sweep((0..100u64).collect(), |x| x * 2);
+        let input: Vec<u64> = (0..100).collect();
+        let out = sweep(&input, |x| x * 2);
         assert_eq!(out, (0..100u64).map(|x| x * 2).collect::<Vec<_>>());
     }
 
     #[test]
     fn empty_input() {
-        let out: Vec<u64> = sweep(Vec::<u64>::new(), |x| x);
+        let out: Vec<u64> = sweep(&[], |x: &u64| *x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn serial_equals_parallel() {
+        let input: Vec<u64> = (0..64).collect();
+        let serial = sweep_with(&input, 1, |x| x.wrapping_mul(0x9E37).rotate_left(7));
+        let parallel = sweep_with(&input, 8, |x| x.wrapping_mul(0x9E37).rotate_left(7));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn grid_endpoints_are_exact() {
+        let g = grid(0.1, 0.5, 3);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g[0], 0.1);
+        assert_eq!(g[2], 0.5);
+        assert_eq!(grid(2.0, 9.0, 1), vec![2.0]);
+        assert_eq!(grid(0.0, 10.0, 11)[4], 4.0);
     }
 
     #[test]
@@ -92,9 +164,9 @@ mod tests {
             type Msg = ();
             fn on_message(&mut self, _f: NodeId, _m: (), _c: &mut Context<'_, ()>) {}
         }
-        let run = |seed: u64| {
+        let run = |seed: &u64| {
             let mut sim: Simulation<Echo> =
-                Simulation::new(seed, ConstantLatency::from_millis(1.0));
+                Simulation::new(*seed, ConstantLatency::from_millis(1.0));
             let a = sim.add_node(Echo);
             for i in 0..50 {
                 sim.inject(a, (), SimDuration::from_millis(i as f64));
@@ -102,11 +174,9 @@ mod tests {
             sim.run_until(SimTime::from_secs(1.0));
             sim.events_processed()
         };
-        let parallel = sweep(vec![1u64, 2, 3, 4, 5, 6, 7, 8], run);
-        let serial: Vec<u64> = vec![1u64, 2, 3, 4, 5, 6, 7, 8]
-            .into_iter()
-            .map(run)
-            .collect();
+        let seeds = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        let parallel = sweep(&seeds, run);
+        let serial: Vec<u64> = seeds.iter().map(run).collect();
         assert_eq!(parallel, serial);
     }
 }

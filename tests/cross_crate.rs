@@ -1,15 +1,15 @@
 //! Cross-crate integration: scenarios that span the substrate crates,
 //! plus consistency of the claim catalog with the experiment registry.
 
-use decent::core::{claims, experiments};
+use decent::core::{claims, experiments, scenario};
 use decent::sim::prelude::*;
 
-/// Every claim maps to a registered experiment and vice versa.
+/// Every claim maps to a registered scenario and vice versa.
 #[test]
 fn claims_and_experiments_are_in_bijection() {
     let mut claimed: Vec<&str> = claims::CLAIMS.iter().map(|c| c.experiment).collect();
     claimed.sort_unstable();
-    let mut registered: Vec<&str> = experiments::ALL.to_vec();
+    let mut registered = scenario::ids();
     registered.sort_unstable();
     assert_eq!(claimed, registered);
 }

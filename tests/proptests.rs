@@ -476,3 +476,50 @@ proptest! {
         prop_assert_eq!(&w_bare, &h_bare);
     }
 }
+
+proptest! {
+    // Each case runs a full (cheap) experiment twice, so keep the case
+    // count far below the default 256.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // A one-point sweep must be the identity harness: build the
+    // scenario, "set" the swept parameter to a grid holding only its
+    // current value, derive point seed 0 (== the base seed), run. If
+    // any of those steps perturbed the config or an RNG stream, the
+    // rendered report would differ from a plain `run_seeded` call.
+    // Cheap experiments only (the same trio the run-report tests
+    // use); the property is about the harness, not the workload.
+    #[test]
+    fn one_point_sweep_reproduces_a_plain_run(
+        which in 0usize..3,
+        pick in any::<usize>(),
+        seed in proptest::option::of(any::<u64>()),
+    ) {
+        use decent::core::sensitivity::{run_sweep, SweepSpec};
+        use decent::core::{experiments, scenario};
+        const CHEAP: [&str; 3] = ["E10", "E16", "E18"];
+        let id = CHEAP[which];
+        let probe = scenario::build(id, true).expect("registered id");
+        let params = probe.params();
+        let param = &params[pick % params.len()];
+        let v = probe.get_param(param.name).expect("declared param");
+        let spec = SweepSpec {
+            exp: id.to_string(),
+            param: param.name.to_string(),
+            lo: v,
+            hi: v,
+            steps: 1,
+        };
+        let sweep = run_sweep(&spec, true, seed, 1).expect("valid sweep");
+        let direct = experiments::run_seeded(id, true, seed).expect("registered id");
+        prop_assert_eq!(sweep.points.len(), 1);
+        prop_assert_eq!(sweep.points[0].applied, v);
+        prop_assert_eq!(
+            sweep.points[0].report.to_string(),
+            direct.to_string(),
+            "one-point sweep of {}:{} diverged from the plain run",
+            id,
+            param.name
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! `Option<T>` strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `Option<T>`: `None` for a quarter of samples, `Some`
+/// of the inner strategy otherwise (matching real proptest's default
+/// 75% `Some` weighting).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// The strategy returned by [`of`].
+#[derive(Clone, Debug)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.sample(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn produces_both_variants(xs in crate::collection::vec(crate::option::of(0u64..5), 40..41)) {
+            prop_assert!(xs.iter().any(Option::is_some));
+            prop_assert!(xs.iter().any(Option::is_none));
+            prop_assert!(xs.iter().flatten().all(|&v| v < 5));
+        }
+    }
+}

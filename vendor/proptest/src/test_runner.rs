@@ -1,4 +1,31 @@
-//! The per-test deterministic RNG.
+//! The per-test deterministic RNG and run configuration.
+
+/// Per-block run configuration, mirroring real proptest's
+/// `ProptestConfig` (only the `cases` knob is implemented). Passed to
+/// [`proptest!`](crate::proptest) via the
+/// `#![proptest_config(..)]` inner attribute to override the default
+/// [`CASES`](crate::CASES) — e.g. for properties whose single case is
+/// itself expensive.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases the block's properties each run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: crate::CASES,
+        }
+    }
+}
 
 /// A small deterministic generator (SplitMix64) used to sample strategies.
 ///
