@@ -5,4 +5,5 @@
 //! - Criterion benches (`cargo bench`) time the simulation primitives
 //!   and each experiment at CI scale.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -17,7 +17,7 @@
 //!    certificate; non-members of a channel never receive its traffic
 //!    (asserted in tests).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::rc::Rc;
 
 use decent_sim::prelude::*;
@@ -196,8 +196,10 @@ pub enum FabricNode {
         peers: Vec<NodeId>,
         /// Channel peer ids for delivery.
         subscribers: HashMap<u32, Vec<NodeId>>,
-        /// Per-channel pending batch.
-        batches: HashMap<u32, Vec<TxEnvelope>>,
+        /// Per-channel pending batch. A `BTreeMap` because block
+        /// cutting walks the channels: the visit order must be the
+        /// channel-id order, not the hasher's.
+        batches: BTreeMap<u32, Vec<TxEnvelope>>,
         /// Per-channel next sequence.
         next_seq: HashMap<u32, u64>,
         /// Blocks awaiting follower acks: (channel, seq) -> (block, acks).
@@ -436,13 +438,13 @@ impl Node for FabricNode {
                     return;
                 }
                 // Cut channels in id order so runs are reproducible
-                // across processes.
-                let mut channels_due: Vec<u32> = batches
+                // across processes (`batches` is a BTreeMap, so the
+                // iteration is already sorted by channel id).
+                let channels_due: Vec<u32> = batches
                     .iter()
                     .filter(|(_, b)| !b.is_empty())
                     .map(|(&c, _)| c)
                     .collect();
-                channels_due.sort_unstable();
                 for channel in channels_due {
                     let batch = batches.get_mut(&channel).expect("known channel");
                     let take = batch.len().min(cfg.block_max);
@@ -591,7 +593,7 @@ pub fn build_network<S: SchedulerFor<FabricNode>>(
             cfg: cfg.clone(),
             peers: orderer_peers.clone(),
             subscribers: subscribers.clone(),
-            batches: HashMap::new(),
+            batches: BTreeMap::new(),
             next_seq: HashMap::new(),
             inflight: HashMap::new(),
             messages_seen: 0,

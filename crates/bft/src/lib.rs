@@ -4,6 +4,7 @@
 //! baseline, and a Hyperledger-Fabric-style permissioned ledger
 //! (membership, channels, endorse → order → validate).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bridge;

@@ -4,7 +4,7 @@
 //! the parent links between them, and the current best tip under the
 //! most-work rule (ties broken by first arrival, as in Bitcoin).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
 use decent_sim::engine::NodeId;
@@ -64,7 +64,10 @@ impl Block {
 /// work rule is what prevents low-difficulty fork spam.
 #[derive(Clone, Debug, Default)]
 pub struct ChainView {
-    blocks: HashMap<BlockId, Rc<Block>>,
+    /// Accepted blocks by id. A `BTreeMap` so that id-keyed walks
+    /// (e.g. [`ChainView::stale_blocks`]) observe a deterministic order
+    /// — hasher state must never leak into anything a caller iterates.
+    blocks: BTreeMap<BlockId, Rc<Block>>,
     /// Arrival time of each block at this node.
     arrivals: HashMap<BlockId, SimTime>,
     /// Cumulative work (sum of difficulties) from genesis to each block.
@@ -76,7 +79,7 @@ impl ChainView {
     /// Creates a view containing only `genesis`.
     pub fn new(genesis: Rc<Block>) -> Self {
         let id = genesis.id;
-        let mut blocks = HashMap::new();
+        let mut blocks = BTreeMap::new();
         let mut work = HashMap::new();
         work.insert(id, genesis.difficulty.max(0.0));
         blocks.insert(id, genesis);

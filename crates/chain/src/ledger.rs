@@ -5,7 +5,7 @@
 //! to "intercept and avoid double spending". Amounts are in integer
 //! satoshis so value conservation is exact.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// A public-key stand-in identifying an owner.
@@ -13,7 +13,7 @@ use std::fmt;
 pub struct Address(pub u64);
 
 /// Reference to an unspent output: `(creating tx, output index)`.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct OutPoint {
     /// Id of the transaction that created the output.
     pub tx: u64,
@@ -127,8 +127,11 @@ impl std::error::Error for LedgerError {}
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Ledger {
-    utxos: HashMap<OutPoint, TxOut>,
-    seen_txs: std::collections::HashSet<u64>,
+    /// Ordered by outpoint per the determinism contract: supply and
+    /// balance scans walk the whole set, and ordered iteration keeps
+    /// any future fold or serialization hasher-independent.
+    utxos: BTreeMap<OutPoint, TxOut>,
+    seen_txs: BTreeSet<u64>,
     subsidy: u64,
     /// Total value ever minted via coinbases.
     pub minted: u64,

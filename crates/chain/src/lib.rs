@@ -6,6 +6,7 @@
 //! selfish mining, and the mining-market economics behind pool
 //! centralization and energy consumption.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod block;

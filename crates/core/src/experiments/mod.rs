@@ -97,6 +97,7 @@ pub fn run_report(ids: &[&str], quick: bool, seed: Option<u64>, jobs: usize) -> 
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(id) = ids.get(i) else { break };
+                // decent-lint: allow(D002) reason="harness-only wall_ms measurement; excluded from the canonical report JSON (tests/run_report.rs pins this)"
                 let t0 = Instant::now();
                 let report = run_seeded(id, quick, seed).expect("id validated above");
                 let run = ExperimentRun {

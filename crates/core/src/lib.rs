@@ -18,6 +18,7 @@
 //! assert!(report.all_hold());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablations;

@@ -6,6 +6,7 @@
 //! party, versus edge-local processing with credentials anchored in a
 //! permissioned blockchain and periodic digests flowing upward.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod net;

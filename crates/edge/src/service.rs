@@ -12,7 +12,7 @@
 //! locality* — the fraction of requests fully handled inside the
 //! device's own region, the paper's "control must be at the edge".
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use decent_sim::prelude::*;
 
@@ -150,7 +150,10 @@ pub enum EdgeNode {
         /// Interval between anchored digests.
         anchor_interval: SimDuration,
         /// Responses waiting for their service delay to elapse.
-        pending_replies: HashMap<u64, (NodeId, EdgeMsg)>,
+        /// Ordered (BTreeMap) per the determinism contract: accesses
+        /// are point lookups today, but reply timers are the event
+        /// spine of the experiment and must stay hasher-independent.
+        pending_replies: BTreeMap<u64, (NodeId, EdgeMsg)>,
         /// Next reply-timer tag.
         next_reply_tag: u64,
     },
@@ -387,7 +390,7 @@ pub fn build_world(cfg: &EdgeConfig, seed: u64) -> (Simulation<EdgeNode>, EdgeWo
     let mut sim = Simulation::new(seed, net);
     // Devices point at their server per strategy.
     let mut devices = Vec::new();
-    let mut region_edge_cursor: HashMap<Region, usize> = HashMap::new();
+    let mut region_edge_cursor: BTreeMap<Region, usize> = BTreeMap::new();
     for (i, &r) in device_regions.iter().enumerate() {
         let _ = i;
         let server = match cfg.strategy {
@@ -424,7 +427,7 @@ pub fn build_world(cfg: &EdgeConfig, seed: u64) -> (Simulation<EdgeNode>, EdgeWo
             served: 0,
             since_anchor: 0,
             anchor_interval: cfg.anchor_interval,
-            pending_replies: HashMap::new(),
+            pending_replies: BTreeMap::new(),
             next_reply_tag: 0,
         }));
     }
@@ -441,7 +444,7 @@ pub fn build_world(cfg: &EdgeConfig, seed: u64) -> (Simulation<EdgeNode>, EdgeWo
         served: 0,
         since_anchor: 0,
         anchor_interval: cfg.anchor_interval,
-        pending_replies: HashMap::new(),
+        pending_replies: BTreeMap::new(),
         next_reply_tag: 0,
     });
     let ttp = sim.add_node(EdgeNode::Ttp {

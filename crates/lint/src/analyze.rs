@@ -1,0 +1,629 @@
+//! Per-file rule engine: runs the determinism rules over a token
+//! stream, applies `decent-lint: allow(...)` pragmas, and reports
+//! pragmas that suppressed nothing.
+
+use std::collections::BTreeSet;
+
+use crate::lex::{lex, Tok, TokKind};
+use crate::rules::{Finding, Rule};
+
+/// Iteration methods on `HashMap`/`HashSet` whose visit order is the
+/// hasher's (D001 trigger set).
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Commutative / order-insensitive chain terminators: an iteration that
+/// ends in one of these produces the same value under any visit order.
+const ORDER_INSENSITIVE: &[&str] = &[
+    "count",
+    "sum",
+    "product",
+    "min",
+    "max",
+    "all",
+    "any",
+    "min_by",
+    "max_by",
+    "min_by_key",
+    "max_by_key",
+];
+
+/// Order-preserving adapters the chain scanner may look through on its
+/// way to a terminator. Deliberately conservative: anything not listed
+/// here (e.g. `take`, `fold`, `for_each`, `enumerate`) ends the scan
+/// and the site is reported.
+const NEUTRAL_ADAPTERS: &[&str] = &[
+    "filter",
+    "map",
+    "flat_map",
+    "flatten",
+    "cloned",
+    "copied",
+    "filter_map",
+    "inspect",
+];
+
+/// Crates whose code feeds simulations (D001/D004 apply). Everything in
+/// the workspace gets D002/D003/D005.
+pub const SIM_FACING_CRATES: &[&str] = &[
+    "decent-sim",
+    "decent-overlay",
+    "decent-chain",
+    "decent-bft",
+    "decent-edge",
+    "decent-core",
+];
+
+/// A parsed suppression pragma.
+#[derive(Debug)]
+struct Pragma {
+    /// Line of the pragma comment itself.
+    line: u32,
+    /// Line whose findings it suppresses.
+    covers: u32,
+    /// Rules it allows.
+    rules: Vec<Rule>,
+    /// How many findings it suppressed.
+    uses: usize,
+}
+
+/// Analyzes one file's source. `file` is used verbatim in findings;
+/// `sim_facing` switches on D001/D004 in addition to D002/D003/D005.
+pub fn analyze_source(file: &str, src: &str, sim_facing: bool) -> Vec<Finding> {
+    analyze_source_with_stats(file, src, sim_facing).0
+}
+
+/// Like [`analyze_source`], but also reports how many pragmas in the
+/// file suppressed at least one finding (for the summary tail).
+pub fn analyze_source_with_stats(file: &str, src: &str, sim_facing: bool) -> (Vec<Finding>, usize) {
+    let toks = lex(src);
+    let code: Vec<&Tok> = toks
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+
+    let mut findings: BTreeSet<(u32, Rule, String)> = BTreeSet::new();
+    let (mut pragmas, malformed) = parse_pragmas(&toks, &code);
+    for (line, msg) in malformed {
+        findings.insert((line, Rule::P001, msg));
+    }
+
+    scan_wall_clock(&code, &mut findings);
+    scan_randomness(&code, &mut findings);
+    scan_unsafe(&code, &mut findings);
+    if sim_facing {
+        let names = collect_hash_names(&code);
+        scan_hash_iteration(&code, &names, &mut findings);
+        scan_ambient_env(&code, &mut findings);
+    }
+
+    // Apply pragmas: a finding survives only if no pragma covering its
+    // line allows its rule. Pragma meta-findings (P000/P001) are never
+    // suppressible.
+    let mut out = Vec::new();
+    'finding: for (line, rule, message) in findings {
+        if !matches!(rule, Rule::P000 | Rule::P001) {
+            for p in pragmas.iter_mut() {
+                if p.covers == line && p.rules.contains(&rule) {
+                    p.uses += 1;
+                    continue 'finding;
+                }
+            }
+        }
+        out.push(Finding {
+            file: file.to_string(),
+            line,
+            rule,
+            message,
+        });
+    }
+    for p in &pragmas {
+        if p.uses == 0 {
+            let rules: Vec<&str> = p.rules.iter().map(|r| r.code()).collect();
+            out.push(Finding {
+                file: file.to_string(),
+                line: p.line,
+                rule: Rule::P000,
+                message: format!(
+                    "pragma allow({}) suppressed nothing; remove it",
+                    rules.join(",")
+                ),
+            });
+        }
+    }
+    out.sort_by_key(Finding::sort_key);
+    let used = pragmas.iter().filter(|p| p.uses > 0).count();
+    (out, used)
+}
+
+/// Extracts `decent-lint: allow(Dxxx[,Dyyy]) reason="..."` pragmas from
+/// line comments. Returns the well-formed pragmas and `(line, message)`
+/// pairs for malformed ones.
+fn parse_pragmas(toks: &[Tok], code: &[&Tok]) -> (Vec<Pragma>, Vec<(u32, String)>) {
+    const MARKER: &str = "decent-lint:";
+    let mut pragmas = Vec::new();
+    let mut malformed = Vec::new();
+    for t in toks {
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        // Only a plain `// decent-lint: ...` comment is a pragma. Doc
+        // comments (`///`, `//!`) merely *describing* the grammar — as
+        // this crate's own documentation does — are not.
+        let body = t.text.strip_prefix("//").unwrap_or(&t.text);
+        if body.starts_with('/') || body.starts_with('!') {
+            continue;
+        }
+        let Some(rest) = body.trim_start().strip_prefix(MARKER) else {
+            continue;
+        };
+        let rest = rest.trim();
+        match parse_pragma_body(rest) {
+            Ok(rules) => {
+                // A pragma sharing its line with code covers that line;
+                // a standalone pragma covers the next code line.
+                let covers = if code.iter().any(|c| c.line == t.line) {
+                    t.line
+                } else {
+                    code.iter()
+                        .map(|c| c.line)
+                        .find(|&l| l > t.line)
+                        .unwrap_or(t.line)
+                };
+                pragmas.push(Pragma {
+                    line: t.line,
+                    covers,
+                    rules,
+                    uses: 0,
+                });
+            }
+            Err(why) => malformed.push((t.line, why)),
+        }
+    }
+    (pragmas, malformed)
+}
+
+/// Parses the pragma body after the `decent-lint:` marker.
+fn parse_pragma_body(body: &str) -> Result<Vec<Rule>, String> {
+    let body = body.trim();
+    let inner = body
+        .strip_prefix("allow(")
+        .ok_or_else(|| format!("expected `allow(...)`, got `{body}`"))?;
+    let close = inner
+        .find(')')
+        .ok_or_else(|| "unclosed `allow(`".to_string())?;
+    let mut rules = Vec::new();
+    for id in inner[..close].split(',') {
+        let id = id.trim();
+        let rule = Rule::parse_allowable(id)
+            .ok_or_else(|| format!("unknown or non-allowable rule id `{id}`"))?;
+        rules.push(rule);
+    }
+    if rules.is_empty() {
+        return Err("empty rule list".to_string());
+    }
+    let after = inner[close + 1..].trim();
+    let reason = after
+        .strip_prefix("reason=")
+        .ok_or_else(|| "missing `reason=\"...\"`".to_string())?
+        .trim();
+    let quoted = reason.len() >= 2 && reason.starts_with('"') && reason.ends_with('"');
+    if !quoted || reason.len() == 2 {
+        return Err("reason must be a non-empty quoted string".to_string());
+    }
+    Ok(rules)
+}
+
+/// D002: `Instant::now` and any `SystemTime::` member access.
+fn scan_wall_clock(code: &[&Tok], findings: &mut BTreeSet<(u32, Rule, String)>) {
+    for i in 0..code.len() {
+        if code[i].is_ident("Instant")
+            && matches!(code.get(i + 1), Some(t) if t.is_punct("::"))
+            && matches!(code.get(i + 2), Some(t) if t.is_ident("now"))
+        {
+            findings.insert((code[i].line, Rule::D002, "`Instant::now()`".to_string()));
+        }
+        if code[i].is_ident("SystemTime") && matches!(code.get(i + 1), Some(t) if t.is_punct("::"))
+        {
+            let member = code.get(i + 2).map(|t| t.text.clone()).unwrap_or_default();
+            findings.insert((code[i].line, Rule::D002, format!("`SystemTime::{member}`")));
+        }
+    }
+}
+
+/// D003: `thread_rng`, `rand::random`, `from_entropy`.
+fn scan_randomness(code: &[&Tok], findings: &mut BTreeSet<(u32, Rule, String)>) {
+    for i in 0..code.len() {
+        if code[i].is_ident("thread_rng") {
+            findings.insert((code[i].line, Rule::D003, "`thread_rng`".to_string()));
+        }
+        if code[i].is_ident("from_entropy") {
+            findings.insert((code[i].line, Rule::D003, "`from_entropy`".to_string()));
+        }
+        if code[i].is_ident("rand")
+            && matches!(code.get(i + 1), Some(t) if t.is_punct("::"))
+            && matches!(code.get(i + 2), Some(t) if t.is_ident("random"))
+        {
+            findings.insert((code[i].line, Rule::D003, "`rand::random`".to_string()));
+        }
+    }
+}
+
+/// D005: any `unsafe` keyword.
+fn scan_unsafe(code: &[&Tok], findings: &mut BTreeSet<(u32, Rule, String)>) {
+    for t in code {
+        if t.is_ident("unsafe") {
+            findings.insert((t.line, Rule::D005, "`unsafe`".to_string()));
+        }
+    }
+}
+
+/// D004: `std::env` paths, plus `env::...` when `std::env` is imported.
+fn scan_ambient_env(code: &[&Tok], findings: &mut BTreeSet<(u32, Rule, String)>) {
+    let mut env_imported = false;
+    for i in 0..code.len() {
+        if code[i].is_ident("std")
+            && matches!(code.get(i + 1), Some(t) if t.is_punct("::"))
+            && matches!(code.get(i + 2), Some(t) if t.is_ident("env"))
+        {
+            if i > 0 && code[i - 1].is_ident("use") {
+                env_imported = true;
+            }
+            findings.insert((code[i].line, Rule::D004, "`std::env`".to_string()));
+        }
+    }
+    if env_imported {
+        for i in 0..code.len() {
+            if code[i].is_ident("env")
+                && matches!(code.get(i + 1), Some(t) if t.is_punct("::"))
+                && !(i > 0 && code[i - 1].is_punct("::"))
+            {
+                let member = code.get(i + 2).map(|t| t.text.clone()).unwrap_or_default();
+                findings.insert((code[i].line, Rule::D004, format!("`env::{member}`")));
+            }
+        }
+    }
+}
+
+/// Names (fields, locals, params) declared with a `HashMap`/`HashSet`
+/// type annotation or initialized from a `HashMap`/`HashSet`
+/// constructor. Tracking is per-file and purely lexical: that is
+/// coarse, but suppressions exist precisely for the cases a lexer
+/// cannot prove.
+fn collect_hash_names(code: &[&Tok]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for i in 0..code.len() {
+        if !(code[i].is_ident("HashMap") || code[i].is_ident("HashSet")) {
+            continue;
+        }
+        let next = code.get(i + 1);
+        let in_type_position = matches!(next, Some(t) if t.is_punct("<"));
+        let in_ctor_position = matches!(next, Some(t) if t.is_punct("::"))
+            && matches!(
+                code.get(i + 2),
+                Some(t) if ["new", "with_capacity", "default", "from", "from_iter"]
+                    .contains(&t.text.as_str())
+            );
+        if !in_type_position && !in_ctor_position {
+            continue; // imports, turbofish targets, bare mentions
+        }
+        // Walk back over a `std::collections::` style path prefix.
+        let mut j = i;
+        while j >= 2 && code[j - 1].is_punct("::") && code[j - 2].kind == TokKind::Ident {
+            j -= 2;
+        }
+        if j == 0 {
+            continue;
+        }
+        match &code[j - 1] {
+            // `name: HashMap<...>` (field/param/let annotation) or
+            // `name: HashMap::new()` (struct literal init).
+            t if t.is_punct(":") || t.is_punct("&") => {
+                let mut k = j - 1;
+                // Skip reference/mut/lifetime noise between `:` and the type.
+                while k > 0
+                    && (code[k].is_punct("&")
+                        || code[k].is_ident("mut")
+                        || code[k].kind == TokKind::Lifetime)
+                {
+                    k -= 1;
+                }
+                if k > 0 && code[k].is_punct(":") && code[k - 1].kind == TokKind::Ident {
+                    names.insert(code[k - 1].text.clone());
+                }
+            }
+            // `name = HashMap::new()` / `let mut name = HashMap::new()`.
+            t if t.is_punct("=") && j >= 2 && code[j - 2].kind == TokKind::Ident => {
+                let cand = &code[j - 2].text;
+                if cand != "let" && cand != "mut" {
+                    names.insert(cand.clone());
+                }
+            }
+            _ => {}
+        }
+    }
+    names
+}
+
+/// Skips an optional `::<...>` turbofish starting at `i`, returning the
+/// index after it (or `i` unchanged) and the idents seen inside.
+fn skip_turbofish(code: &[&Tok], i: usize) -> (usize, Vec<String>) {
+    if !(matches!(code.get(i), Some(t) if t.is_punct("::"))
+        && matches!(code.get(i + 1), Some(t) if t.is_punct("<")))
+    {
+        return (i, Vec::new());
+    }
+    let mut depth = 0i32;
+    let mut idents = Vec::new();
+    let mut j = i + 1;
+    while j < code.len() {
+        match &code[j] {
+            t if t.is_punct("<") => depth += 1,
+            t if t.is_punct(">") => {
+                depth -= 1;
+                if depth == 0 {
+                    return (j + 1, idents);
+                }
+            }
+            t if t.kind == TokKind::Ident => idents.push(t.text.clone()),
+            _ => {}
+        }
+        j += 1;
+    }
+    (j, idents)
+}
+
+/// Skips a balanced `( ... )` group starting at `i` (which must be the
+/// opening paren), returning the index after the closing paren.
+fn skip_parens(code: &[&Tok], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < code.len() {
+        if code[j].is_punct("(") {
+            depth += 1;
+        } else if code[j].is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Outcome of scanning a method chain forward from an iteration site.
+enum ChainVerdict {
+    /// Ends in a commutative terminator or a sorted collect.
+    OrderSafe,
+    /// Order can escape (or cannot be proven not to).
+    Unproven,
+}
+
+/// Scans the `.method(...)` chain starting at `i` (the token right
+/// after the iteration call's closing paren).
+fn scan_chain(code: &[&Tok], mut i: usize) -> ChainVerdict {
+    loop {
+        if !matches!(code.get(i), Some(t) if t.is_punct(".")) {
+            return ChainVerdict::Unproven; // chain ends without proof
+        }
+        let Some(m) = code.get(i + 1) else {
+            return ChainVerdict::Unproven;
+        };
+        if m.kind != TokKind::Ident {
+            return ChainVerdict::Unproven;
+        }
+        let name = m.text.clone();
+        let (after_tf, tf_idents) = skip_turbofish(code, i + 2);
+        if !matches!(code.get(after_tf), Some(t) if t.is_punct("(")) {
+            return ChainVerdict::Unproven; // field access etc.
+        }
+        let after_call = skip_parens(code, after_tf);
+        if ORDER_INSENSITIVE.contains(&name.as_str()) {
+            return ChainVerdict::OrderSafe;
+        }
+        if name == "collect" {
+            let sorted = tf_idents.iter().any(|t| t == "BTreeMap" || t == "BTreeSet");
+            return if sorted {
+                ChainVerdict::OrderSafe
+            } else {
+                ChainVerdict::Unproven
+            };
+        }
+        if NEUTRAL_ADAPTERS.contains(&name.as_str()) {
+            i = after_call;
+            continue;
+        }
+        return ChainVerdict::Unproven;
+    }
+}
+
+/// D001: iteration over hash-ordered collections.
+fn scan_hash_iteration(
+    code: &[&Tok],
+    names: &BTreeSet<String>,
+    findings: &mut BTreeSet<(u32, Rule, String)>,
+) {
+    // Method-call sites: `name.iter()...`, `self.name.keys()...`.
+    for i in 0..code.len() {
+        if code[i].kind != TokKind::Ident || !names.contains(&code[i].text) {
+            continue;
+        }
+        if !matches!(code.get(i + 1), Some(t) if t.is_punct(".")) {
+            continue;
+        }
+        let Some(m) = code.get(i + 2) else { continue };
+        if !ITER_METHODS.contains(&m.text.as_str()) {
+            continue;
+        }
+        let (after_tf, _) = skip_turbofish(code, i + 3);
+        if !matches!(code.get(after_tf), Some(t) if t.is_punct("(")) {
+            continue; // e.g. a field named `keys`
+        }
+        let after_call = skip_parens(code, after_tf);
+        if let ChainVerdict::Unproven = scan_chain(code, after_call) {
+            findings.insert((
+                code[i].line,
+                Rule::D001,
+                format!(
+                    "`{}.{}()` iterates a hash-ordered collection",
+                    code[i].text, m.text
+                ),
+            ));
+        }
+    }
+    // Bare `for x in [&] name {` headers (no method call to anchor on).
+    for i in 0..code.len() {
+        if !code[i].is_ident("for") {
+            continue;
+        }
+        // Find the `in` keyword, then scan the iterable expression up
+        // to the loop body's `{` at nesting depth zero.
+        let mut j = i + 1;
+        let mut depth = 0i32;
+        let mut in_at = None;
+        while j < code.len() && j < i + 64 {
+            match &code[j] {
+                t if t.is_punct("(") || t.is_punct("[") => depth += 1,
+                t if t.is_punct(")") || t.is_punct("]") => depth -= 1,
+                t if depth == 0 && t.is_ident("in") => {
+                    in_at = Some(j);
+                    break;
+                }
+                t if depth == 0 && (t.is_punct("{") || t.is_punct(";")) => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(start) = in_at else { continue };
+        let mut k = start + 1;
+        let mut depth = 0i32;
+        while k < code.len() {
+            match &code[k] {
+                t if t.is_punct("(") || t.is_punct("[") => depth += 1,
+                t if t.is_punct(")") || t.is_punct("]") => depth -= 1,
+                t if depth == 0 && t.is_punct("{") => break,
+                t if t.kind == TokKind::Ident && names.contains(&t.text) => {
+                    // A name followed by `.` is handled by the
+                    // method-site scanner; `::` means it is a path
+                    // segment, not the collection.
+                    let followed = code.get(k + 1);
+                    let is_bare = !matches!(
+                        followed,
+                        Some(n) if n.is_punct(".") || n.is_punct("::") || n.is_punct("(")
+                    );
+                    if is_bare {
+                        findings.insert((
+                            t.line,
+                            Rule::D001,
+                            format!("`for` over hash-ordered collection `{}`", t.text),
+                        ));
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_at(src: &str, sim: bool) -> Vec<(u32, &'static str)> {
+        analyze_source("t.rs", src, sim)
+            .into_iter()
+            .map(|f| (f.line, f.rule.code()))
+            .collect()
+    }
+
+    #[test]
+    fn order_insensitive_chains_pass() {
+        let src = "struct S { m: HashMap<u64, u32> }\n\
+                   impl S {\n\
+                   fn a(&self) -> usize { self.m.values().filter(|v| **v > 0).count() }\n\
+                   fn b(&self) -> u64 { self.m.keys().copied().sum::<u64>() }\n\
+                   fn c(&self) -> bool { self.m.values().any(|v| *v == 0) }\n\
+                   fn d(&self) -> Vec<u64> { self.m.keys().copied().collect::<BTreeSet<u64>>().into_iter().collect() }\n\
+                   }";
+        assert_eq!(rules_at(src, true), vec![]);
+    }
+
+    #[test]
+    fn unproven_chains_and_bare_for_are_flagged() {
+        let src = "struct S { m: HashMap<u64, u32> }\n\
+                   impl S {\n\
+                   fn a(&self) -> Vec<u64> { self.m.keys().copied().collect() }\n\
+                   fn b(&self) { for (_k, _v) in &self.m {} }\n\
+                   fn c(&mut self) { let _v: Vec<_> = self.m.drain().collect(); }\n\
+                   }";
+        assert_eq!(
+            rules_at(src, true),
+            vec![(3, "D001"), (4, "D001"), (5, "D001")]
+        );
+    }
+
+    #[test]
+    fn point_lookups_stay_legal() {
+        let src = "struct S { m: HashMap<u64, u32>, s: HashSet<u64> }\n\
+                   impl S {\n\
+                   fn a(&self) -> bool { self.s.contains(&1) && self.m.contains_key(&2) }\n\
+                   fn b(&self) -> usize { self.m.len() + self.s.len() }\n\
+                   fn c(&mut self) { self.m.insert(1, 2); self.m.remove(&1); }\n\
+                   }";
+        assert_eq!(rules_at(src, true), vec![]);
+    }
+
+    #[test]
+    fn sim_only_rules_are_off_elsewhere() {
+        let src = "fn f(m: &HashMap<u64, u32>) { for _ in m {} let _ = std::env::var(\"X\"); }";
+        assert_eq!(rules_at(src, false), vec![]);
+        assert_eq!(rules_at(src, true), vec![(1, "D001"), (1, "D004")]);
+    }
+
+    #[test]
+    fn wall_clock_and_randomness_always_apply() {
+        let src = "fn f() { let _t = Instant::now(); let _r = thread_rng(); }";
+        assert_eq!(rules_at(src, false), vec![(1, "D002"), (1, "D003")]);
+    }
+
+    #[test]
+    fn pragma_suppresses_and_unused_pragma_reports() {
+        let src = "// decent-lint: allow(D002) reason=\"test fixture\"\n\
+                   fn f() { let _t = Instant::now(); }\n\
+                   // decent-lint: allow(D003) reason=\"nothing here\"\n\
+                   fn g() {}";
+        assert_eq!(rules_at(src, false), vec![(3, "P000")]);
+    }
+
+    #[test]
+    fn same_line_pragma_covers_its_own_line() {
+        let src = "fn f() { let _t = Instant::now(); } // decent-lint: allow(D002) reason=\"shim\"";
+        assert_eq!(rules_at(src, false), vec![]);
+    }
+
+    #[test]
+    fn malformed_pragmas_are_findings() {
+        let src = "// decent-lint: allow(D9) reason=\"x\"\n\
+                   // decent-lint: allow(D001)\n\
+                   fn f() {}";
+        assert_eq!(rules_at(src, false), vec![(1, "P001"), (2, "P001")]);
+    }
+
+    #[test]
+    fn strings_and_comments_never_trigger() {
+        let src = "// uses Instant::now() and thread_rng in prose\n\
+                   fn f() -> &'static str { \"unsafe std::env thread_rng\" }";
+        assert_eq!(rules_at(src, true), vec![]);
+    }
+}

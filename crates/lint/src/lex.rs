@@ -1,0 +1,334 @@
+//! A small hand-rolled Rust lexer — just enough token structure for the
+//! determinism rules, in the same spirit as `decent_sim::json`: no syn,
+//! no proc-macro machinery, no dependencies.
+//!
+//! The lexer understands the token shapes that matter for false-positive
+//! avoidance — line and (nested) block comments, string/char/byte/raw
+//! literals, lifetimes — so that e.g. a doc comment mentioning
+//! `HashMap::iter` or a format string containing `unsafe` never reaches
+//! the rule engine as code. Everything else degrades to identifiers and
+//! one- or two-character punctuation, which is all the rules consume.
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `for`, `unsafe`, ...).
+    Ident,
+    /// Punctuation; multi-character operators that the rules care about
+    /// (`::`, `->`) are fused into one token, everything else is split
+    /// into single characters.
+    Punct,
+    /// String / char / byte / raw-string literal (contents opaque).
+    Literal,
+    /// Numeric literal.
+    Number,
+    /// `// ...` comment, text preserved for pragma parsing.
+    LineComment,
+    /// `/* ... */` comment (possibly nested), text preserved.
+    BlockComment,
+    /// Lifetime such as `'a` (kept distinct so it is never confused
+    /// with a char literal).
+    Lifetime,
+}
+
+/// One lexeme with its 1-indexed source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Lexeme kind.
+    pub kind: TokKind,
+    /// Lexeme text. For comments this is the full comment including the
+    /// delimiters; for literals the delimiters are included but the
+    /// rules never inspect them.
+    pub text: String,
+    /// 1-indexed line of the first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// Tokenizes `src`. Never fails: unterminated literals or comments are
+/// closed by end-of-file, which is good enough for a linter that only
+/// runs on code rustc already accepted.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < b.len() && b[i + 1] == '/' => {
+                let start = i;
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::LineComment,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == '*' => {
+                let (start, start_line) = (i, line);
+                let mut depth = 0usize;
+                while i < b.len() {
+                    if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if b[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::BlockComment,
+                    text: b[start..i.min(b.len())].iter().collect(),
+                    line: start_line,
+                });
+            }
+            '"' => {
+                let (start, start_line) = (i, line);
+                i += 1;
+                while i < b.len() {
+                    match b[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: b[start..i.min(b.len())].iter().collect(),
+                    line: start_line,
+                });
+            }
+            'r' | 'b' if raw_string_hashes(&b, i).is_some() => {
+                let (start, start_line) = (i, line);
+                let (body_start, hashes) = raw_string_hashes(&b, i).expect("checked");
+                i = body_start;
+                let closer: Vec<char> = std::iter::once('"')
+                    .chain(std::iter::repeat_n('#', hashes))
+                    .collect();
+                while i < b.len() {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    if b[i..].starts_with(&closer[..]) {
+                        i += closer.len();
+                        break;
+                    }
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: b[start..i.min(b.len())].iter().collect(),
+                    line: start_line,
+                });
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'x'`, `'\n'`).
+                let is_lifetime = i + 1 < b.len()
+                    && (b[i + 1].is_alphabetic() || b[i + 1] == '_')
+                    && !(i + 2 < b.len() && b[i + 2] == '\'');
+                if is_lifetime {
+                    let start = i;
+                    i += 1;
+                    while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: b[start..i].iter().collect(),
+                        line,
+                    });
+                } else {
+                    let start = i;
+                    i += 1;
+                    while i < b.len() {
+                        match b[i] {
+                            '\\' => i += 2,
+                            '\'' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Literal,
+                        text: b[start..i.min(b.len())].iter().collect(),
+                        line,
+                    });
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len()
+                    && (b[i].is_alphanumeric() || b[i] == '_' || b[i] == '.')
+                    && !(b[i] == '.' && i + 1 < b.len() && b[i + 1] == '.')
+                {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Number,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+            _ => {
+                // Fuse the two-character operators the rules consume.
+                let two: String = b[i..(i + 2).min(b.len())].iter().collect();
+                if two == "::" || two == "->" || two == "=>" {
+                    toks.push(Tok {
+                        kind: TokKind::Punct,
+                        text: two,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    toks.push(Tok {
+                        kind: TokKind::Punct,
+                        text: c.to_string(),
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+        }
+    }
+    toks
+}
+
+/// If position `i` starts a raw (byte) string (`r"`, `r#"`, `br#"`...),
+/// returns `(index just past the opening quote, number of hashes)`.
+fn raw_string_hashes(b: &[char], mut i: usize) -> Option<(usize, usize)> {
+    if b[i] == 'b' {
+        i += 1;
+        if i >= b.len() || b[i] != 'r' {
+            return None;
+        }
+    }
+    if b.get(i) != Some(&'r') {
+        return None;
+    }
+    i += 1;
+    let mut hashes = 0;
+    while b.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if b.get(i) == Some(&'"') {
+        Some((i + 1, hashes))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let toks = lex("let s = \"HashMap unsafe\"; // HashMap here\n/* unsafe */ fn f() {}");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "s", "fn", "f"]);
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokKind::LineComment)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Literal).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_strings_swallow_fake_code() {
+        let toks = lex("let s = r#\"thread_rng() \"quoted\" \"#; ok");
+        assert!(toks.iter().any(|t| t.is_ident("ok")));
+        assert!(!toks.iter().any(|t| t.is_ident("thread_rng")));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let toks = lex("/* outer /* inner */ still */ real");
+        assert!(toks.iter().any(|t| t.is_ident("real")));
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokKind::BlockComment)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn double_colon_is_one_token() {
+        let toks = lex("std::env::var");
+        assert!(toks[1].is_punct("::"));
+        assert!(toks[3].is_punct("::"));
+    }
+}

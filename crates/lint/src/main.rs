@@ -1,0 +1,100 @@
+//! `decent-lint` CLI.
+//!
+//! ```text
+//! cargo run -p decent-lint -- --workspace [--root DIR] [--json PATH] [--quiet]
+//! cargo run -p decent-lint -- --rules
+//! ```
+//!
+//! Exit status: 0 when clean, 1 when any finding (including unused or
+//! malformed pragmas) survives, 2 on usage or I/O errors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use decent_lint::{lint_workspace, report, rules::ALL_RULES};
+
+struct Cli {
+    workspace: bool,
+    root: PathBuf,
+    json: Option<PathBuf>,
+    quiet: bool,
+    rules: bool,
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
+    let mut cli = Cli {
+        workspace: false,
+        root: PathBuf::from("."),
+        json: None,
+        quiet: false,
+        rules: false,
+    };
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workspace" => cli.workspace = true,
+            "--rules" => cli.rules = true,
+            "--quiet" => cli.quiet = true,
+            "--root" => {
+                cli.root = PathBuf::from(args.next().ok_or("--root needs a directory")?);
+            }
+            "--json" => {
+                cli.json = Some(PathBuf::from(args.next().ok_or("--json needs a path")?));
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if !cli.workspace && !cli.rules {
+        return Err("nothing to do: pass --workspace (and optionally --json PATH)".to_string());
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("decent-lint: {e}");
+            eprintln!(
+                "usage: decent-lint --workspace [--root DIR] [--json PATH] [--quiet] | --rules"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    if cli.rules {
+        for r in ALL_RULES {
+            println!("{}  {}", r.code(), r.summary());
+        }
+        if !cli.workspace {
+            return ExitCode::SUCCESS;
+        }
+    }
+    let ws = match lint_workspace(&cli.root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("decent-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &cli.json {
+        let doc = report::to_json(&ws.findings, ws.files_scanned, ws.pragmas_used);
+        if let Err(e) = std::fs::write(path, doc + "\n") {
+            eprintln!("decent-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if !cli.quiet {
+        print!(
+            "{}",
+            report::to_text(&ws.findings, ws.files_scanned, ws.pragmas_used)
+        );
+    }
+    if ws.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,118 @@
+//! Findings output: human-readable text and a deterministic JSON
+//! document (`decent.lint-report/1`).
+//!
+//! The JSON is produced by a local writer in the same spirit as
+//! `decent_sim::json` — insertion-ordered keys, one canonical string
+//! escape — but kept here so the lint crate stays dependency-free and
+//! buildable before anything else in the workspace.
+
+use crate::rules::{Finding, ALL_RULES};
+
+/// Schema identifier embedded in the JSON report.
+pub const LINT_REPORT_SCHEMA: &str = "decent.lint-report/1";
+
+/// Renders findings as human-readable lines plus a summary tail.
+pub fn to_text(findings: &[Finding], files_scanned: usize, pragmas_used: usize) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    if findings.is_empty() {
+        out.push_str(&format!(
+            "decent-lint: clean — {files_scanned} files scanned, {pragmas_used} pragma(s) in use\n"
+        ));
+    } else {
+        out.push_str(&format!(
+            "decent-lint: {} finding(s) in {files_scanned} files\n",
+            findings.len()
+        ));
+    }
+    out
+}
+
+/// Renders the deterministic JSON report. Findings must already be in
+/// their stable file/line/rule order (the analyzer guarantees this).
+pub fn to_json(findings: &[Finding], files_scanned: usize, pragmas_used: usize) -> String {
+    let mut s = String::new();
+    s.push_str("{\"schema\":");
+    write_str(&mut s, LINT_REPORT_SCHEMA);
+    s.push_str(&format!(",\"files_scanned\":{files_scanned}"));
+    s.push_str(&format!(",\"pragmas_used\":{pragmas_used}"));
+    s.push_str(",\"rule_totals\":{");
+    let mut first = true;
+    for rule in ALL_RULES {
+        let n = findings.iter().filter(|f| f.rule == rule).count();
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        write_str(&mut s, rule.code());
+        s.push_str(&format!(":{n}"));
+    }
+    s.push_str("},\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("{\"file\":");
+        write_str(&mut s, &f.file);
+        s.push_str(&format!(",\"line\":{}", f.line));
+        s.push_str(",\"rule\":");
+        write_str(&mut s, f.rule.code());
+        s.push_str(",\"message\":");
+        write_str(&mut s, &f.message);
+        s.push('}');
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Writes a JSON string literal with the canonical escapes.
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn finding() -> Finding {
+        Finding {
+            file: "crates/x/src/a.rs".to_string(),
+            line: 7,
+            rule: Rule::D002,
+            message: "`Instant::now()`".to_string(),
+        }
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let f = vec![finding()];
+        let a = to_json(&f, 3, 1);
+        let b = to_json(&f, 3, 1);
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"schema\":\"decent.lint-report/1\""));
+        assert!(a.contains("\"rule\":\"D002\""));
+        assert!(a.contains("\"rule_totals\":{\"D001\":0,\"D002\":1"));
+    }
+
+    #[test]
+    fn text_summarizes() {
+        assert!(to_text(&[], 10, 2).contains("clean"));
+        assert!(to_text(&[finding()], 10, 0).contains("1 finding(s)"));
+    }
+}

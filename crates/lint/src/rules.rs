@@ -1,0 +1,127 @@
+//! The typed rule set of the determinism contract (DESIGN.md §4e).
+
+use std::fmt;
+
+/// A determinism/hygiene rule, or one of the pragma meta-rules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Iteration over `HashMap`/`HashSet` in sim-facing crates, where
+    /// `RandomState` iteration order can leak into event order, RNG
+    /// draws, or serialized output.
+    D001,
+    /// Wall-clock reads (`Instant::now`, `SystemTime::now`): simulated
+    /// time must come from the engine clock.
+    D002,
+    /// Unseeded randomness (`thread_rng`, `rand::random`,
+    /// `from_entropy`): every stream must derive from the run seed.
+    D003,
+    /// Ambient process state (`std::env`) in sim-facing crates: runs
+    /// must not depend on the invoking environment.
+    D004,
+    /// `unsafe` blocks (doubly enforced by `#![forbid(unsafe_code)]`).
+    D005,
+    /// A `decent-lint: allow(...)` pragma that suppressed nothing —
+    /// stale suppressions are errors so they cannot rot in place.
+    P000,
+    /// A pragma that does not parse (unknown rule id, missing or empty
+    /// `reason`), which would otherwise silently suppress nothing.
+    P001,
+}
+
+/// Every rule, in report order.
+pub const ALL_RULES: [Rule; 7] = [
+    Rule::D001,
+    Rule::D002,
+    Rule::D003,
+    Rule::D004,
+    Rule::D005,
+    Rule::P000,
+    Rule::P001,
+];
+
+impl Rule {
+    /// The stable rule id (`D001` ... `D005`, `P000`, `P001`).
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::D001 => "D001",
+            Rule::D002 => "D002",
+            Rule::D003 => "D003",
+            Rule::D004 => "D004",
+            Rule::D005 => "D005",
+            Rule::P000 => "P000",
+            Rule::P001 => "P001",
+        }
+    }
+
+    /// Parses a rule id as written inside an `allow(...)` pragma. Only
+    /// the suppressible rules parse: the pragma meta-rules cannot be
+    /// allowed away.
+    pub fn parse_allowable(s: &str) -> Option<Rule> {
+        match s {
+            "D001" => Some(Rule::D001),
+            "D002" => Some(Rule::D002),
+            "D003" => Some(Rule::D003),
+            "D004" => Some(Rule::D004),
+            "D005" => Some(Rule::D005),
+            _ => None,
+        }
+    }
+
+    /// One-line description used by `--rules` and the findings report.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::D001 => "iteration over HashMap/HashSet in a sim-facing crate",
+            Rule::D002 => "wall-clock read (Instant::now / SystemTime)",
+            Rule::D003 => "unseeded randomness (thread_rng / rand::random / from_entropy)",
+            Rule::D004 => "ambient process state (std::env) in a sim-facing crate",
+            Rule::D005 => "unsafe block",
+            Rule::P000 => "unused decent-lint pragma",
+            Rule::P001 => "malformed decent-lint pragma",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One reported violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Path as reported (workspace-relative when walking a workspace).
+    pub file: String,
+    /// 1-indexed source line.
+    pub line: u32,
+    /// Violated rule.
+    pub rule: Rule,
+    /// Human-oriented detail (what was matched, and on what).
+    pub message: String,
+}
+
+impl Finding {
+    /// Sort key giving the stable file/line/rule report order.
+    pub fn sort_key(&self) -> (String, u32, Rule, String) {
+        (
+            self.file.clone(),
+            self.line,
+            self.rule,
+            self.message.clone(),
+        )
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} {}: {}",
+            self.file,
+            self.line,
+            self.rule,
+            self.rule.summary(),
+            self.message
+        )
+    }
+}

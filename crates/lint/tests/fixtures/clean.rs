@@ -1,0 +1,23 @@
+// Fixture: a fully contract-conformant sim-facing file — BTree
+// collections, seeded RNG, virtual time only. Expected findings: none.
+use std::collections::{BTreeMap, HashMap};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Sim {
+    queue: BTreeMap<u64, u64>,
+    index: HashMap<u64, usize>,
+}
+
+fn step(sim: &mut Sim, seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let key: u64 = rng.gen();
+    let slot = sim.index.get(&key).copied().unwrap_or(0);
+    for (t, v) in &sim.queue {
+        if *t > key {
+            return *v + slot as u64;
+        }
+    }
+    sim.index.len() as u64
+}

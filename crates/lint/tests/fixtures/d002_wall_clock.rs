@@ -1,0 +1,17 @@
+// Fixture: D002 — wall-clock reads. The pragma-covered site must be
+// suppressed; the naked ones must be reported.
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+fn naked() -> f64 {
+    let t0 = Instant::now();
+    let epoch = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap()
+        .as_secs_f64();
+    t0.elapsed().as_secs_f64() + epoch
+}
+
+fn shimmed() -> Instant {
+    // decent-lint: allow(D002) reason="fixture: allowlisted timing shim"
+    Instant::now()
+}

@@ -1,0 +1,16 @@
+// Fixture: D003 — unseeded randomness. Seeded construction is legal.
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn violations() -> u64 {
+    let mut rng = rand::thread_rng();
+    let a: u64 = rng.gen();
+    let b: u64 = rand::random();
+    let mut c = StdRng::from_entropy();
+    a + b + c.gen::<u64>()
+}
+
+fn legal(seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.gen()
+}

@@ -1,0 +1,8 @@
+// Fixture: D004 — ambient process state in sim-facing code.
+use std::env;
+
+fn violations() -> String {
+    let direct = std::env::var("DECENT_SEED").unwrap_or_default();
+    let imported = env::var("DECENT_JOBS").unwrap_or_default();
+    direct + &imported
+}

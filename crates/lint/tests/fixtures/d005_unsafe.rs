@@ -1,0 +1,4 @@
+// Fixture: D005 — unsafe blocks.
+fn violation(p: *const u64) -> u64 {
+    unsafe { *p }
+}

@@ -1,0 +1,11 @@
+// Fixture: P000/P001 — a pragma that suppresses nothing is itself an
+// error, and a malformed pragma (missing reason) is reported too.
+// decent-lint: allow(D002) reason="covers no finding on the next line"
+fn nothing_to_suppress() -> u64 {
+    7
+}
+
+// decent-lint: allow(D003)
+fn missing_reason() -> u64 {
+    11
+}

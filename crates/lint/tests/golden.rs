@@ -1,0 +1,107 @@
+//! Golden self-tests: each fixture under `tests/fixtures/` carries a
+//! deliberately seeded set of violations, and the `.expected` file next
+//! to it pins the exact findings (file, line, rule, message) the
+//! analyzer must produce. Run with `DECENT_LINT_BLESS=1` to regenerate
+//! the expectations after an intentional analyzer change.
+
+use std::path::PathBuf;
+
+use decent_lint::analyze_source;
+
+/// (fixture file, analyzed as sim-facing?). Fixtures live in a
+/// subdirectory so neither cargo (not a test target) nor the workspace
+/// walker (skips `fixtures` dirs) ever picks them up as real sources.
+const FIXTURES: &[(&str, bool)] = &[
+    ("d001_hash_iteration.rs", true),
+    ("d002_wall_clock.rs", true),
+    ("d003_randomness.rs", true),
+    ("d004_ambient_env.rs", true),
+    ("d005_unsafe.rs", true),
+    ("unused_pragma.rs", true),
+    ("clean.rs", true),
+];
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+}
+
+fn render(name: &str, sim_facing: bool) -> String {
+    let path = fixture_dir().join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()));
+    let findings = analyze_source(name, &src, sim_facing);
+    let mut out = String::new();
+    for f in &findings {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn fixtures_match_expected_findings() {
+    let bless = std::env::var_os("DECENT_LINT_BLESS").is_some();
+    let mut failures = Vec::new();
+    for &(name, sim_facing) in FIXTURES {
+        let actual = render(name, sim_facing);
+        let expected_path = fixture_dir().join(format!(
+            "{}.expected",
+            name.strip_suffix(".rs").expect("fixture ends in .rs")
+        ));
+        if bless {
+            std::fs::write(&expected_path, &actual).expect("write blessed expectations");
+            continue;
+        }
+        let expected = std::fs::read_to_string(&expected_path).unwrap_or_else(|e| {
+            panic!(
+                "cannot read {} (run with DECENT_LINT_BLESS=1 to create): {e}",
+                expected_path.display()
+            )
+        });
+        if actual != expected {
+            failures.push(format!(
+                "{name}: findings drifted from golden file\n--- expected\n{expected}--- actual\n{actual}"
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+/// Every D rule (and the unused-pragma meta rule) must be exercised by
+/// at least one fixture — the golden files cannot silently decay into
+/// testing nothing.
+#[test]
+fn fixtures_cover_every_rule() {
+    let mut seen = std::collections::BTreeSet::new();
+    for &(name, sim_facing) in FIXTURES {
+        for f in analyze_source(
+            name,
+            &std::fs::read_to_string(fixture_dir().join(name)).expect("fixture readable"),
+            sim_facing,
+        ) {
+            seen.insert(f.rule.code().to_string());
+        }
+    }
+    for code in ["D001", "D002", "D003", "D004", "D005", "P000", "P001"] {
+        assert!(seen.contains(code), "no fixture exercises {code}");
+    }
+}
+
+/// The clean fixture really is clean, and the suppressed D002 site in
+/// the wall-clock fixture counts as a used pragma (not P000).
+#[test]
+fn clean_fixture_and_pragma_use() {
+    assert_eq!(render("clean.rs", true), "");
+    let src = std::fs::read_to_string(fixture_dir().join("d002_wall_clock.rs")).unwrap();
+    let (findings, used) = decent_lint::analyze_source_with_stats("d002_wall_clock.rs", &src, true);
+    assert_eq!(
+        used, 1,
+        "the shimmed Instant::now pragma must register as used"
+    );
+    assert!(
+        findings.iter().all(|f| f.rule.code() != "P000"),
+        "no unused-pragma finding expected in d002 fixture"
+    );
+}

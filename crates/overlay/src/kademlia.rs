@@ -14,7 +14,7 @@
 //! - **bucket staleness**: routing tables may be pre-filled with entries
 //!   pointing at departed nodes.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use decent_sim::prelude::*;
 
@@ -173,9 +173,13 @@ pub struct KadNode {
     responsive: bool,
     sybil_directory: Option<Vec<Contact>>,
     buckets: Vec<Vec<BucketEntry>>,
-    store: HashSet<Key>,
-    lookups: HashMap<u64, Lookup>,
-    rpc_to_lookup: HashMap<u64, (u64, NodeId)>,
+    // Ordered collections throughout: today every access is a point
+    // lookup, but the determinism contract (DESIGN.md §4e) wants the
+    // hasher structurally unable to leak into event order if a future
+    // change starts iterating lookups or in-flight RPCs.
+    store: BTreeSet<Key>,
+    lookups: BTreeMap<u64, Lookup>,
+    rpc_to_lookup: BTreeMap<u64, (u64, NodeId)>,
     next_id: u64,
     /// Completed lookups, harvested by the experiment harness.
     pub results: Vec<LookupResult>,
@@ -190,9 +194,9 @@ impl KadNode {
             responsive: true,
             sybil_directory: None,
             buckets: vec![Vec::new(); KEY_BITS],
-            store: HashSet::new(),
-            lookups: HashMap::new(),
-            rpc_to_lookup: HashMap::new(),
+            store: BTreeSet::new(),
+            lookups: BTreeMap::new(),
+            rpc_to_lookup: BTreeMap::new(),
             next_id: 1,
             results: Vec::new(),
         }

@@ -5,6 +5,7 @@
 //! BitTorrent-style swarm with tit-for-tat choking, and a sybil/eclipse
 //! adversary — everything the paper's historical survey rests on.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod can;

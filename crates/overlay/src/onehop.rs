@@ -10,7 +10,7 @@
 //! Membership dissemination is modelled as periodic delta gossip: each
 //! node pushes its recent membership events to a few random peers.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use rand::Rng;
 
@@ -93,7 +93,10 @@ pub struct OneHopNode {
     key: Key,
     cfg: OneHopConfig,
     /// Believed membership: subject node -> (event, already-propagated?).
-    table: HashMap<NodeId, MemberEvent>,
+    /// A `BTreeMap`: gossip target selection and successor search walk
+    /// the whole table, so the visit order must be the node-id order,
+    /// not the hasher's.
+    table: BTreeMap<NodeId, MemberEvent>,
     fresh: Vec<MemberEvent>,
     pending: HashMap<u64, (Key, SimTime)>,
     next_rpc: u64,
@@ -108,7 +111,7 @@ impl OneHopNode {
         OneHopNode {
             key,
             cfg,
-            table: HashMap::new(),
+            table: BTreeMap::new(),
             fresh: Vec::new(),
             pending: HashMap::new(),
             next_rpc: RPC_BASE,
@@ -234,15 +237,15 @@ impl Node for OneHopNode {
             if !self.fresh.is_empty() {
                 let deltas: Vec<MemberEvent> = self.fresh.drain(..).collect();
                 let bytes = self.cfg.entry_bytes * deltas.len() as u64;
-                // Sorted so runs are reproducible across processes
-                // (HashMap iteration order is per-process random).
-                let mut peers: Vec<NodeId> = self
+                // `table` is a BTreeMap keyed by node id, so this walk
+                // yields peers in sorted order and runs stay
+                // reproducible across processes.
+                let peers: Vec<NodeId> = self
                     .table
                     .values()
                     .filter(|e| e.alive)
                     .map(|e| e.contact.node)
                     .collect();
-                peers.sort_unstable();
                 for _ in 0..self.cfg.gossip_fanout.min(peers.len()) {
                     let peer = peers[ctx.rng().gen_range(0..peers.len())];
                     ctx.send_sized(peer, OneHopMsg::Deltas(deltas.clone()), bytes);

@@ -45,6 +45,7 @@
 //! assert_eq!(sim.node(a).0.max(sim.node(b).0), 3);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

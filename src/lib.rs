@@ -28,6 +28,8 @@
 //! See `examples/` for runnable scenarios and `crates/bench/src/bin/repro.rs`
 //! for the full reproduction harness.
 
+#![forbid(unsafe_code)]
+
 pub use decent_bft as bft;
 pub use decent_chain as chain;
 pub use decent_core as core;

@@ -35,8 +35,10 @@ fn listing_descriptions_match_report_titles() {
 fn quick_configs_run_under_ci_budget() {
     const PER_EXPERIMENT: Duration = Duration::from_secs(120);
     const TOTAL: Duration = Duration::from_secs(300);
+    // decent-lint: allow(D002) reason="CI wall-clock budget check; timings are asserted against, never serialized"
     let start = Instant::now();
     for s in scenario::all(true) {
+        // decent-lint: allow(D002) reason="CI wall-clock budget check; timings are asserted against, never serialized"
         let t = Instant::now();
         let report = s.run();
         let elapsed = t.elapsed();
