@@ -1,0 +1,267 @@
+//! Sharded-executor throughput benchmark (the committed `BENCH_6.json`).
+//!
+//! Measures the windowed sharded executor against the serial engine on
+//! an E6-class workload: a 100K-node Kademlia overlay with a wave of
+//! lookups issued up front and one long `run_until` to drain them.
+//! Each configuration (serial, 2, 4, 8 shards) runs in a fresh child
+//! process (spawned from `current_exe`) so peak RSS (`VmHWM`) is
+//! attributable per configuration rather than accumulated across runs.
+//!
+//! ```text
+//! bench6 [--out PATH] [--nodes N] [--lookups N]   # parent: all configs
+//! bench6 --measure SHARDS [--nodes N] [--lookups N] # child: one config
+//! ```
+//!
+//! The child prints a single JSON object on stdout; the parent collects
+//! them into `BENCH_6.json` together with host metadata. Determinism
+//! note: the *results* of every configuration are identical by the
+//! engine's sharding contract (that is pinned by the equivalence test
+//! suite, not here) — this harness measures wall-clock only, which is
+//! why it is the one place outside criterion allowed to read
+//! `Instant::now`.
+
+use std::io::Read as _;
+use std::process::{Command, ExitCode, Stdio};
+use std::time::Instant;
+
+use decent_overlay::id::Key;
+use decent_overlay::kademlia::{build_network, KadConfig, KadNode};
+use decent_sim::json::Json;
+use decent_sim::prelude::*;
+
+const DEFAULT_NODES: usize = 100_000;
+const DEFAULT_LOOKUPS: usize = 2_000;
+const SEED: u64 = 0xB6;
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or 0 where procfs is unavailable.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// One configuration, measured in-process: build the overlay, issue
+/// every lookup up front, then time one long drain.
+fn measure(shards: usize, nodes: usize, lookups: usize) -> Json {
+    let mut sim: Simulation<KadNode> =
+        Simulation::new(SEED, UniformLatency::from_millis(30.0, 120.0));
+    sim.set_shards(shards);
+    let kad = KadConfig::default();
+    let ids = build_network(&mut sim, nodes, &kad, 0.0, 8, SEED ^ 1);
+    sim.run_until(SimTime::from_secs(1.0));
+    for i in 0..lookups as u64 {
+        let origin = ids[(i as usize * 131) % ids.len()];
+        sim.invoke(origin, |n, ctx| {
+            n.start_lookup(Key::from_u64(0xBEEF ^ i), false, ctx)
+        });
+    }
+    let before = sim.events_processed();
+    // decent-lint: allow(D002) reason="benchmark harness: wall-clock is the measurement itself, never fed back into simulation state"
+    let t0 = Instant::now();
+    sim.run_until(SimTime::from_secs(600.0));
+    let wall = t0.elapsed().as_secs_f64();
+    let events = sim.events_processed() - before;
+    Json::obj([
+        ("shards", Json::int(shards as u64)),
+        ("events", Json::int(events)),
+        ("wall_s", Json::num(wall)),
+        ("events_per_sec", Json::num(events as f64 / wall.max(1e-9))),
+        ("peak_rss_bytes", Json::int(peak_rss_bytes())),
+    ])
+}
+
+/// Spawns this same binary in child (`--measure`) mode and parses its
+/// JSON result.
+fn measure_in_child(shards: usize, nodes: usize, lookups: usize) -> Result<Json, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut child = Command::new(exe)
+        .args([
+            "--measure",
+            &shards.to_string(),
+            "--nodes",
+            &nodes.to_string(),
+            "--lookups",
+            &lookups.to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("spawn: {e}"))?;
+    let mut out = String::new();
+    child
+        .stdout
+        .take()
+        .expect("piped stdout")
+        .read_to_string(&mut out)
+        .map_err(|e| format!("read child stdout: {e}"))?;
+    let status = child.wait().map_err(|e| format!("wait: {e}"))?;
+    if !status.success() {
+        return Err(format!("child (shards={shards}) exited with {status}"));
+    }
+    Json::parse(out.trim()).map_err(|e| format!("child JSON: {e}"))
+}
+
+fn num_field(j: &Json, key: &str) -> f64 {
+    j.get(key).and_then(Json::as_num).unwrap_or(0.0)
+}
+
+fn main() -> ExitCode {
+    let mut out_path = std::path::PathBuf::from("BENCH_6.json");
+    let mut nodes = DEFAULT_NODES;
+    let mut lookups = DEFAULT_LOOKUPS;
+    let mut child_shards: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| -> Result<String, String> {
+            args.next().ok_or(format!("{what} requires an argument"))
+        };
+        let r: Result<(), String> = match arg.as_str() {
+            "--out" => take("--out").map(|v| out_path = v.into()),
+            "--nodes" => take("--nodes").and_then(|v| {
+                v.parse()
+                    .map(|n| nodes = n)
+                    .map_err(|e| format!("--nodes: {e}"))
+            }),
+            "--lookups" => take("--lookups").and_then(|v| {
+                v.parse()
+                    .map(|n| lookups = n)
+                    .map_err(|e| format!("--lookups: {e}"))
+            }),
+            "--measure" => take("--measure").and_then(|v| {
+                v.parse()
+                    .map(|n| child_shards = Some(n))
+                    .map_err(|e| format!("--measure: {e}"))
+            }),
+            other => Err(format!("unrecognized argument: {other}")),
+        };
+        if let Err(msg) = r {
+            eprintln!("bench6: {msg}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if let Some(shards) = child_shards {
+        println!("{}", measure(shards, nodes, lookups).to_string_pretty());
+        return ExitCode::SUCCESS;
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut runs = Vec::new();
+    let mut serial_eps = 0.0;
+    for shards in [1usize, 2, 4, 8] {
+        eprintln!("bench6: measuring shards={shards} ({nodes} nodes, {lookups} lookups)...");
+        let mut run = match measure_in_child(shards, nodes, lookups) {
+            Ok(j) => j,
+            Err(msg) => {
+                eprintln!("bench6: {msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let eps = num_field(&run, "events_per_sec");
+        if shards == 1 {
+            serial_eps = eps;
+        }
+        if let Json::Obj(pairs) = &mut run {
+            pairs.push((
+                "speedup_vs_serial".to_string(),
+                Json::num(if serial_eps > 0.0 {
+                    eps / serial_eps
+                } else {
+                    0.0
+                }),
+            ));
+        }
+        eprintln!(
+            "bench6:   {:.0} events/s, {:.1} s wall, {:.1} MiB peak",
+            eps,
+            num_field(&run, "wall_s"),
+            num_field(&run, "peak_rss_bytes") / (1024.0 * 1024.0)
+        );
+        runs.push(run);
+    }
+    let doc = Json::obj([
+        (
+            "benchmark",
+            Json::str("E6-class 100K-node Kademlia overlay, sharded executor vs serial"),
+        ),
+        (
+            "workload",
+            Json::obj([
+                ("nodes", Json::int(nodes as u64)),
+                ("lookups", Json::int(lookups as u64)),
+                ("seed", Json::int(SEED)),
+                ("sim_horizon_s", Json::int(600)),
+            ]),
+        ),
+        (
+            "host",
+            Json::obj([
+                ("logical_cores", Json::int(cores as u64)),
+                ("os", Json::str(std::env::consts::OS)),
+                ("arch", Json::str(std::env::consts::ARCH)),
+            ]),
+        ),
+        (
+            "note",
+            Json::str(
+                "Results are byte-identical across all shard counts by the engine's \
+                 determinism contract (pinned by tests/sharded_equivalence.rs); this file \
+                 records wall-clock only. Speedup requires physical cores: on a 1-core \
+                 host the sharded configurations measure pure coordination overhead and \
+                 speedup_vs_serial <= 1 is expected. Regenerate on a >= 4-core host with \
+                 `cargo run --release -p decent-bench --bin bench6`.",
+            ),
+        ),
+        ("runs", Json::arr(runs)),
+    ]);
+    if let Err(e) = std::fs::write(&out_path, format!("{}\n", doc.to_string_pretty())) {
+        eprintln!("bench6: cannot write {}: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("bench6: wrote {}", out_path.display());
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(peak_rss_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn tiny_measurement_is_well_formed() {
+        let j = measure(2, 50, 5);
+        for key in [
+            "shards",
+            "events",
+            "wall_s",
+            "events_per_sec",
+            "peak_rss_bytes",
+        ] {
+            assert!(j.get(key).is_some(), "missing {key}");
+        }
+        assert!(
+            num_field(&j, "events") > 0.0,
+            "workload processed no events"
+        );
+    }
+}

@@ -4,7 +4,7 @@
 //! ```text
 //! repro [--quick] [--exp E7[,E9,...]] [--csv DIR] [--claims] [--list]
 //!       [--json PATH] [--format md|json] [--summary PATH]
-//!       [--jobs N] [--seed N]
+//!       [--jobs N] [--shards N] [--seed N]
 //!       [--baseline PATH] [--write-baseline PATH]
 //!       [--sweep EXP:param=lo..hi:steps]
 //! ```
@@ -17,10 +17,16 @@
 //! behaviour — and exits.
 //!
 //! Experiments are independent simulations, so they fan out across a
-//! thread pool (`--jobs`, default = available cores). Parallelism never
-//! changes results: each experiment seeds its own RNG streams, and the
-//! canonical JSON excludes wall-clock, so serial and parallel runs are
-//! byte-identical.
+//! thread pool (`--jobs`, default = available cores). Within one
+//! experiment, `--shards N` runs each simulation on the engine's
+//! windowed sharded executor (N worker threads per simulation; default
+//! 1 = serial). Parallelism never changes results on either axis: each
+//! experiment seeds its own RNG streams, the sharded executor commits
+//! events in the exact serial `(time, seq)` order, and the canonical
+//! JSON excludes wall-clock, so serial, `--jobs N`, and `--shards N`
+//! runs are byte-identical. Scenarios whose node state cannot move
+//! across threads (the chain/BFT/edge families) ignore `--shards` and
+//! stay serial — same bytes, just no speedup.
 //!
 //! The claim-regression gate: `--baseline PATH` diffs this run's claim
 //! verdicts against a committed claims file and exits 1 on any verdict
@@ -41,12 +47,13 @@
 use std::process::ExitCode;
 
 use decent_core::report::{diff_verdicts, verdicts_from_json, RunReport};
-use decent_core::sensitivity::{run_sweep, SweepSpec};
+use decent_core::scenario::ExecPolicy;
+use decent_core::sensitivity::{run_sweep_exec, SweepSpec};
 use decent_core::{claims, experiments, scenario};
 use decent_sim::json::Json;
 
 const USAGE: &str = "usage: repro [--quick] [--exp E1,E2,...] [--csv DIR] [--claims] [--list] \
-[--json PATH] [--format md|json] [--summary PATH] [--jobs N] [--seed N] \
+[--json PATH] [--format md|json] [--summary PATH] [--jobs N] [--shards N] [--seed N] \
 [--baseline PATH] [--write-baseline PATH] [--sweep EXP:param=lo..hi:steps]";
 
 /// Output format for stdout.
@@ -72,6 +79,7 @@ struct Cli {
     format: Format,
     summary_path: Option<std::path::PathBuf>,
     jobs: Option<usize>,
+    shards: Option<usize>,
     seed: Option<u64>,
     baseline: Option<std::path::PathBuf>,
     write_baseline: Option<std::path::PathBuf>,
@@ -128,6 +136,16 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String> {
                     return Err("--jobs must be at least 1".into());
                 }
                 cli.jobs = Some(n);
+            }
+            "--shards" => {
+                let n = args.next().ok_or("--shards requires a number argument")?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("--shards expects a positive integer, got {n}"))?;
+                if n == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+                cli.shards = Some(n);
             }
             "--seed" => {
                 let s = args.next().ok_or("--seed requires a number argument")?;
@@ -235,8 +253,9 @@ fn main() -> ExitCode {
             .map(|n| n.get())
             .unwrap_or(1)
     });
+    let exec = ExecPolicy::sharded(cli.shards.unwrap_or(1));
     if let Some(spec) = &cli.sweep {
-        let sweep = match run_sweep(spec, cli.quick, cli.seed, jobs) {
+        let sweep = match run_sweep_exec(spec, cli.quick, cli.seed, jobs, exec) {
             Ok(s) => s,
             Err(msg) => {
                 eprintln!("repro: {msg}");
@@ -267,7 +286,7 @@ fn main() -> ExitCode {
         .unwrap_or_else(|| scenario::ids().iter().map(|s| s.to_string()).collect());
     let id_refs: Vec<&str> = ids.iter().map(String::as_str).collect();
 
-    let run = experiments::run_report(&id_refs, cli.quick, cli.seed, jobs);
+    let run = experiments::run_report_exec(&id_refs, cli.quick, cli.seed, jobs, exec);
 
     match cli.format {
         Format::Markdown => {
@@ -412,6 +431,8 @@ mod tests {
             "sum.md",
             "--jobs",
             "4",
+            "--shards",
+            "2",
             "--seed",
             "99",
             "--baseline",
@@ -430,6 +451,7 @@ mod tests {
             Some(std::path::Path::new("sum.md"))
         );
         assert_eq!(cli.jobs, Some(4));
+        assert_eq!(cli.shards, Some(2));
         assert_eq!(cli.seed, Some(99));
         assert_eq!(
             cli.baseline.as_deref(),
@@ -460,6 +482,13 @@ mod tests {
         assert!(parse(&["--jobs", "two"])
             .unwrap_err()
             .contains("positive integer"));
+        assert!(parse(&["--shards", "0"])
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(&["--shards", "four"])
+            .unwrap_err()
+            .contains("positive integer"));
+        assert!(parse(&["--shards"]).unwrap_err().contains("requires"));
         assert!(parse(&["--seed", "-3"])
             .unwrap_err()
             .contains("unsigned integer"));

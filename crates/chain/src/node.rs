@@ -625,7 +625,9 @@ mod tests {
         let (sim, ids) = bitcoin_like(60, 24.0, 600.0);
         let r = report(&sim, ids[0]);
         // 2000 txs / 600 s = 3.33 tps ceiling; offered load is 20 tps.
-        assert!(r.tps <= 3.6, "tps {}", r.tps);
+        // A 24 h run mines ~144 blocks, so Poisson noise on the block
+        // count moves measured tps ~±17% around the ceiling (2 sigma).
+        assert!(r.tps <= 4.0, "tps {}", r.tps);
         assert!(r.tps > 2.2, "tps {}", r.tps);
     }
 

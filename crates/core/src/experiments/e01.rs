@@ -29,6 +29,10 @@ pub struct Config {
     pub lookups: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Execution shards per simulation (1 = serial). Not a sweepable
+    /// parameter and absent from reports: sharding never changes
+    /// results, so it must never appear in canonical output.
+    pub shards: usize,
 }
 
 impl Default for Config {
@@ -37,6 +41,7 @@ impl Default for Config {
             nodes: 1500,
             lookups: 400,
             seed: 0xE1,
+            shards: 1,
         }
     }
 }
@@ -91,6 +96,10 @@ impl Scenario for Config {
     fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
         scenario::set_in(PARAMS, self, name, value)
     }
+    fn set_exec(&mut self, exec: scenario::ExecPolicy) -> bool {
+        self.shards = exec.shard_count();
+        true
+    }
     fn run(&self) -> ExperimentReport {
         run(self)
     }
@@ -138,6 +147,7 @@ fn deployments() -> Vec<Deployment> {
 /// the engine's metrics snapshot.
 fn run_deployment(cfg: &Config, dep: &Deployment, seed: u64) -> (Histogram, MetricsSnapshot) {
     let mut sim = Simulation::new(seed, UniformLatency::from_millis(30.0, 120.0));
+    sim.set_shards(cfg.shards);
     let ids = build_network(&mut sim, cfg.nodes, &dep.kad, dep.unresponsive, 8, seed ^ 1);
     sim.run_until(SimTime::from_secs(1.0));
     let mut issued = 0usize;

@@ -28,6 +28,10 @@ pub struct Config {
     pub lookups: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Execution shards per simulation (1 = serial). Not a sweepable
+    /// parameter and absent from reports: sharding never changes
+    /// results, so it must never appear in canonical output.
+    pub shards: usize,
 }
 
 impl Default for Config {
@@ -37,6 +41,7 @@ impl Default for Config {
             ratios: vec![0.0, 0.25, 0.5, 1.0],
             lookups: 120,
             seed: 0xE5,
+            shards: 1,
         }
     }
 }
@@ -99,6 +104,10 @@ impl Scenario for Config {
     fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
         scenario::set_in(PARAMS, self, name, value)
     }
+    fn set_exec(&mut self, exec: scenario::ExecPolicy) -> bool {
+        self.shards = exec.shard_count();
+        true
+    }
     fn run(&self) -> ExperimentReport {
         run(self)
     }
@@ -133,6 +142,7 @@ pub fn run(cfg: &Config) -> ExperimentReport {
         };
         let (mut sim, honest, sybil_ids) =
             build_attacked_network(&scfg, cfg.seed ^ ((i as u64 + 1) << 6));
+        sim.set_shards(cfg.shards);
         // A zero-ratio level keeps one inert sybil for plumbing; ignore it.
         let out = measure_capture(&mut sim, &honest, &sybil_ids, victim_key, cfg.lookups);
         report.absorb_metrics(sim.metrics_snapshot());
@@ -159,6 +169,7 @@ pub fn run(cfg: &Config) -> ExperimentReport {
         },
     };
     let (mut sim, honest, sybil_ids) = build_attacked_network(&eclipse_cfg, cfg.seed ^ 0xEC);
+    sim.set_shards(cfg.shards);
     let eclipse = measure_capture(&mut sim, &honest, &sybil_ids, victim_key, cfg.lookups);
     report.absorb_metrics(sim.metrics_snapshot());
     let eclipse_top = eclipse.top_captured as f64 / eclipse.lookups.max(1) as f64;

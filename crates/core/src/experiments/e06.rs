@@ -37,6 +37,10 @@ pub struct Config {
     pub session_mins: f64,
     /// Base RNG seed.
     pub seed: u64,
+    /// Execution shards per simulation (1 = serial). Not a sweepable
+    /// parameter and absent from reports: sharding never changes
+    /// results, so it must never appear in canonical output.
+    pub shards: usize,
 }
 
 impl Default for Config {
@@ -46,6 +50,7 @@ impl Default for Config {
             lookups: 200,
             session_mins: 60.0,
             seed: 0xE6,
+            shards: 1,
         }
     }
 }
@@ -106,6 +111,10 @@ impl Scenario for Config {
     fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
         scenario::set_in(PARAMS, self, name, value)
     }
+    fn set_exec(&mut self, exec: scenario::ExecPolicy) -> bool {
+        self.shards = exec.shard_count();
+        true
+    }
     fn run(&self) -> ExperimentReport {
         run(self)
     }
@@ -121,6 +130,7 @@ struct ProtocolRow {
 
 fn measure_chord(cfg: &Config, seed: u64) -> ProtocolRow {
     let mut sim = Simulation::new(seed, UniformLatency::from_millis(30.0, 120.0));
+    sim.set_shards(cfg.shards);
     let ids = build_ring(&mut sim, cfg.nodes, &ChordConfig::default(), seed ^ 1);
     sim.run_until(SimTime::from_secs(1.0));
     // Maintenance window: no lookups for two minutes.
@@ -163,6 +173,7 @@ fn measure_kademlia(cfg: &Config, seed: u64) -> ProtocolRow {
         refresh_interval: Some(SimDuration::from_mins(1.0)),
         ..KadConfig::default()
     };
+    sim.set_shards(cfg.shards);
     let ids = kademlia::build_network(&mut sim, cfg.nodes, &kad, 0.0, 8, seed ^ 2);
     sim.run_until(SimTime::from_secs(1.0));
     let before = sim.stats().sent;
@@ -197,6 +208,7 @@ fn measure_kademlia(cfg: &Config, seed: u64) -> ProtocolRow {
 
 fn measure_onehop(cfg: &Config, seed: u64) -> ProtocolRow {
     let mut sim = Simulation::new(seed, UniformLatency::from_millis(30.0, 120.0));
+    sim.set_shards(cfg.shards);
     let ids = onehop::build_network(&mut sim, cfg.nodes, OneHopConfig::default(), seed ^ 3);
     sim.run_until(SimTime::from_secs(1.0));
     // Membership events at the churn rate: 2 events per session cycle.
@@ -248,6 +260,7 @@ fn measure_onehop(cfg: &Config, seed: u64) -> ProtocolRow {
 
 fn measure_pastry(cfg: &Config, seed: u64) -> ProtocolRow {
     let mut sim = Simulation::new(seed, UniformLatency::from_millis(30.0, 120.0));
+    sim.set_shards(cfg.shards);
     let ids = pastry::build_network(&mut sim, cfg.nodes, &PastryConfig::default(), seed ^ 4);
     sim.run_until(SimTime::from_secs(1.0));
     let before = sim.stats().sent;
@@ -284,6 +297,7 @@ fn measure_pastry(cfg: &Config, seed: u64) -> ProtocolRow {
 fn measure_can(cfg: &Config, seed: u64) -> ProtocolRow {
     use rand::Rng;
     let mut sim = Simulation::new(seed, UniformLatency::from_millis(30.0, 120.0));
+    sim.set_shards(cfg.shards);
     let ids = can::build_network(&mut sim, cfg.nodes, seed ^ 5);
     sim.run_until(SimTime::from_secs(0.1));
     for i in 0..cfg.lookups {

@@ -47,6 +47,10 @@ pub struct Config {
     pub burst_secs: f64,
     /// Base RNG seed.
     pub seed: u64,
+    /// Execution shards per simulation (1 = serial). Not a sweepable
+    /// parameter and absent from reports: sharding never changes
+    /// results, so it must never appear in canonical output.
+    pub shards: usize,
 }
 
 impl Default for Config {
@@ -60,6 +64,7 @@ impl Default for Config {
             partition_secs: 60.0,
             burst_secs: 30.0,
             seed: 0xE19,
+            shards: 1,
         }
     }
 }
@@ -137,6 +142,10 @@ impl Scenario for Config {
     fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
         scenario::set_in(PARAMS, self, name, value)
     }
+    fn set_exec(&mut self, exec: scenario::ExecPolicy) -> bool {
+        self.shards = exec.shard_count();
+        true
+    }
     fn run(&self) -> ExperimentReport {
         run(self)
     }
@@ -210,6 +219,7 @@ fn run_dht(cfg: &Config) -> (Vec<DhtPhase>, MetricsSnapshot) {
         cfg.seed,
         Faulty::new(UniformLatency::from_millis(20.0, 80.0), plan.clone()),
     );
+    sim.set_shards(cfg.shards);
     let kcfg = KadConfig::default();
     let ids = build_network(&mut sim, n, &kcfg, 0.0, 4, cfg.seed ^ 0x19);
     plan.schedule_crashes(&mut sim);

@@ -52,9 +52,31 @@ pub fn run_by_id(id: &str, quick: bool) -> Option<ExperimentReport> {
 ///
 /// Returns `None` for an unknown id.
 pub fn run_seeded(id: &str, quick: bool, seed: Option<u64>) -> Option<ExperimentReport> {
+    run_seeded_exec(id, quick, seed, scenario::ExecPolicy::serial())
+}
+
+/// Runs one experiment by id with an optional seed override and an
+/// execution policy (shard count for the windowed parallel executor).
+///
+/// The policy is a pure execution knob: a scenario that accepts it
+/// ([`scenario::Scenario::set_exec`] returns `true`) produces the same
+/// report bytes at any shard count, and scenarios that cannot shard
+/// (their node types are not `Send`) silently stay serial. Either way
+/// the policy never appears in report JSON.
+///
+/// Returns `None` for an unknown id.
+pub fn run_seeded_exec(
+    id: &str,
+    quick: bool,
+    seed: Option<u64>,
+    exec: scenario::ExecPolicy,
+) -> Option<ExperimentReport> {
     let mut s = scenario::build(id, quick)?;
     if let Some(seed) = seed {
         s.set_seed(seed);
+    }
+    if exec.shard_count() > 1 {
+        s.set_exec(exec);
     }
     Some(s.run())
 }
@@ -78,6 +100,25 @@ pub fn run_all(quick: bool) -> Vec<ExperimentReport> {
 /// Panics on an unknown id (callers validate ids against
 /// [`scenario::ids`] first) or `jobs == 0`.
 pub fn run_report(ids: &[&str], quick: bool, seed: Option<u64>, jobs: usize) -> RunReport {
+    run_report_exec(ids, quick, seed, jobs, scenario::ExecPolicy::serial())
+}
+
+/// [`run_report`] with an execution policy for each experiment's inner
+/// simulations (see [`run_seeded_exec`]). Sharding composes with the
+/// experiment-level fan-out: `jobs` picks how many experiments run at
+/// once, `exec` picks how many worker threads each simulation uses, and
+/// neither knob changes a byte of the report.
+///
+/// # Panics
+///
+/// Panics on an unknown id or `jobs == 0`, as [`run_report`].
+pub fn run_report_exec(
+    ids: &[&str],
+    quick: bool,
+    seed: Option<u64>,
+    jobs: usize,
+    exec: scenario::ExecPolicy,
+) -> RunReport {
     assert!(jobs > 0, "jobs must be >= 1");
     for id in ids {
         assert!(
@@ -99,7 +140,7 @@ pub fn run_report(ids: &[&str], quick: bool, seed: Option<u64>, jobs: usize) -> 
                 let Some(id) = ids.get(i) else { break };
                 // decent-lint: allow(D002) reason="harness-only wall_ms measurement; excluded from the canonical report JSON (tests/run_report.rs pins this)"
                 let t0 = Instant::now();
-                let report = run_seeded(id, quick, seed).expect("id validated above");
+                let report = run_seeded_exec(id, quick, seed, exec).expect("id validated above");
                 let run = ExperimentRun {
                     report,
                     seed,

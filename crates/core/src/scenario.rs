@@ -100,6 +100,37 @@ pub fn set_in<C>(params: &[Param<C>], cfg: &mut C, name: &str, value: f64) -> Re
     }
 }
 
+/// How a scenario should *execute* — knobs that change wall-clock
+/// behaviour but, by the engine's determinism contract, never results.
+///
+/// Kept strictly out of [`Scenario::params`] and out of every report:
+/// a sharded run must serialize byte-identically to a serial one, so
+/// nothing here may leak into canonical output.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecPolicy {
+    /// Worker shards per simulation (`0` or `1` = serial). Applied via
+    /// [`Simulation::set_shards`](decent_sim::engine::Simulation::set_shards)
+    /// by scenarios whose node state is `Send`.
+    pub shards: usize,
+}
+
+impl ExecPolicy {
+    /// Serial execution (the default).
+    pub fn serial() -> Self {
+        ExecPolicy::default()
+    }
+
+    /// Sharded execution across `shards` workers.
+    pub fn sharded(shards: usize) -> Self {
+        ExecPolicy { shards }
+    }
+
+    /// The shard count to pass to `Simulation::set_shards` (never 0).
+    pub fn shard_count(&self) -> usize {
+        self.shards.max(1)
+    }
+}
+
 /// One experiment behind a uniform, object-safe surface: identity,
 /// seeding, a typed parameter map, and execution.
 ///
@@ -132,6 +163,18 @@ pub trait Scenario: Send {
 
     /// Writes a knob by name; errors name the sweepable set.
     fn set_param(&mut self, name: &str, value: f64) -> Result<(), String>;
+
+    /// Applies an execution policy (`repro --shards N`).
+    ///
+    /// Returns whether the scenario honours it: the default
+    /// implementation ignores the policy and returns `false`, which is
+    /// what scenarios with non-`Send` node state (the chain/BFT/edge
+    /// families use `Rc` internally) must do — they simply stay serial.
+    /// Either way the results are identical; only wall-clock changes.
+    fn set_exec(&mut self, exec: ExecPolicy) -> bool {
+        let _ = exec;
+        false
+    }
 
     /// Runs the experiment on the current config.
     fn run(&self) -> ExperimentReport;

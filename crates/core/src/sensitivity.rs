@@ -384,6 +384,19 @@ pub fn run_sweep(
     seed: Option<u64>,
     jobs: usize,
 ) -> Result<SweepReport, String> {
+    run_sweep_exec(spec, quick, seed, jobs, scenario::ExecPolicy::serial())
+}
+
+/// [`run_sweep`] with an execution policy applied to every grid point
+/// (see [`crate::experiments::run_seeded_exec`]). Shards compose with
+/// `jobs` and change nothing in the sweep output.
+pub fn run_sweep_exec(
+    spec: &SweepSpec,
+    quick: bool,
+    seed: Option<u64>,
+    jobs: usize,
+    exec: scenario::ExecPolicy,
+) -> Result<SweepReport, String> {
     if jobs == 0 {
         return Err("jobs must be >= 1".to_string());
     }
@@ -429,6 +442,9 @@ pub fn run_sweep(
             let p = point_seed(base, i);
             s.set_seed(p).then_some(p)
         });
+        if exec.shard_count() > 1 {
+            s.set_exec(exec);
+        }
         SweepPoint {
             requested,
             applied,

@@ -2,9 +2,27 @@
 //!
 //! A simulation is a set of [`Node`]s exchanging messages through a
 //! [`NetworkModel`]. Events (message deliveries,
-//! timers, node start/stop, driver hooks) are processed in `(time, seq)`
-//! order where `seq` is a monotone tie-breaker, so a given seed always
-//! yields the exact same trace.
+//! timers, node start/stop) are processed in `(time, seq)` order, so a
+//! given seed always yields the exact same trace.
+//!
+//! # Determinism model
+//!
+//! Every stochastic draw is tied to a *stream* that is independent of
+//! execution strategy:
+//!
+//! - each node owns a handler stream (used by [`Context::rng`], churn
+//!   and lifecycle draws) and a network stream (used by the network
+//!   model for that node's outgoing messages), both derived from the
+//!   simulation seed and the node id;
+//! - the driver stream ([`Simulation::rng`]) serves code running
+//!   outside node handlers.
+//!
+//! Event sequence numbers are *origin-packed*: `seq = origin << 32 |
+//! counter`, where `origin` is the node that created the event (or the
+//! driver) and `counter` increments in that origin's own processing
+//! order. Together these make the full `(time, seq)` event schedule a
+//! pure function of the seed — independent of scheduler implementation
+//! and of how many shards execute it ([`Simulation::set_shards`]).
 //!
 //! # Examples
 //!
@@ -35,9 +53,12 @@
 //! assert_eq!(sim.node(a).heard, 1); // got the pong back
 //! ```
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use crate::metrics::{LogHistogram, Metric, MetricsSnapshot};
 use crate::net::NetworkModel;
-use crate::rng::{rng_from_seed, SimRng};
+use crate::rng::{derive_seed, rng_from_seed, SimRng};
 use crate::sched::{BinaryHeapScheduler, Scheduler, TimingWheel};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{EventTag, Trace};
@@ -48,6 +69,18 @@ pub type NodeId = usize;
 /// Pseudo-sender for messages injected from outside the simulation
 /// (e.g. by a [`Driver`] acting as a client population).
 pub const EXTERNAL: NodeId = usize::MAX;
+
+/// Origin marker for events created outside any node handler (driver
+/// calls, injections, node additions).
+pub(crate) const DRIVER_ORIGIN: u32 = u32::MAX;
+
+/// Packs an event origin and its per-origin counter into the engine's
+/// sequence number. The packing preserves per-origin FIFO order and is
+/// identical under serial and sharded execution, which is what makes
+/// the `(time, seq)` schedule execution-strategy-independent.
+pub(crate) fn pack_seq(origin: u32, ctr: u32) -> u64 {
+    ((origin as u64) << 32) | ctr as u64
+}
 
 /// A protocol participant.
 ///
@@ -80,7 +113,7 @@ pub trait Node: Sized {
 }
 
 /// Deferred effect produced by a node handler.
-enum Action<M> {
+pub(crate) enum Action<M> {
     Send { dst: NodeId, msg: M, bytes: u64 },
     Timer { delay: SimDuration, tag: u64 },
     GoOffline,
@@ -88,13 +121,13 @@ enum Action<M> {
 
 /// Handler-side view of the simulation.
 ///
-/// Provides the current time, the node's own id, the RNG stream, and
-/// methods to schedule sends and timers.
+/// Provides the current time, the node's own id, the node's RNG stream,
+/// and methods to schedule sends and timers.
 pub struct Context<'a, M> {
-    now: SimTime,
-    id: NodeId,
-    rng: &'a mut SimRng,
-    actions: &'a mut Vec<Action<M>>,
+    pub(crate) now: SimTime,
+    pub(crate) id: NodeId,
+    pub(crate) rng: &'a mut SimRng,
+    pub(crate) actions: &'a mut Vec<Action<M>>,
 }
 
 impl<M> std::fmt::Debug for Context<'_, M> {
@@ -117,7 +150,7 @@ impl<M> Context<'_, M> {
         self.id
     }
 
-    /// The deterministic RNG stream.
+    /// This node's deterministic RNG stream.
     pub fn rng(&mut self) -> &mut SimRng {
         self.rng
     }
@@ -146,12 +179,11 @@ impl<M> Context<'_, M> {
     }
 }
 
-enum EventKind<M> {
+pub(crate) enum EventKind<M> {
     Deliver { src: NodeId, msg: M },
     Timer { tag: u64, epoch: u32 },
     Start,
     Stop,
-    Hook { tag: u64 },
 }
 
 /// The engine's event payload as stored in a [`Scheduler`]: a target node
@@ -159,8 +191,19 @@ enum EventKind<M> {
 /// in scheduler type parameters (e.g. `TimingWheel<EngineEvent<M>>`) but
 /// its contents are engine-internal.
 pub struct EngineEvent<M> {
-    node: NodeId,
-    kind: EventKind<M>,
+    pub(crate) node: NodeId,
+    pub(crate) kind: EventKind<M>,
+}
+
+impl<M> EngineEvent<M> {
+    pub(crate) fn tag(&self) -> EventTag {
+        match self.kind {
+            EventKind::Deliver { .. } => EventTag::Deliver,
+            EventKind::Timer { .. } => EventTag::Timer,
+            EventKind::Start => EventTag::Start,
+            EventKind::Stop => EventTag::Stop,
+        }
+    }
 }
 
 impl<M> std::fmt::Debug for EngineEvent<M> {
@@ -210,13 +253,35 @@ impl<N: Node, S: SchedulerFor<N>> Driver<N, S> for NoDriver {
     fn on_hook(&mut self, _tag: u64, _sim: &mut Simulation<N, S>) {}
 }
 
-struct Slot<N> {
-    node: N,
-    online: bool,
+pub(crate) struct Slot<N> {
+    pub(crate) node: N,
+    pub(crate) online: bool,
     /// Timers from before the last offline period are invalidated by
     /// bumping this epoch on every stop.
-    timer_epoch: u32,
-    churn: Option<crate::churn::ChurnModel>,
+    pub(crate) timer_epoch: u32,
+    pub(crate) churn: Option<crate::churn::ChurnModel>,
+    /// This node's handler/lifecycle RNG stream.
+    pub(crate) rng: SimRng,
+    /// Per-origin event counter: low 32 bits of every seq this node
+    /// originates. Sends reserve two slots (delivery + potential
+    /// duplicate) so serial and sharded execution assign identical seqs.
+    pub(crate) ctr: u32,
+}
+
+impl<N> Slot<N> {
+    /// Reserves the next seq for a single event originated by this node.
+    pub(crate) fn next_seq(&mut self, id: NodeId) -> u64 {
+        let c = self.ctr;
+        self.ctr += 1;
+        pack_seq(id as u32, c)
+    }
+
+    /// Reserves the (delivery, duplicate) seq pair for one send.
+    pub(crate) fn reserve_send_seqs(&mut self, id: NodeId) -> (u64, u64) {
+        let c = self.ctr;
+        self.ctr += 2;
+        (pack_seq(id as u32, c), pack_seq(id as u32, c + 1))
+    }
 }
 
 /// Shorthand bound for "a scheduler usable by a simulation over `N`".
@@ -241,23 +306,49 @@ pub type HeapSim<N> = Simulation<N, BinaryHeapScheduler<EngineEvent<<N as Node>:
 /// hierarchical [`TimingWheel`]; `Simulation::new` always builds the
 /// default, [`Simulation::with_scheduler`] builds any `S`. All schedulers
 /// dequeue in identical `(time, seq)` order, so the choice affects
-/// performance only, never results.
+/// performance only, never results. Likewise,
+/// [`set_shards`](Simulation::set_shards) changes only how events are
+/// executed (partitioned across worker threads under conservative time
+/// windows), never what they compute.
 pub struct Simulation<N: Node, S = TimingWheel<EngineEvent<<N as Node>::Msg>>> {
-    slots: Vec<Slot<N>>,
-    queue: S,
-    now: SimTime,
-    seq: u64,
-    net: Box<dyn NetworkModel>,
+    pub(crate) slots: Vec<Slot<N>>,
+    /// Per-node network-model RNG streams, kept outside [`Slot`] so the
+    /// commit phase of sharded execution can route messages while worker
+    /// threads still hold the slots.
+    pub(crate) net_rngs: Vec<SimRng>,
+    /// One event queue per shard; events for node `n` live in queue
+    /// `n % shards`. Serial execution uses a single queue.
+    pub(crate) queues: Vec<S>,
+    pub(crate) shards: usize,
+    /// Monomorphized windowed executor, set by [`Simulation::set_shards`]
+    /// (where the `Send` bounds it needs are available).
+    windowed: Option<fn(&mut Simulation<N, S>, SimTime, bool)>,
+    /// Driver hooks, kept out of the event queues so sharded execution
+    /// can advance node events in parallel and still hand hooks to the
+    /// driver serially, in deterministic `(time, seq)` order.
+    hooks: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
+    pub(crate) now: SimTime,
+    seed: u64,
+    driver_ctr: u32,
+    pub(crate) net: Box<dyn NetworkModel>,
     rng: SimRng,
-    stats: NetStats,
-    events_processed: u64,
+    pub(crate) stats: NetStats,
+    pub(crate) events_processed: u64,
     /// Events dequeued but discarded without reaching a handler: stale
     /// timers, deliveries to offline nodes, and redundant start/stop.
-    events_cancelled: u64,
+    pub(crate) events_cancelled: u64,
+    /// Events ever pushed (queues and hooks), engine-tracked so the
+    /// count is identical across schedulers and shard counts.
+    pub(crate) scheduled: u64,
+    /// Events currently pending across all queues (hooks excluded).
+    pub(crate) pending: u64,
+    /// High-water mark of `pending`, reconstructed exactly in canonical
+    /// event order under sharded execution.
+    pub(crate) peak_pending: u64,
     /// Distribution of per-message sizes handed to the network model.
-    msg_bytes: LogHistogram,
+    pub(crate) msg_bytes: LogHistogram,
     scratch: Vec<Action<N::Msg>>,
-    trace: Option<Trace>,
+    pub(crate) trace: Option<Trace>,
 }
 
 impl<N: Node> Simulation<N> {
@@ -287,18 +378,73 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
     pub fn with_scheduler(seed: u64, net: impl NetworkModel + 'static) -> Self {
         Simulation {
             slots: Vec::new(),
-            queue: S::new(),
+            net_rngs: Vec::new(),
+            queues: vec![S::new()],
+            shards: 1,
+            windowed: None,
+            hooks: BinaryHeap::new(),
             now: SimTime::ZERO,
-            seq: 0,
+            seed,
+            driver_ctr: 0,
             net: Box::new(net),
             rng: rng_from_seed(seed),
             stats: NetStats::default(),
             events_processed: 0,
             events_cancelled: 0,
+            scheduled: 0,
+            pending: 0,
+            peak_pending: 0,
             msg_bytes: LogHistogram::new(),
             scratch: Vec::new(),
             trace: None,
         }
+    }
+
+    /// Partitions execution across `shards` worker threads.
+    ///
+    /// Nodes are assigned to shards by `id % shards` and advanced under
+    /// conservative time windows sized by the network model's
+    /// [`lookahead`](NetworkModel::lookahead); cross-shard messages merge
+    /// through a deterministic `(time, seq)` queue at window boundaries.
+    /// Results are **byte-identical** to serial execution for any shard
+    /// count: the event schedule and every RNG stream are independent of
+    /// the partitioning by construction. Models without a positive
+    /// lookahead fall back to serial-equivalent stepping.
+    ///
+    /// May be called at any point; pending events are re-routed. Passing
+    /// `0` or `1` restores serial execution.
+    pub fn set_shards(&mut self, shards: usize)
+    where
+        N: Send,
+        N::Msg: Send,
+        S: Send,
+    {
+        let shards = shards.max(1);
+        if shards == self.shards {
+            return;
+        }
+        let mut all: Vec<(SimTime, u64, EngineEvent<N::Msg>)> =
+            Vec::with_capacity(self.pending as usize);
+        for q in &mut self.queues {
+            while let Some(e) = q.pop() {
+                all.push(e);
+            }
+        }
+        self.shards = shards;
+        self.queues = (0..shards).map(|_| S::new()).collect();
+        for (t, s, ev) in all {
+            self.queues[ev.node % shards].schedule(t, s, ev);
+        }
+        self.windowed = if shards > 1 {
+            Some(crate::shard::windowed_advance::<N, S> as fn(&mut Simulation<N, S>, SimTime, bool))
+        } else {
+            None
+        };
+    }
+
+    /// The number of execution shards (1 = serial).
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// Starts tracing dispatched events, retaining the most recent
@@ -326,13 +472,29 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
     pub fn add_node_at(&mut self, node: N, at: SimTime) -> NodeId {
         assert!(at >= self.now, "cannot start a node in the past");
         let id = self.slots.len();
+        assert!(
+            (id as u64) < DRIVER_ORIGIN as u64,
+            "node id space exhausted"
+        );
         self.slots.push(Slot {
             node,
             online: false,
             timer_epoch: 0,
             churn: None,
+            rng: rng_from_seed(derive_seed(self.seed, 2 * id as u64)),
+            ctr: 0,
         });
-        self.push_event(at, id, EventKind::Start);
+        self.net_rngs
+            .push(rng_from_seed(derive_seed(self.seed, 2 * id as u64 + 1)));
+        let seq = self.next_driver_seq();
+        self.push_at(
+            at,
+            seq,
+            EngineEvent {
+                node: id,
+                kind: EventKind::Start,
+            },
+        );
         id
     }
 
@@ -342,36 +504,68 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
     /// freshly sampled session length; otherwise the process starts at
     /// the node's next start event.
     pub fn set_churn(&mut self, id: NodeId, model: crate::churn::ChurnModel) {
-        let session = self.slots[id]
-            .online
-            .then(|| model.sample_session(&mut self.rng));
-        self.slots[id].churn = Some(model);
+        let slot = &mut self.slots[id];
+        let session = slot.online.then(|| model.sample_session(&mut slot.rng));
+        slot.churn = Some(model);
         if let Some(session) = session {
-            self.push_event(self.now + session, id, EventKind::Stop);
+            let seq = self.next_driver_seq();
+            self.push_at(
+                self.now + session,
+                seq,
+                EngineEvent {
+                    node: id,
+                    kind: EventKind::Stop,
+                },
+            );
         }
     }
 
     /// Schedules the node to stop (go offline) at `at`.
     pub fn schedule_stop(&mut self, id: NodeId, at: SimTime) {
-        self.push_event(at, id, EventKind::Stop);
+        let seq = self.next_driver_seq();
+        self.push_at(
+            at,
+            seq,
+            EngineEvent {
+                node: id,
+                kind: EventKind::Stop,
+            },
+        );
     }
 
     /// Schedules the node to start (come online) at `at`.
     pub fn schedule_start(&mut self, id: NodeId, at: SimTime) {
-        self.push_event(at, id, EventKind::Start);
+        let seq = self.next_driver_seq();
+        self.push_at(
+            at,
+            seq,
+            EngineEvent {
+                node: id,
+                kind: EventKind::Start,
+            },
+        );
     }
 
     /// Schedules a driver hook with `tag` at `at`.
+    ///
+    /// Hooks fire *before* any node event carrying the same timestamp,
+    /// and in scheduling order among themselves.
     pub fn schedule_hook(&mut self, at: SimTime, tag: u64) {
-        self.push_event(at, 0, EventKind::Hook { tag });
+        let seq = self.next_driver_seq();
+        self.scheduled += 1;
+        self.hooks.push(Reverse((at, seq, tag)));
     }
 
     /// Injects a message from [`EXTERNAL`] to `dst`, delivered after `delay`.
     pub fn inject(&mut self, dst: NodeId, msg: N::Msg, delay: SimDuration) {
-        self.push_event(
+        let seq = self.next_driver_seq();
+        self.push_at(
             self.now + delay,
-            dst,
-            EventKind::Deliver { src: EXTERNAL, msg },
+            seq,
+            EngineEvent {
+                node: dst,
+                kind: EventKind::Deliver { src: EXTERNAL, msg },
+            },
         );
     }
 
@@ -387,13 +581,14 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
     ) -> R {
         let mut actions = std::mem::take(&mut self.scratch);
         let out = {
+            let slot = &mut self.slots[id];
             let mut ctx = Context {
                 now: self.now,
                 id,
-                rng: &mut self.rng,
+                rng: &mut slot.rng,
                 actions: &mut actions,
             };
-            f(&mut self.slots[id].node, &mut ctx)
+            f(&mut slot.node, &mut ctx)
         };
         self.apply_actions(id, &mut actions);
         self.scratch = actions;
@@ -453,24 +648,22 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
         self.events_cancelled
     }
 
-    /// A [`MetricsSnapshot`] of the engine's counters: event-loop and
-    /// scheduler activity, network traffic, and the per-message size
+    /// A [`MetricsSnapshot`] of the engine's counters: event-loop
+    /// activity, network traffic, and the per-message size
     /// distribution. Snapshots from independent simulations merge with
     /// [`MetricsSnapshot::merge`], which is how multi-simulation
     /// experiments report one combined engine section.
     ///
     /// Everything in the snapshot is a deterministic function of the
-    /// simulation (no wall-clock), so serialized snapshots are
-    /// byte-stable across runs and machines.
+    /// simulation (no wall-clock, no scheduler- or shard-dependent
+    /// implementation detail), so serialized snapshots are byte-stable
+    /// across runs, machines, schedulers, and shard counts.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        let sched = self.queue.op_stats();
         let mut m = MetricsSnapshot::new();
-        m.set_counter("events_scheduled", self.seq);
+        m.set_counter("events_scheduled", self.scheduled);
         m.set_counter("events_fired", self.events_processed);
         m.set_counter("events_cancelled", self.events_cancelled);
-        m.set_peak("peak_queue_depth", sched.peak_len);
-        m.set_counter("sched_cascades", sched.cascades);
-        m.set_peak("sched_overflow_peak", sched.overflow_peak);
+        m.set_peak("peak_queue_depth", self.peak_pending);
         m.set_counter("messages_sent", self.stats.sent);
         m.set_counter("messages_delivered", self.stats.delivered);
         m.set_counter("messages_dropped_offline", self.stats.dropped_offline);
@@ -495,7 +688,7 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
         m
     }
 
-    /// The engine RNG (for drivers that need randomness in the same stream).
+    /// The driver RNG stream (for harness code outside node handlers).
     pub fn rng(&mut self) -> &mut SimRng {
         &mut self.rng
     }
@@ -509,42 +702,155 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
     /// Runs until the queue is empty or `deadline` is reached, dispatching
     /// hook events to `driver`.
     pub fn run_with_driver(&mut self, deadline: SimTime, driver: &mut impl Driver<N, S>) {
-        while self.step(deadline, driver) {}
+        loop {
+            match self.hooks.peek() {
+                Some(&Reverse((t, _, _))) if t <= deadline => {
+                    // All node events strictly before the hook, then the hook.
+                    self.advance_events(t, false);
+                    let Reverse((t, _seq, tag)) = self.hooks.pop().expect("peeked");
+                    if self.now < t {
+                        self.now = t;
+                    }
+                    self.events_processed += 1;
+                    if let Some(trace) = &mut self.trace {
+                        trace.record(t, 0, EventTag::Hook);
+                    }
+                    driver.on_hook(tag, self);
+                }
+                _ => {
+                    self.advance_events(deadline, true);
+                    return;
+                }
+            }
+        }
     }
 
-    /// Processes a single event if one exists at or before `deadline`.
+    /// Processes a single event (or hook) if one exists at or before
+    /// `deadline`.
     ///
     /// Returns false when the queue is exhausted or the next event lies
     /// beyond the deadline (in which case time advances to the deadline).
+    /// Always serial: single-stepping a sharded simulation is valid and
+    /// produces the same schedule, one event at a time.
     pub fn step(&mut self, deadline: SimTime, driver: &mut impl Driver<N, S>) -> bool {
-        let Some(head_time) = self.queue.next_time() else {
-            if self.now < deadline && deadline != SimTime::MAX {
-                self.now = deadline;
+        let hook_time = self.hooks.peek().map(|&Reverse((t, _, _))| t);
+        let event_time = self.next_event_time();
+        let hook_first = match (hook_time, event_time) {
+            (Some(h), Some(e)) => h <= e,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => {
+                if self.now < deadline && deadline != SimTime::MAX {
+                    self.now = deadline;
+                }
+                return false;
             }
-            return false;
         };
-        if head_time > deadline {
+        let head = if hook_first { hook_time } else { event_time }.expect("chosen head");
+        if head > deadline {
             self.now = deadline;
             return false;
         }
-        let (time, _seq, ev) = self.queue.pop().expect("peeked");
-        debug_assert!(time >= self.now, "time went backwards");
-        self.now = time;
-        self.events_processed += 1;
-        self.dispatch(ev, driver);
+        if hook_first {
+            let Reverse((t, _seq, tag)) = self.hooks.pop().expect("peeked");
+            if self.now < t {
+                self.now = t;
+            }
+            self.events_processed += 1;
+            if let Some(trace) = &mut self.trace {
+                trace.record(t, 0, EventTag::Hook);
+            }
+            driver.on_hook(tag, self);
+        } else {
+            let (time, _seq, ev) = self.pop_next_event().expect("peeked");
+            debug_assert!(time >= self.now, "time went backwards");
+            self.now = time;
+            self.events_processed += 1;
+            self.pending -= 1;
+            self.dispatch(ev);
+        }
         true
     }
 
-    fn dispatch(&mut self, ev: EngineEvent<N::Msg>, driver: &mut impl Driver<N, S>) {
-        if let Some(trace) = &mut self.trace {
-            let tag = match &ev.kind {
-                EventKind::Deliver { .. } => EventTag::Deliver,
-                EventKind::Timer { .. } => EventTag::Timer,
-                EventKind::Start => EventTag::Start,
-                EventKind::Stop => EventTag::Stop,
-                EventKind::Hook { .. } => EventTag::Hook,
+    /// Advances node events up to `limit` using the configured execution
+    /// strategy (`inclusive` controls whether events *at* `limit` fire).
+    fn advance_events(&mut self, limit: SimTime, inclusive: bool) {
+        match self.windowed {
+            Some(f) => f(self, limit, inclusive),
+            None => self.advance_serial(limit, inclusive),
+        }
+    }
+
+    /// Serial event loop: merged `(time, seq)`-ordered pops across all
+    /// queues. This is both the `shards == 1` main path and the fallback
+    /// for sharded simulations whose network model has no usable
+    /// lookahead (degenerate windows must not deadlock or reorder).
+    pub(crate) fn advance_serial(&mut self, limit: SimTime, inclusive: bool) {
+        loop {
+            let Some(head) = self.next_event_time() else {
+                if self.now < limit && inclusive && limit != SimTime::MAX {
+                    self.now = limit;
+                }
+                return;
             };
-            trace.record(self.now, ev.node, tag);
+            if head > limit || (head == limit && !inclusive) {
+                if self.now < limit && inclusive && limit != SimTime::MAX {
+                    self.now = limit;
+                }
+                return;
+            }
+            let (time, _seq, ev) = self.pop_next_event().expect("peeked");
+            debug_assert!(time >= self.now, "time went backwards");
+            self.now = time;
+            self.events_processed += 1;
+            self.pending -= 1;
+            self.dispatch(ev);
+        }
+    }
+
+    /// Earliest pending node-event time across all queues.
+    fn next_event_time(&mut self) -> Option<SimTime> {
+        self.queues.iter_mut().filter_map(|q| q.next_time()).min()
+    }
+
+    /// Pops the globally earliest `(time, seq)` event. With one queue
+    /// this is a plain pop; with several, same-time heads are compared by
+    /// seq (losers are re-scheduled, which the [`Scheduler`] contract
+    /// permits at the dequeue frontier).
+    fn pop_next_event(&mut self) -> Option<(SimTime, u64, EngineEvent<N::Msg>)> {
+        if self.shards == 1 {
+            return self.queues[0].pop();
+        }
+        let mut best: Option<(SimTime, u64, usize, EngineEvent<N::Msg>)> = None;
+        for qi in 0..self.queues.len() {
+            let Some(t) = self.queues[qi].next_time() else {
+                continue;
+            };
+            if let Some((bt, _, _, _)) = &best {
+                if t > *bt {
+                    continue;
+                }
+            }
+            let (t, s, ev) = self.queues[qi].pop().expect("peeked");
+            match best.take() {
+                Some((bt, bs, bqi, bev)) => {
+                    if (t, s) < (bt, bs) {
+                        self.queues[bqi].schedule(bt, bs, bev);
+                        best = Some((t, s, qi, ev));
+                    } else {
+                        self.queues[qi].schedule(t, s, ev);
+                        best = Some((bt, bs, bqi, bev));
+                    }
+                }
+                None => best = Some((t, s, qi, ev)),
+            }
+        }
+        best.map(|(t, s, _, ev)| (t, s, ev))
+    }
+
+    fn dispatch(&mut self, ev: EngineEvent<N::Msg>) {
+        if let Some(trace) = &mut self.trace {
+            trace.record(self.now, ev.node, ev.tag());
         }
         match ev.kind {
             EventKind::Deliver { src, msg } => {
@@ -571,9 +877,18 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
                 }
                 self.slots[ev.node].online = true;
                 self.with_node(ev.node, |node, ctx| node.on_start(ctx));
-                if let Some(churn) = &self.slots[ev.node].churn {
-                    let session = churn.sample_session(&mut self.rng);
-                    self.push_event(self.now + session, ev.node, EventKind::Stop);
+                let slot = &mut self.slots[ev.node];
+                let session = slot.churn.as_ref().map(|c| c.sample_session(&mut slot.rng));
+                if let Some(session) = session {
+                    let seq = self.slots[ev.node].next_seq(ev.node);
+                    self.push_at(
+                        self.now + session,
+                        seq,
+                        EngineEvent {
+                            node: ev.node,
+                            kind: EventKind::Stop,
+                        },
+                    );
                 }
             }
             EventKind::Stop => {
@@ -583,12 +898,20 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
                 }
                 self.with_node(ev.node, |node, ctx| node.on_stop(ctx));
                 self.take_offline(ev.node);
-                if let Some(churn) = &self.slots[ev.node].churn {
-                    let off = churn.sample_offtime(&mut self.rng);
-                    self.push_event(self.now + off, ev.node, EventKind::Start);
+                let slot = &mut self.slots[ev.node];
+                let off = slot.churn.as_ref().map(|c| c.sample_offtime(&mut slot.rng));
+                if let Some(off) = off {
+                    let seq = self.slots[ev.node].next_seq(ev.node);
+                    self.push_at(
+                        self.now + off,
+                        seq,
+                        EngineEvent {
+                            node: ev.node,
+                            kind: EventKind::Start,
+                        },
+                    );
                 }
             }
-            EventKind::Hook { tag } => driver.on_hook(tag, self),
         }
     }
 
@@ -601,13 +924,14 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
     fn with_node(&mut self, id: NodeId, f: impl FnOnce(&mut N, &mut Context<'_, N::Msg>)) {
         let mut actions = std::mem::take(&mut self.scratch);
         {
+            let slot = &mut self.slots[id];
             let mut ctx = Context {
                 now: self.now,
                 id,
-                rng: &mut self.rng,
+                rng: &mut slot.rng,
                 actions: &mut actions,
             };
-            f(&mut self.slots[id].node, &mut ctx);
+            f(&mut slot.node, &mut ctx);
         }
         self.apply_actions(id, &mut actions);
         self.scratch = actions;
@@ -621,48 +945,104 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
                     self.stats.sent += 1;
                     self.stats.bytes_sent += bytes;
                     self.msg_bytes.record(bytes);
-                    match self.net.delay(id, dst, bytes, self.now, &mut self.rng) {
-                        Some(d) => {
-                            // Fault-injected duplication: a no-op (and no
-                            // RNG draw) for every plain network model.
-                            if let Some(d2) =
-                                self.net.duplicate(id, dst, bytes, self.now, &mut self.rng)
-                            {
-                                self.stats.duplicated += 1;
-                                self.push_event(
-                                    self.now + d2,
-                                    dst,
-                                    EventKind::Deliver {
-                                        src: id,
-                                        msg: msg.clone(),
-                                    },
-                                );
-                            }
-                            self.push_event(self.now + d, dst, EventKind::Deliver { src: id, msg })
-                        }
-                        None => self.stats.dropped_net += 1,
-                    }
+                    let (seq_deliver, seq_dup) = self.slots[id].reserve_send_seqs(id);
+                    self.route_send(id, dst, msg, bytes, self.now, seq_deliver, seq_dup);
                 }
                 Action::Timer { delay, tag } => {
-                    let epoch = self.slots[id].timer_epoch;
-                    self.push_event(self.now + delay, id, EventKind::Timer { tag, epoch });
+                    let slot = &mut self.slots[id];
+                    let epoch = slot.timer_epoch;
+                    let seq = slot.next_seq(id);
+                    self.push_at(
+                        self.now + delay,
+                        seq,
+                        EngineEvent {
+                            node: id,
+                            kind: EventKind::Timer { tag, epoch },
+                        },
+                    );
                 }
                 Action::GoOffline => offline = true,
             }
         }
         if offline && self.slots[id].online {
             self.take_offline(id);
-            if let Some(churn) = &self.slots[id].churn {
-                let off = churn.sample_offtime(&mut self.rng);
-                self.push_event(self.now + off, id, EventKind::Start);
+            let slot = &mut self.slots[id];
+            let off = slot.churn.as_ref().map(|c| c.sample_offtime(&mut slot.rng));
+            if let Some(off) = off {
+                let seq = self.slots[id].next_seq(id);
+                self.push_at(
+                    self.now + off,
+                    seq,
+                    EngineEvent {
+                        node: id,
+                        kind: EventKind::Start,
+                    },
+                );
             }
         }
     }
 
-    fn push_event(&mut self, time: SimTime, node: NodeId, kind: EventKind<N::Msg>) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.schedule(time, seq, EngineEvent { node, kind });
+    /// Routes one send through the network model, drawing from the
+    /// sender's network stream. Used identically by the serial path and
+    /// the sharded commit phase, which is what pins their equivalence.
+    pub(crate) fn route_send(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        msg: N::Msg,
+        bytes: u64,
+        at: SimTime,
+        seq_deliver: u64,
+        seq_dup: u64,
+    ) {
+        match self.net.delay(src, dst, bytes, at, &mut self.net_rngs[src]) {
+            Some(d) => {
+                // Fault-injected duplication: a no-op (and no RNG draw)
+                // for every plain network model.
+                if let Some(d2) = self
+                    .net
+                    .duplicate(src, dst, bytes, at, &mut self.net_rngs[src])
+                {
+                    self.stats.duplicated += 1;
+                    self.push_at(
+                        at + d2,
+                        seq_dup,
+                        EngineEvent {
+                            node: dst,
+                            kind: EventKind::Deliver {
+                                src,
+                                msg: msg.clone(),
+                            },
+                        },
+                    );
+                }
+                self.push_at(
+                    at + d,
+                    seq_deliver,
+                    EngineEvent {
+                        node: dst,
+                        kind: EventKind::Deliver { src, msg },
+                    },
+                );
+            }
+            None => self.stats.dropped_net += 1,
+        }
+    }
+
+    pub(crate) fn next_driver_seq(&mut self) -> u64 {
+        let c = self.driver_ctr;
+        self.driver_ctr += 1;
+        pack_seq(DRIVER_ORIGIN, c)
+    }
+
+    pub(crate) fn push_at(&mut self, time: SimTime, seq: u64, ev: EngineEvent<N::Msg>) {
+        self.scheduled += 1;
+        self.pending += 1;
+        if self.pending > self.peak_pending {
+            self.peak_pending = self.pending;
+        }
+        let qi = ev.node % self.shards;
+        self.queues[qi].schedule(time, seq, ev);
     }
 }
 
@@ -671,7 +1051,8 @@ impl<N: Node, S: SchedulerFor<N>> std::fmt::Debug for Simulation<N, S> {
         f.debug_struct("Simulation")
             .field("now", &self.now)
             .field("nodes", &self.slots.len())
-            .field("pending", &self.queue.len())
+            .field("shards", &self.shards)
+            .field("pending", &self.pending)
             .field("stats", &self.stats)
             .finish()
     }
@@ -876,6 +1257,32 @@ mod tests {
     }
 
     #[test]
+    fn hooks_fire_before_same_time_events() {
+        struct Saw(Vec<(u64, u64)>);
+        impl Driver<Peer> for Saw {
+            fn on_hook(&mut self, tag: u64, sim: &mut Simulation<Peer>) {
+                self.0.push((tag, sim.stats().delivered));
+            }
+        }
+        let (mut sim, _a, b) = two_peers();
+        // Delivery and hook at exactly t = 5 ms: hook must see the
+        // pre-delivery state.
+        sim.inject(b, Msg::Ping(1), SimDuration::from_millis(5.0));
+        sim.schedule_hook(SimTime::from_secs(0.005), 7);
+        sim.run_until(SimTime::from_secs(1.0));
+        assert_eq!(sim.node(b).pings, vec![1]);
+        let mut sim2 = {
+            let (mut s, _a, b) = two_peers();
+            s.inject(b, Msg::Ping(1), SimDuration::from_millis(5.0));
+            s.schedule_hook(SimTime::from_secs(0.005), 7);
+            s
+        };
+        let mut d = Saw(Vec::new());
+        sim2.run_with_driver(SimTime::from_secs(1.0), &mut d);
+        assert_eq!(d.0, vec![(7, 0)], "hook fired after same-time delivery");
+    }
+
+    #[test]
     fn trace_records_dispatches() {
         let (mut sim, a, b) = two_peers();
         sim.enable_trace(16);
@@ -960,5 +1367,12 @@ mod tests {
         let (mut sim, _a, _b) = two_peers();
         sim.run_until(SimTime::from_secs(42.0));
         assert_eq!(sim.now(), SimTime::from_secs(42.0));
+    }
+
+    #[test]
+    fn seq_packing_orders_by_origin_then_counter() {
+        assert!(pack_seq(0, 1) < pack_seq(0, 2));
+        assert!(pack_seq(0, u32::MAX) < pack_seq(1, 0));
+        assert!(pack_seq(5, 0) < pack_seq(DRIVER_ORIGIN, 0));
     }
 }

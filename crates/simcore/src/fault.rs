@@ -571,6 +571,24 @@ impl<M: NetworkModel> NetworkModel for Faulty<M> {
     fn fault_stats(&self) -> Option<FaultStats> {
         Some(self.stats.clone())
     }
+
+    fn lookahead(&self) -> Option<SimDuration> {
+        // Partitions and loss only drop; Reorder only adds delay; the
+        // one fault that can *shorten* a delivery is a Degrade latency
+        // multiplier below 1. Degrade windows can overlap, so scale the
+        // inner bound by the product of every sub-1 multiplier in the
+        // plan — conservative (overlaps may never happen), never wrong.
+        let inner = self.inner.lookahead()?;
+        let scale = self
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::Degrade { latency_mult, .. } if latency_mult < 1.0 => Some(latency_mult),
+                _ => None,
+            })
+            .product::<f64>();
+        Some(inner * scale)
+    }
 }
 
 #[cfg(test)]

@@ -59,6 +59,7 @@ pub mod net;
 pub mod report;
 pub mod rng;
 pub mod sched;
+mod shard;
 pub mod sweep;
 pub mod time;
 pub mod topology;

@@ -61,6 +61,23 @@ pub trait NetworkModel {
     fn fault_stats(&self) -> Option<FaultStats> {
         None
     }
+
+    /// A lower bound on every delay [`delay`](NetworkModel::delay) can
+    /// ever return (its *lookahead*), or `None` when no bound is known.
+    ///
+    /// Sharded execution ([`Simulation::set_shards`]) uses this as the
+    /// conservative window width: within one lookahead of virtual time,
+    /// no message sent by one node can reach another, so shards may
+    /// advance that far without synchronizing. The bound must hold for
+    /// *all* argument combinations and internal states; when in doubt,
+    /// return something smaller (it costs parallelism, never
+    /// correctness). Models returning `None` — or a zero bound — make
+    /// sharded simulations fall back to serial-equivalent stepping.
+    ///
+    /// [`Simulation::set_shards`]: crate::engine::Simulation::set_shards
+    fn lookahead(&self) -> Option<SimDuration> {
+        None
+    }
 }
 
 /// Fixed one-way latency, no loss, infinite bandwidth.
@@ -90,6 +107,10 @@ impl NetworkModel for ConstantLatency {
         _now: SimTime,
         _r: &mut SimRng,
     ) -> Option<SimDuration> {
+        Some(self.latency)
+    }
+
+    fn lookahead(&self) -> Option<SimDuration> {
         Some(self.latency)
     }
 }
@@ -137,6 +158,10 @@ impl NetworkModel for UniformLatency {
             rng.gen_range(0..=span)
         };
         Some(self.min + SimDuration::from_nanos(extra))
+    }
+
+    fn lookahead(&self) -> Option<SimDuration> {
+        Some(self.min)
     }
 }
 
@@ -191,6 +216,11 @@ impl<M: NetworkModel> NetworkModel for Lossy<M> {
 
     fn fault_stats(&self) -> Option<FaultStats> {
         self.inner.fault_stats()
+    }
+
+    fn lookahead(&self) -> Option<SimDuration> {
+        // Dropping messages never shortens a delivered one.
+        self.inner.lookahead()
     }
 }
 
@@ -249,6 +279,11 @@ impl NetworkModel for LanNet {
         let start = self.busy_until[src].max(now);
         self.busy_until[src] = start + tx;
         Some(start.saturating_since(now) + tx + self.latency)
+    }
+
+    fn lookahead(&self) -> Option<SimDuration> {
+        // NIC queueing and serialization only ever add to propagation.
+        Some(self.latency)
     }
 }
 
@@ -418,6 +453,16 @@ impl NetworkModel for RegionNet {
             total_ms += (bytes as f64 * 8.0) / (mbps * 1e6) * 1e3;
         }
         Some(SimDuration::from_millis(total_ms))
+    }
+
+    fn lookahead(&self) -> Option<SimDuration> {
+        // Cheapest matrix entry at the far low end of the jitter band;
+        // the bandwidth term only adds.
+        let min_ms = REGION_LATENCY_MS
+            .iter()
+            .flatten()
+            .fold(f64::INFINITY, |a, &b| a.min(b));
+        Some(SimDuration::from_millis(min_ms * (1.0 - self.jitter)))
     }
 }
 

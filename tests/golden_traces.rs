@@ -9,6 +9,7 @@
 
 use decent_chain::node::{build_network as chain_build, report as chain_report, NetworkConfig};
 use decent_core::experiments;
+use decent_core::scenario::ExecPolicy;
 use decent_overlay::id::Key;
 use decent_overlay::kademlia::{build_network as kad_build, KadConfig};
 use decent_sim::prelude::*;
@@ -25,7 +26,17 @@ fn fnv(s: &str) -> u64 {
 }
 
 fn assert_findings(id: &str, expected: &[(&str, &str)], md_fnv: u64, md_len: usize) {
-    let rep = experiments::run_by_id(id, true).expect("known experiment id");
+    assert_findings_exec(id, ExecPolicy::serial(), expected, md_fnv, md_len);
+}
+
+fn assert_findings_exec(
+    id: &str,
+    exec: ExecPolicy,
+    expected: &[(&str, &str)],
+    md_fnv: u64,
+    md_len: usize,
+) {
+    let rep = experiments::run_seeded_exec(id, true, None, exec).expect("known experiment id");
     let got: Vec<(String, String)> = rep
         .findings
         .iter()
@@ -56,10 +67,30 @@ fn e1_quick_golden() {
             ("KAD is fast", "99.2% of KAD lookups ≤ 5 s"),
             (
                 "Mainline is an order of magnitude slower",
-                "medians: KAD 2.050s vs Mainline 71.6s",
+                "medians: KAD 2.021s vs Mainline 71.7s",
             ),
         ],
-        0xc5ed_4c13_d538_7b5c,
+        0x7e38_a49a_5095_ccc7,
+        661,
+    );
+}
+
+/// E1 replayed on the sharded executor must reproduce the serial pins
+/// byte-for-byte: same findings, same markdown hash, same length. This
+/// is the report-level golden for the `--shards` path.
+#[test]
+fn e1_quick_golden_sharded() {
+    assert_findings_exec(
+        "E1",
+        ExecPolicy::sharded(4),
+        &[
+            ("KAD is fast", "99.2% of KAD lookups \u{2264} 5 s"),
+            (
+                "Mainline is an order of magnitude slower",
+                "medians: KAD 2.021s vs Mainline 71.7s",
+            ),
+        ],
+        0x7e38_a49a_5095_ccc7,
         661,
     );
 }
@@ -69,14 +100,14 @@ fn e7_quick_golden() {
     assert_findings(
         "E7",
         &[
-            ("Bitcoin lands in the 3.3-7 tx/s band", "3.819 tx/s"),
-            ("Ethereum lands around 15 tx/s", "14.6 tx/s"),
+            ("Bitcoin lands in the 3.3-7 tx/s band", "3.056 tx/s"),
+            ("Ethereum lands around 15 tx/s", "14.7 tx/s"),
             (
                 "partitioned cloud is three orders of magnitude faster",
-                "19.2k tx/s, 5.0kx Bitcoin",
+                "19.2k tx/s, 6.3kx Bitcoin",
             ),
         ],
-        0xeb2f_6073_3b51_173d,
+        0x10ce_ed46_0316_9d5f,
         938,
     );
 }
@@ -92,14 +123,14 @@ fn e12_quick_golden() {
             ),
             (
                 "even a large committee crushes PoW throughput",
-                "PBFT n=64: 3.8k tx/s vs PoW 2.407 tx/s (1.6kx)",
+                "PBFT n=64: 3.8k tx/s vs PoW 3.611 tx/s (1.1kx)",
             ),
             (
                 "commit latency: milliseconds vs an hour",
                 "PBFT p50 in milliseconds; PoW needs ~6 blocks (~1 h) for confidence",
             ),
         ],
-        0x8127_d00c_8bac_3178,
+        0x36aa_e786_811a_6fd4,
         1039,
     );
 }
@@ -126,7 +157,7 @@ fn kad_engine_golden_on_both_schedulers() {
             sim.stats().delivered,
         )
     }
-    let golden = (3759, 2330, 2330);
+    let golden = (3784, 2347, 2347);
     assert_eq!(
         run::<TimingWheel<EngineEvent<decent_overlay::kademlia::KadMsg>>>(),
         golden,
@@ -146,7 +177,43 @@ fn kad_engine_golden_on_both_schedulers() {
 /// degradation RNG discipline changed.
 #[test]
 fn faulty_partition_heal_golden_on_both_schedulers() {
-    fn run<S: SchedulerFor<decent_overlay::kademlia::KadNode>>() -> (u64, u64, u64, u64, u64, u64) {
+    let wheel =
+        faulty_partition_heal::<TimingWheel<EngineEvent<decent_overlay::kademlia::KadMsg>>>(1);
+    let heap = faulty_partition_heal::<
+        BinaryHeapScheduler<EngineEvent<decent_overlay::kademlia::KadMsg>>,
+    >(1);
+    assert_eq!(wheel, heap, "schedulers diverged under fault injection");
+    assert_eq!(wheel, FAULTY_GOLDEN, "faulty partition-heal trace drifted");
+}
+
+/// The same partition-heal cycle replayed on the sharded executor
+/// (4 shards, both schedulers) must land on the identical pinned
+/// tuple: same event count, same drop/degrade accounting. This is the
+/// engine-level golden for the windowed parallel path under faults —
+/// the `Faulty` wrapper's lookahead shrinks the window during the
+/// degrade phase, so this exercises dynamic window-width changes too.
+#[test]
+fn faulty_partition_heal_golden_sharded() {
+    assert_eq!(
+        faulty_partition_heal::<TimingWheel<EngineEvent<decent_overlay::kademlia::KadMsg>>>(4),
+        FAULTY_GOLDEN,
+        "wheel-backed sharded faulty trace drifted from the serial pin"
+    );
+    assert_eq!(
+        faulty_partition_heal::<BinaryHeapScheduler<EngineEvent<decent_overlay::kademlia::KadMsg>>>(
+            4
+        ),
+        FAULTY_GOLDEN,
+        "heap-backed sharded faulty trace drifted from the serial pin"
+    );
+}
+
+const FAULTY_GOLDEN: (u64, u64, u64, u64, u64, u64) = (7040, 4750, 4005, 651, 94, 1354);
+
+fn faulty_partition_heal<S: SchedulerFor<decent_overlay::kademlia::KadNode> + Send>(
+    shards: usize,
+) -> (u64, u64, u64, u64, u64, u64) {
+    {
         let plan = FaultPlan::new()
             .partition(
                 SimTime::from_secs(10.0),
@@ -164,6 +231,7 @@ fn faulty_partition_heal_golden_on_both_schedulers() {
             42,
             Faulty::new(UniformLatency::from_millis(20.0, 80.0), plan),
         );
+        sim.set_shards(shards);
         let ids = kad_build(&mut sim, 200, &KadConfig::default(), 0.1, 8, 7);
         sim.run_until(SimTime::from_secs(1.0));
         // Three lookup waves: pre-partition, mid-partition (majority
@@ -188,14 +256,6 @@ fn faulty_partition_heal_golden_on_both_schedulers() {
             m.counter("msgs_delayed_degraded"),
         )
     }
-    let wheel = run::<TimingWheel<EngineEvent<decent_overlay::kademlia::KadMsg>>>();
-    let heap = run::<BinaryHeapScheduler<EngineEvent<decent_overlay::kademlia::KadMsg>>>();
-    assert_eq!(wheel, heap, "schedulers diverged under fault injection");
-    assert_eq!(
-        wheel,
-        (7002, 4716, 3995, 651, 70, 1339),
-        "faulty partition-heal trace drifted"
-    );
 }
 
 /// Two simulated hours of a 40-node PoW chain: event count, height, and
@@ -217,9 +277,9 @@ fn chain_engine_golden_on_both_schedulers() {
     let wheel = run::<TimingWheel<EngineEvent<decent_chain::node::ChainMsg>>>();
     let heap = run::<BinaryHeapScheduler<EngineEvent<decent_chain::node::ChainMsg>>>();
     assert_eq!(wheel, heap, "schedulers diverged on the chain workload");
-    assert_eq!((wheel.0, wheel.1), (11825, 14), "chain trace drifted");
+    assert_eq!((wheel.0, wheel.1), (10980, 13), "chain trace drifted");
     assert!(
-        (wheel.2 - 3.7568).abs() < 1e-3,
+        (wheel.2 - 3.6111).abs() < 1e-3,
         "chain tps drifted: {}",
         wheel.2
     );

@@ -1,0 +1,269 @@
+//! Property-based equivalence suite for the sharded executor.
+//!
+//! The engine's headline guarantee after the sharding work: for any
+//! workload, any fault plan, any seed, any scheduler, and any shard
+//! count, the sharded run is *indistinguishable* from the serial run —
+//! same events in the same order, same traces, same counters, same
+//! report bytes. These properties drive randomized topologies and
+//! fault plans through serial and sharded executions and require the
+//! full fingerprints to match exactly. A single diverging event would
+//! change the trace tuple stream and fail the property.
+//!
+//! Two layers:
+//!
+//! - engine-level: a gossip workload under randomized partitions,
+//!   degradation, duplication, and crash bursts, fingerprinted by
+//!   (events, net stats, trace records, metrics, node state) on both
+//!   schedulers at shards ∈ {1, 2, 4, 8};
+//! - report-level: full experiment scenarios (`run_seeded_exec`) where
+//!   the canonical RunReport JSON must be byte-identical between
+//!   serial and sharded runs.
+
+use proptest::prelude::*;
+use rand::Rng;
+
+use decent::core::{experiments, scenario::ExecPolicy};
+use decent::sim::prelude::*;
+use decent::sim::trace::EventRecord;
+
+/// A rumor-mongering node: forwards each first-seen rumor to a few
+/// pseudo-randomly chosen peers, with a periodic anti-entropy timer.
+/// Deliberately chatty and RNG-dependent so that any divergence in
+/// event order or RNG stream discipline cascades into the fingerprint.
+struct Gossip {
+    n: usize,
+    fanout: usize,
+    seen: Vec<u64>,
+    timer_fires: u64,
+}
+
+impl Node for Gossip {
+    type Msg = u64;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+        ctx.set_timer(SimDuration::from_secs(1.0), 1);
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: u64, ctx: &mut Context<'_, u64>) {
+        if self.seen.contains(&msg) {
+            return;
+        }
+        self.seen.push(msg);
+        let n = self.n;
+        for _ in 0..self.fanout {
+            let dst = ctx.rng().gen_range(0..n);
+            ctx.send(dst, msg);
+        }
+    }
+
+    fn on_timer(&mut self, _tag: u64, ctx: &mut Context<'_, u64>) {
+        self.timer_fires += 1;
+        if self.timer_fires < 20 {
+            // Re-arm plus one low-rate rumor refresh to a random peer.
+            ctx.set_timer(SimDuration::from_secs(1.0), 1);
+            if let Some(&r) = self.seen.last() {
+                let n = self.n;
+                let dst = ctx.rng().gen_range(0..n);
+                ctx.send(dst, r);
+            }
+        }
+    }
+}
+
+/// Everything observable about a finished run. Trace records pin the
+/// exact `(time, seq, node, tag)` stream, so two equal fingerprints
+/// mean the executions were event-for-event identical.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    events: u64,
+    cancelled: u64,
+    sent: u64,
+    delivered: u64,
+    dropped_offline: u64,
+    bytes_sent: u64,
+    now: SimTime,
+    trace: Vec<EventRecord>,
+    metrics: MetricsSnapshot,
+    state: Vec<(Vec<u64>, u64)>,
+}
+
+/// Randomized fault-plan shape: each window is optional and the
+/// generator picks times, the partition side, and intensities.
+#[derive(Debug, Clone)]
+struct PlanSpec {
+    partition: Option<(f64, f64, usize)>,
+    degrade: Option<(f64, f64, f64, f64)>,
+    duplicate: Option<(f64, f64, f64)>,
+    crash: Option<(f64, f64, usize)>,
+}
+
+fn plan_spec() -> impl Strategy<Value = PlanSpec> {
+    let part = proptest::option::of((2.0f64..10.0, 4.0f64..15.0, 1usize..8));
+    let degr = proptest::option::of((5.0f64..20.0, 2.0f64..10.0, 1.5f64..4.0, 0.0f64..0.2));
+    let dupl = proptest::option::of((1.0f64..15.0, 2.0f64..10.0, 0.05f64..0.5));
+    let crash = proptest::option::of((8.0f64..20.0, 2.0f64..8.0, 1usize..6));
+    (part, degr, dupl, crash).prop_map(|(partition, degrade, duplicate, crash)| PlanSpec {
+        partition: partition.map(|(at, d, k)| (at, at + d, k)),
+        degrade: degrade.map(|(at, d, m, p)| (at, at + d, m, p)),
+        duplicate: duplicate.map(|(at, d, p)| (at, at + d, p)),
+        crash: crash.map(|(at, d, k)| (at, at + d, k)),
+    })
+}
+
+impl PlanSpec {
+    fn build(&self, n: usize) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        if let Some((at, heal, k)) = self.partition {
+            let side: Vec<NodeId> = (0..n).skip(n.saturating_sub(k.min(n))).collect();
+            plan = plan.partition(SimTime::from_secs(at), SimTime::from_secs(heal), side);
+        }
+        if let Some((at, until, mult, loss)) = self.degrade {
+            plan = plan.degrade(
+                SimTime::from_secs(at),
+                SimTime::from_secs(until),
+                LinkSet::All,
+                mult,
+                loss,
+            );
+        }
+        if let Some((at, until, p)) = self.duplicate {
+            plan = plan.duplicate(SimTime::from_secs(at), SimTime::from_secs(until), p);
+        }
+        if let Some((at, until, k)) = self.crash {
+            let nodes: Vec<NodeId> = (0..k.min(n)).collect();
+            plan = plan.crash_burst(SimTime::from_secs(at), SimTime::from_secs(until), nodes);
+        }
+        plan
+    }
+}
+
+/// Runs the gossip workload under the given plan and returns the full
+/// fingerprint.
+fn run_gossip<S: SchedulerFor<Gossip> + Send>(
+    seed: u64,
+    n: usize,
+    fanout: usize,
+    spec: &PlanSpec,
+    shards: usize,
+) -> Fingerprint {
+    let plan = spec.build(n);
+    let mut sim: Simulation<Gossip, S> = Simulation::with_scheduler(
+        seed,
+        Faulty::new(UniformLatency::from_millis(10.0, 60.0), plan.clone()),
+    );
+    sim.set_shards(shards);
+    sim.enable_trace(1 << 16);
+    for _ in 0..n {
+        sim.add_node(Gossip {
+            n,
+            fanout,
+            seen: Vec::new(),
+            timer_fires: 0,
+        });
+    }
+    plan.schedule_crashes(&mut sim);
+    // Seed a handful of rumors from distinct origins.
+    for r in 0..4u64 {
+        sim.inject(
+            (r as usize * 7) % n,
+            1000 + r,
+            SimDuration::from_secs(0.1 + r as f64),
+        );
+    }
+    sim.run_until(SimTime::from_secs(30.0));
+    let trace: Vec<EventRecord> = sim
+        .trace()
+        .expect("trace enabled")
+        .records()
+        .copied()
+        .collect();
+    let metrics = sim.metrics_snapshot();
+    let state = (0..n)
+        .map(|i| {
+            let g = sim.node(i);
+            (g.seen.clone(), g.timer_fires)
+        })
+        .collect();
+    Fingerprint {
+        events: sim.events_processed(),
+        cancelled: sim.events_cancelled(),
+        sent: sim.stats().sent,
+        delivered: sim.stats().delivered,
+        dropped_offline: sim.stats().dropped_offline,
+        bytes_sent: sim.stats().bytes_sent,
+        now: sim.now(),
+        trace,
+        metrics,
+        state,
+    }
+}
+
+proptest! {
+    // Each case runs the workload 2 (schedulers) x 4 (shard counts)
+    // times, so keep the case count well below the default 256.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // The core equivalence property: for random topologies, fault
+    // plans, and seeds, every shard count reproduces the serial
+    // fingerprint exactly, on both schedulers — and both schedulers
+    // agree with each other.
+    #[test]
+    fn sharded_runs_are_event_for_event_identical_to_serial(
+        seed in any::<u64>(),
+        n in 2usize..24,
+        fanout in 1usize..4,
+        spec in plan_spec(),
+    ) {
+        let serial = run_gossip::<TimingWheel<EngineEvent<u64>>>(seed, n, fanout, &spec, 1);
+        let serial_heap =
+            run_gossip::<BinaryHeapScheduler<EngineEvent<u64>>>(seed, n, fanout, &spec, 1);
+        prop_assert_eq!(&serial, &serial_heap, "schedulers diverged on the serial path");
+        for shards in [2usize, 4, 8] {
+            let wheel = run_gossip::<TimingWheel<EngineEvent<u64>>>(seed, n, fanout, &spec, shards);
+            prop_assert_eq!(
+                &serial, &wheel,
+                "wheel run diverged from serial at shards={}", shards
+            );
+            let heap =
+                run_gossip::<BinaryHeapScheduler<EngineEvent<u64>>>(seed, n, fanout, &spec, shards);
+            prop_assert_eq!(
+                &serial, &heap,
+                "heap run diverged from serial at shards={}", shards
+            );
+        }
+    }
+}
+
+proptest! {
+    // Full experiments are expensive: a few cases suffice because each
+    // one already covers thousands of events end-to-end.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    // Report-level equivalence: the canonical RunReport JSON from a
+    // sharded experiment run is byte-identical to the serial run.
+    // E1/E5/E19 are the `Send` scenario families that honour
+    // `--shards`; scenarios that refuse the policy are covered by the
+    // default-serial path of the same call.
+    #[test]
+    fn report_json_is_byte_identical_under_sharding(
+        which in 0usize..3,
+        shards in (1usize..4).prop_map(|i| 1usize << i),
+        seed in proptest::option::of(any::<u64>()),
+    ) {
+        const IDS: [&str; 3] = ["E1", "E5", "E19"];
+        let id = IDS[which];
+        let serial = experiments::run_report_exec(&[id], true, seed, 1, ExecPolicy::serial());
+        let sharded =
+            experiments::run_report_exec(&[id], true, seed, 1, ExecPolicy::sharded(shards));
+        prop_assert_eq!(
+            serial.to_json_text(),
+            sharded.to_json_text(),
+            "{} canonical RunReport JSON changed under shards={}", id, shards
+        );
+        prop_assert_eq!(
+            serial.runs[0].report.to_markdown(),
+            sharded.runs[0].report.to_markdown(),
+            "{} rendered report changed under shards={}", id, shards
+        );
+    }
+}

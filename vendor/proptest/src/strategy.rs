@@ -131,6 +131,21 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     }
 }
 
+macro_rules! tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+
 /// A fixed-value strategy (proptest's `Just`).
 #[derive(Clone, Copy, Debug)]
 pub struct Just<T: Clone>(pub T);

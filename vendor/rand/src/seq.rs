@@ -59,6 +59,9 @@ mod tests {
         let mut sorted = xs.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(xs, sorted, "shuffle left the slice sorted (astronomically unlikely)");
+        assert_ne!(
+            xs, sorted,
+            "shuffle left the slice sorted (astronomically unlikely)"
+        );
     }
 }
