@@ -1,0 +1,448 @@
+//! CI validator for committed benchmark files.
+//!
+//! Two subcommands:
+//!
+//! - `benchcheck schema FILE...` — structural check for `BENCH_*.json` /
+//!   `perf_quick.json`: required keys present, shard list strictly
+//!   increasing, per-shard `events` identical (the determinism witness:
+//!   a sharded run that processes a different number of events is not
+//!   equivalent to the serial one), and no speedup claim from a host
+//!   with fewer logical cores than shards unless the run is labelled
+//!   `coordination_overhead_only`.
+//! - `benchcheck gate --baseline OLD --current NEW [--summary PATH]` —
+//!   the perf gate: deterministic counters (`events`, `activations`,
+//!   `peak_queue_depth`) must match the committed baseline exactly;
+//!   `alloc_bytes` / `alloc_calls` may drift within a tolerance band
+//!   (±10%) to absorb allocator-library churn; wall-clock numbers are
+//!   reported in the summary table but never gated. Exits non-zero on
+//!   any violation, so a perf regression fails the PR instead of
+//!   landing silently.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use decent_sim::json::Json;
+
+/// Counters that must match the baseline bit-for-bit: they are pure
+/// functions of the seed, so any drift is a behavior change.
+const EXACT_KEYS: [&str; 3] = ["events", "activations", "peak_queue_depth"];
+/// Counters gated with a relative tolerance.
+const BANDED_KEYS: [&str; 2] = ["alloc_bytes", "alloc_calls"];
+/// Allowed relative drift for banded counters.
+const BAND: f64 = 0.10;
+
+/// Keys every run object must carry.
+const RUN_KEYS: [&str; 10] = [
+    "shards",
+    "events",
+    "activations",
+    "alloc_bytes",
+    "alloc_calls",
+    "peak_queue_depth",
+    "wall_s",
+    "events_per_sec",
+    "peak_rss_bytes",
+    "coordination_overhead_only",
+];
+
+fn num(j: &Json, key: &str) -> Option<f64> {
+    j.get(key).and_then(Json::as_num)
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Structural validation of one bench file. Returns every violation
+/// found (not just the first), so a broken file is fixed in one pass.
+fn schema_errors(doc: &Json) -> Vec<String> {
+    let mut errs = Vec::new();
+    for key in ["benchmark", "workload", "host", "runs"] {
+        if doc.get(key).is_none() {
+            errs.push(format!("missing top-level key `{key}`"));
+        }
+    }
+    let cores = doc
+        .get("host")
+        .and_then(|h| num(h, "logical_cores"))
+        .unwrap_or(0.0);
+    if cores < 1.0 {
+        errs.push("host.logical_cores missing or < 1".to_string());
+    }
+    let Some(runs) = doc.get("runs").and_then(Json::as_arr) else {
+        errs.push("`runs` is not an array".to_string());
+        return errs;
+    };
+    if runs.is_empty() {
+        errs.push("`runs` is empty".to_string());
+    }
+    let mut prev_shards = 0.0;
+    let mut serial_events: Option<f64> = None;
+    for (i, run) in runs.iter().enumerate() {
+        for key in RUN_KEYS {
+            if run.get(key).is_none() {
+                errs.push(format!("runs[{i}]: missing key `{key}`"));
+            }
+        }
+        let shards = num(run, "shards").unwrap_or(0.0);
+        if shards <= prev_shards {
+            errs.push(format!(
+                "runs[{i}]: shard list must be strictly increasing (shards={shards} after {prev_shards})"
+            ));
+        }
+        prev_shards = shards;
+        // Determinism witness: every shard count replays the same event
+        // sequence, so the event totals must agree with the serial run.
+        if let Some(events) = num(run, "events") {
+            match serial_events {
+                None => serial_events = Some(events),
+                Some(se) if events != se => errs.push(format!(
+                    "runs[{i}]: events={events} differs from serial run's {se} — sharded \
+                     execution is not equivalent"
+                )),
+                Some(_) => {}
+            }
+        }
+        // A host cannot demonstrate parallel speedup with fewer cores
+        // than shards; such runs measure coordination overhead only and
+        // must say so instead of claiming speedup.
+        let overhead_only = run
+            .get("coordination_overhead_only")
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        let speedup = num(run, "speedup_vs_serial").unwrap_or(0.0);
+        if shards > cores && !overhead_only {
+            errs.push(format!(
+                "runs[{i}]: shards={shards} > logical_cores={cores} but not labelled \
+                 coordination_overhead_only"
+            ));
+        }
+        if overhead_only && speedup > 1.0 {
+            errs.push(format!(
+                "runs[{i}]: coordination_overhead_only run claims speedup_vs_serial={speedup} > 1"
+            ));
+        }
+    }
+    errs
+}
+
+fn cmd_schema(paths: &[String]) -> ExitCode {
+    let mut failed = false;
+    for path in paths {
+        match load(path) {
+            Ok(doc) => {
+                let errs = schema_errors(&doc);
+                if errs.is_empty() {
+                    println!("benchcheck: {path}: OK");
+                } else {
+                    failed = true;
+                    for e in &errs {
+                        eprintln!("benchcheck: {path}: {e}");
+                    }
+                }
+            }
+            Err(e) => {
+                failed = true;
+                eprintln!("benchcheck: {e}");
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// One gate comparison row for the summary table.
+struct Row {
+    key: &'static str,
+    baseline: f64,
+    current: f64,
+    policy: &'static str,
+    ok: bool,
+}
+
+fn gate_rows(baseline: &Json, current: &Json) -> Result<Vec<Row>, String> {
+    let serial = |doc: &Json, which: &str| -> Result<Json, String> {
+        doc.get("runs")
+            .and_then(Json::as_arr)
+            .and_then(|rs| rs.iter().find(|r| num(r, "shards") == Some(1.0)))
+            .cloned()
+            .ok_or(format!("{which}: no serial (shards=1) run"))
+    };
+    let base = serial(baseline, "baseline")?;
+    let cur = serial(current, "current")?;
+    let mut rows = Vec::new();
+    for key in EXACT_KEYS {
+        let (b, c) = (
+            num(&base, key).unwrap_or(f64::NAN),
+            num(&cur, key).unwrap_or(f64::NAN),
+        );
+        rows.push(Row {
+            key,
+            baseline: b,
+            current: c,
+            policy: "exact",
+            ok: b == c,
+        });
+    }
+    for key in BANDED_KEYS {
+        let (b, c) = (
+            num(&base, key).unwrap_or(f64::NAN),
+            num(&cur, key).unwrap_or(f64::NAN),
+        );
+        let ok = b > 0.0 && ((c - b) / b).abs() <= BAND;
+        rows.push(Row {
+            key,
+            baseline: b,
+            current: c,
+            policy: "±10%",
+            ok,
+        });
+    }
+    for key in ["wall_s", "events_per_sec"] {
+        let (b, c) = (
+            num(&base, key).unwrap_or(f64::NAN),
+            num(&cur, key).unwrap_or(f64::NAN),
+        );
+        rows.push(Row {
+            key,
+            baseline: b,
+            current: c,
+            policy: "report only",
+            ok: true,
+        });
+    }
+    Ok(rows)
+}
+
+fn summary_table(rows: &[Row]) -> String {
+    let mut s = String::from("## Perf gate (deterministic counters)\n\n");
+    s.push_str("| counter | baseline | current | policy | status |\n");
+    s.push_str("|---|---:|---:|---|---|\n");
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "| {} | {} | {} | {} | {} |",
+            r.key,
+            fmt_num(r.baseline),
+            fmt_num(r.current),
+            r.policy,
+            if r.ok { "✅" } else { "❌ GATE" }
+        );
+    }
+    s
+}
+
+fn fmt_num(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+fn cmd_gate(baseline: &str, current: &str, summary: Option<&str>) -> ExitCode {
+    let (base, cur) = match (load(baseline), load(current)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("benchcheck: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The gate only trusts structurally valid files.
+    let mut structural = false;
+    for (path, doc) in [(baseline, &base), (current, &cur)] {
+        for e in schema_errors(doc) {
+            eprintln!("benchcheck: {path}: {e}");
+            structural = true;
+        }
+    }
+    if structural {
+        return ExitCode::FAILURE;
+    }
+    let rows = match gate_rows(&base, &cur) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("benchcheck: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let table = summary_table(&rows);
+    print!("{table}");
+    if let Some(path) = summary {
+        if let Err(e) = std::fs::write(path, &table) {
+            eprintln!("benchcheck: cannot write summary {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let failures: Vec<&Row> = rows.iter().filter(|r| !r.ok).collect();
+    if failures.is_empty() {
+        println!("\nbenchcheck: gate OK");
+        ExitCode::SUCCESS
+    } else {
+        for r in failures {
+            eprintln!(
+                "benchcheck: gate violation: {} baseline={} current={} ({})",
+                r.key,
+                fmt_num(r.baseline),
+                fmt_num(r.current),
+                r.policy
+            );
+        }
+        eprintln!(
+            "benchcheck: if the change is intentional, regenerate the baseline with \
+             `bench7 --quick --out baselines/perf_quick.json` and commit it"
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("schema") if args.len() > 1 => cmd_schema(&args[1..]),
+        Some("gate") => {
+            let mut baseline = None;
+            let mut current = None;
+            let mut summary = None;
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                let slot = match arg.as_str() {
+                    "--baseline" => &mut baseline,
+                    "--current" => &mut current,
+                    "--summary" => &mut summary,
+                    other => {
+                        eprintln!("benchcheck: unrecognized argument: {other}");
+                        return ExitCode::from(2);
+                    }
+                };
+                match it.next() {
+                    Some(v) => *slot = Some(v.clone()),
+                    None => {
+                        eprintln!("benchcheck: {arg} requires an argument");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            match (baseline, current) {
+                (Some(b), Some(c)) => cmd_gate(&b, &c, summary.as_deref()),
+                _ => {
+                    eprintln!("benchcheck: gate requires --baseline and --current");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        _ => {
+            eprintln!(
+                "usage: benchcheck schema FILE...\n       benchcheck gate --baseline OLD --current NEW [--summary PATH]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(shards: u64, events: u64, overhead_only: bool, speedup: f64) -> Json {
+        Json::obj([
+            ("shards", Json::int(shards)),
+            ("events", Json::int(events)),
+            ("activations", Json::int(events)),
+            ("alloc_bytes", Json::int(1000)),
+            ("alloc_calls", Json::int(10)),
+            ("peak_queue_depth", Json::int(5)),
+            ("wall_s", Json::num(0.5)),
+            ("events_per_sec", Json::num(events as f64 / 0.5)),
+            ("peak_rss_bytes", Json::int(1 << 20)),
+            ("coordination_overhead_only", Json::Bool(overhead_only)),
+            ("speedup_vs_serial", Json::num(speedup)),
+        ])
+    }
+
+    fn doc(cores: u64, runs: Vec<Json>) -> Json {
+        Json::obj([
+            ("benchmark", Json::str("t")),
+            ("workload", Json::obj([("nodes", Json::int(10))])),
+            ("host", Json::obj([("logical_cores", Json::int(cores))])),
+            ("runs", Json::arr(runs)),
+        ])
+    }
+
+    #[test]
+    fn valid_file_passes_schema() {
+        let d = doc(8, vec![run(1, 100, false, 1.0), run(2, 100, false, 1.6)]);
+        assert!(schema_errors(&d).is_empty());
+    }
+
+    #[test]
+    fn event_mismatch_is_flagged() {
+        let d = doc(8, vec![run(1, 100, false, 1.0), run(2, 99, false, 1.6)]);
+        let errs = schema_errors(&d);
+        assert!(
+            errs.iter().any(|e| e.contains("not equivalent")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn oversharded_run_needs_overhead_label() {
+        let d = doc(1, vec![run(1, 100, false, 1.0), run(4, 100, false, 1.2)]);
+        let errs = schema_errors(&d);
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("coordination_overhead_only")),
+            "{errs:?}"
+        );
+        let labelled = doc(1, vec![run(1, 100, false, 1.0), run(4, 100, true, 0.9)]);
+        assert!(schema_errors(&labelled).is_empty());
+    }
+
+    #[test]
+    fn overhead_only_run_cannot_claim_speedup() {
+        let d = doc(1, vec![run(1, 100, false, 1.0), run(4, 100, true, 1.3)]);
+        let errs = schema_errors(&d);
+        assert!(
+            errs.iter().any(|e| e.contains("claims speedup")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn gate_matches_itself_and_catches_drift() {
+        let base = doc(8, vec![run(1, 100, false, 1.0)]);
+        let rows = gate_rows(&base, &base).unwrap();
+        assert!(rows.iter().all(|r| r.ok));
+        let mut drifted = doc(8, vec![run(1, 101, false, 1.0)]);
+        if let Json::Obj(pairs) = &mut drifted {
+            let _ = pairs;
+        }
+        let rows = gate_rows(&base, &drifted).unwrap();
+        let events_row = rows.iter().find(|r| r.key == "events").unwrap();
+        assert!(!events_row.ok, "exact counter drift must fail the gate");
+    }
+
+    #[test]
+    fn alloc_band_tolerates_small_drift_only() {
+        let base = doc(8, vec![run(1, 100, false, 1.0)]);
+        let mk_alloc = |bytes: u64| {
+            let mut r = run(1, 100, false, 1.0);
+            if let Json::Obj(pairs) = &mut r {
+                for (k, v) in pairs.iter_mut() {
+                    if k == "alloc_bytes" {
+                        *v = Json::int(bytes);
+                    }
+                }
+            }
+            doc(8, vec![r])
+        };
+        let small = gate_rows(&base, &mk_alloc(1050)).unwrap();
+        assert!(small.iter().find(|r| r.key == "alloc_bytes").unwrap().ok);
+        let big = gate_rows(&base, &mk_alloc(1200)).unwrap();
+        assert!(!big.iter().find(|r| r.key == "alloc_bytes").unwrap().ok);
+    }
+}

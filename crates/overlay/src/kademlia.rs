@@ -14,7 +14,7 @@
 //! - **bucket staleness**: routing tables may be pre-filled with entries
 //!   pointing at departed nodes.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 use decent_sim::prelude::*;
 
@@ -47,8 +47,10 @@ pub enum KadMsg {
         rpc: u64,
         /// Responder's overlay key.
         from_key: Key,
-        /// Closest contacts known to the responder.
-        closest: Vec<Contact>,
+        /// Closest contacts known to the responder. Interned: engine
+        /// clones (duplicate fan-out, sharded commit) bump a refcount
+        /// instead of deep-copying the contact list.
+        closest: Interned<[Contact]>,
     },
     /// Request for a stored value (falls back to closest contacts).
     FindValue {
@@ -68,7 +70,7 @@ pub enum KadMsg {
         /// Whether the responder held the value.
         found: bool,
         /// Closest contacts (when not found).
-        closest: Vec<Contact>,
+        closest: Interned<[Contact]>,
     },
     /// Store a (key-only) value at the receiver.
     Store {
@@ -148,6 +150,9 @@ struct ShortEntry {
 
 #[derive(Debug)]
 struct Lookup {
+    /// Public id handed back by [`KadNode::start_lookup`] (the arena
+    /// slot index is an internal, reusable handle).
+    id: u64,
     target: Key,
     is_value: bool,
     started: SimTime,
@@ -155,6 +160,14 @@ struct Lookup {
     inflight: usize,
     rpcs: usize,
     timeouts: usize,
+}
+
+/// One in-flight RPC: correlation id, owning lookup slot, queried peer.
+#[derive(Copy, Clone, Debug)]
+struct RpcEntry {
+    rpc: u64,
+    lookup: SlotIdx,
+    peer: NodeId,
 }
 
 #[derive(Copy, Clone, Debug)]
@@ -178,9 +191,18 @@ pub struct KadNode {
     // hasher structurally unable to leak into event order if a future
     // change starts iterating lookups or in-flight RPCs.
     store: BTreeSet<Key>,
-    lookups: BTreeMap<u64, Lookup>,
-    rpc_to_lookup: BTreeMap<u64, (u64, NodeId)>,
+    // Lookups live in a generational arena: slots (and their shortlist
+    // allocations' peak footprint) are reused across the handful of
+    // concurrent lookups a node ever runs, and stale RPC handles miss on
+    // the generation check instead of aliasing a newer lookup. In-flight
+    // RPCs are a small linear-scan vector (point lookups only, so scan
+    // order never leaks into event order).
+    lookups: SlotArena<Lookup>,
+    rpc_to_lookup: Vec<RpcEntry>,
     next_id: u64,
+    // Reusable staging buffer for closest-contact computation; contents
+    // are dead between handler activations.
+    scratch: Vec<Contact>,
     /// Completed lookups, harvested by the experiment harness.
     pub results: Vec<LookupResult>,
 }
@@ -195,9 +217,10 @@ impl KadNode {
             sybil_directory: None,
             buckets: vec![Vec::new(); KEY_BITS],
             store: BTreeSet::new(),
-            lookups: BTreeMap::new(),
-            rpc_to_lookup: BTreeMap::new(),
+            lookups: SlotArena::new(),
+            rpc_to_lookup: Vec::new(),
             next_id: 1,
+            scratch: Vec::new(),
             results: Vec::new(),
         }
     }
@@ -220,12 +243,17 @@ impl KadNode {
         self.sybil_directory.is_some()
     }
 
-    /// The k directory entries closest to `target` (sybil reply set).
-    fn sybil_reply(&self, target: &Key) -> Vec<Contact> {
-        let mut dir = self.sybil_directory.clone().unwrap_or_default();
-        dir.sort_by_key(|a| a.key.xor_distance(target));
-        dir.truncate(self.cfg.k);
-        dir
+    /// Interns the k directory entries closest to `target` (sybil
+    /// reply set), staged through the scratch buffer.
+    fn sybil_reply(&mut self, target: &Key) -> Interned<[Contact]> {
+        self.scratch.clear();
+        if let Some(dir) = &self.sybil_directory {
+            self.scratch.extend_from_slice(dir);
+        }
+        self.scratch
+            .sort_unstable_by_key(|a| (a.key.xor_distance(target), a.node));
+        self.scratch.truncate(self.cfg.k);
+        Interned::from_slice(&self.scratch)
     }
 
     /// This node's overlay key.
@@ -306,17 +334,23 @@ impl KadNode {
     ) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
-        let mut shortlist: Vec<ShortEntry> = self
-            .closest_contacts(&target, self.cfg.k)
-            .into_iter()
-            .map(|contact| ShortEntry {
-                dist: contact.key.xor_distance(&target),
-                contact,
-                state: EntryState::Candidate,
-            })
-            .collect();
-        shortlist.sort_by_key(|a| a.dist);
+        let k = self.cfg.k;
+        {
+            let Self {
+                buckets, scratch, ..
+            } = self;
+            Self::closest_into(buckets, &target, k, scratch);
+        }
+        // closest_into leaves the scratch buffer distance-sorted, so the
+        // shortlist is born in lookup order.
+        let mut shortlist: Vec<ShortEntry> = Vec::with_capacity(self.scratch.len());
+        shortlist.extend(self.scratch.iter().map(|&contact| ShortEntry {
+            dist: contact.key.xor_distance(&target),
+            contact,
+            state: EntryState::Candidate,
+        }));
         let lookup = Lookup {
+            id,
             target,
             is_value,
             started: ctx.now(),
@@ -328,22 +362,43 @@ impl KadNode {
         // A value we already hold (possibly from path caching) resolves
         // without any network traffic at all.
         if is_value && self.store.contains(&target) {
-            self.lookups.insert(id, lookup);
+            let idx = self.lookups.insert(lookup);
             let now = ctx.now();
-            self.finish_lookup_with_ctx(id, true, now, Some(ctx));
+            self.finish_lookup_with_ctx(idx, true, now, Some(ctx));
             return id;
         }
-        self.lookups.insert(id, lookup);
-        self.drive_lookup(id, ctx);
+        let idx = self.lookups.insert(lookup);
+        self.drive_lookup(idx, ctx);
         id
     }
 
     /// The k closest contacts to `target` from the routing table.
     pub fn closest_contacts(&self, target: &Key, n: usize) -> Vec<Contact> {
-        let mut all: Vec<Contact> = self.buckets.iter().flatten().map(|e| e.contact).collect();
-        all.sort_by_key(|c| c.key.xor_distance(target));
-        all.truncate(n);
+        let mut all = Vec::new();
+        Self::closest_into(&self.buckets, target, n, &mut all);
         all
+    }
+
+    /// Fills `out` with the `n` closest routing-table contacts to
+    /// `target`, sorted by distance. The `(distance, node)` sort key is
+    /// a total order over distinct contacts, so the unstable sort is
+    /// deterministic; distances tie only for equal keys.
+    fn closest_into(buckets: &[Vec<BucketEntry>], target: &Key, n: usize, out: &mut Vec<Contact>) {
+        out.clear();
+        out.extend(buckets.iter().flatten().map(|e| e.contact));
+        out.sort_unstable_by_key(|c| (c.key.xor_distance(target), c.node));
+        out.truncate(n);
+    }
+
+    /// Stages the k closest contacts in the scratch buffer and interns
+    /// them as a reply payload with one exact-size allocation.
+    fn closest_reply(&mut self, target: &Key) -> Interned<[Contact]> {
+        let k = self.cfg.k;
+        let Self {
+            buckets, scratch, ..
+        } = self;
+        Self::closest_into(buckets, target, k, scratch);
+        Interned::from_slice(scratch)
     }
 
     fn touch(&mut self, contact: Contact, now: SimTime) {
@@ -394,13 +449,13 @@ impl KadNode {
         }
     }
 
-    fn drive_lookup(&mut self, id: u64, ctx: &mut Context<'_, KadMsg>) {
+    fn drive_lookup(&mut self, idx: SlotIdx, ctx: &mut Context<'_, KadMsg>) {
         let (k, alpha, timeout, from_key) =
             (self.cfg.k, self.cfg.alpha, self.cfg.rpc_timeout, self.key);
         let mut to_send: Vec<NodeId> = Vec::new();
         let mut finished = false;
         {
-            let Some(lookup) = self.lookups.get_mut(&id) else {
+            let Some(lookup) = self.lookups.get_mut(idx) else {
                 return;
             };
             // Fire queries at candidates among the k closest non-failed
@@ -425,8 +480,12 @@ impl KadNode {
         for peer in to_send {
             let rpc = self.next_id;
             self.next_id += 1;
-            self.rpc_to_lookup.insert(rpc, (id, peer));
-            let lookup = self.lookups.get(&id).expect("live lookup");
+            self.rpc_to_lookup.push(RpcEntry {
+                rpc,
+                lookup: idx,
+                peer,
+            });
+            let lookup = self.lookups.get(idx).expect("live lookup");
             let msg = if lookup.is_value {
                 KadMsg::FindValue {
                     rpc,
@@ -444,22 +503,22 @@ impl KadNode {
             ctx.set_timer(timeout, rpc);
         }
         if finished {
-            self.finish_lookup(id, false, ctx.now());
+            self.finish_lookup(idx, false, ctx.now());
         }
     }
 
-    fn finish_lookup(&mut self, id: u64, found_value: bool, now: SimTime) {
-        self.finish_lookup_with_ctx(id, found_value, now, None);
+    fn finish_lookup(&mut self, idx: SlotIdx, found_value: bool, now: SimTime) {
+        self.finish_lookup_with_ctx(idx, found_value, now, None);
     }
 
     fn finish_lookup_with_ctx(
         &mut self,
-        id: u64,
+        idx: SlotIdx,
         found_value: bool,
         now: SimTime,
         ctx: Option<&mut Context<'_, KadMsg>>,
     ) {
-        let Some(lookup) = self.lookups.remove(&id) else {
+        let Some(lookup) = self.lookups.remove(idx) else {
             return;
         };
         let closest: Vec<Contact> = lookup
@@ -487,7 +546,7 @@ impl KadNode {
             }
         }
         self.results.push(LookupResult {
-            id,
+            id: lookup.id,
             target: lookup.target,
             latency: now.saturating_since(lookup.started),
             rpcs: lookup.rpcs,
@@ -497,9 +556,9 @@ impl KadNode {
         });
     }
 
-    fn merge_contacts(&mut self, id: u64, contacts: &[Contact], target: &Key) {
+    fn merge_contacts(&mut self, idx: SlotIdx, contacts: &[Contact], target: &Key) {
         let my_key = self.key;
-        let Some(lookup) = self.lookups.get_mut(&id) else {
+        let Some(lookup) = self.lookups.get_mut(idx) else {
             return;
         };
         for &c in contacts {
@@ -515,7 +574,12 @@ impl KadNode {
                 state: EntryState::Candidate,
             });
         }
-        lookup.shortlist.sort_by_key(|a| a.dist);
+        // Unstable sort: `(dist, node)` is a total order over distinct
+        // shortlist entries (the list is deduplicated by node above),
+        // and the in-place sort skips the stable sort's temp buffer.
+        lookup
+            .shortlist
+            .sort_unstable_by_key(|a| (a.dist, a.contact.node));
     }
 
     fn on_reply(
@@ -534,10 +598,11 @@ impl KadNode {
             },
             ctx.now(),
         );
-        let Some((id, _peer)) = self.rpc_to_lookup.remove(&rpc) else {
+        let Some(pos) = self.rpc_to_lookup.iter().position(|e| e.rpc == rpc) else {
             return; // late reply after timeout: routing table updated above
         };
-        let target = match self.lookups.get_mut(&id) {
+        let idx = self.rpc_to_lookup.swap_remove(pos).lookup;
+        let target = match self.lookups.get_mut(idx) {
             Some(lookup) => {
                 lookup.inflight = lookup.inflight.saturating_sub(1);
                 if let Some(e) = lookup.shortlist.iter_mut().find(|e| e.contact.node == from) {
@@ -550,13 +615,13 @@ impl KadNode {
         for &c in contacts {
             self.touch(c, ctx.now());
         }
-        self.merge_contacts(id, contacts, &target);
+        self.merge_contacts(idx, contacts, &target);
         if found {
             let now = ctx.now();
-            self.finish_lookup_with_ctx(id, true, now, Some(ctx));
+            self.finish_lookup_with_ctx(idx, true, now, Some(ctx));
             return;
         }
-        self.drive_lookup(id, ctx);
+        self.drive_lookup(idx, ctx);
     }
 }
 
@@ -589,7 +654,7 @@ impl Node for KadNode {
                 let closest = if self.sybil_directory.is_some() {
                     self.sybil_reply(&target)
                 } else {
-                    self.closest_contacts(&target, self.cfg.k)
+                    self.closest_reply(&target)
                 };
                 ctx.send(
                     from,
@@ -613,11 +678,11 @@ impl Node for KadNode {
                 );
                 let found = self.sybil_directory.is_none() && self.store.contains(&key);
                 let closest = if found {
-                    Vec::new()
+                    Interned::from_slice(&[])
                 } else if self.sybil_directory.is_some() {
                     self.sybil_reply(&key)
                 } else {
-                    self.closest_contacts(&key, self.cfg.k)
+                    self.closest_reply(&key)
                 };
                 ctx.send(
                     from,
@@ -672,18 +737,21 @@ impl Node for KadNode {
             return;
         }
         // RPC timeout.
-        let Some((id, peer)) = self.rpc_to_lookup.remove(&tag) else {
+        let Some(pos) = self.rpc_to_lookup.iter().position(|e| e.rpc == tag) else {
             return; // reply arrived first
         };
+        let RpcEntry {
+            lookup: idx, peer, ..
+        } = self.rpc_to_lookup.swap_remove(pos);
         self.note_failed(peer);
-        if let Some(lookup) = self.lookups.get_mut(&id) {
+        if let Some(lookup) = self.lookups.get_mut(idx) {
             lookup.inflight = lookup.inflight.saturating_sub(1);
             lookup.timeouts += 1;
             if let Some(e) = lookup.shortlist.iter_mut().find(|e| e.contact.node == peer) {
                 e.state = EntryState::Failed;
             }
         }
-        self.drive_lookup(id, ctx);
+        self.drive_lookup(idx, ctx);
     }
 
     fn on_stop(&mut self, _ctx: &mut Context<'_, KadMsg>) {

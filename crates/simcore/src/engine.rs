@@ -56,6 +56,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use crate::arena::NodeStore;
 use crate::metrics::{LogHistogram, Metric, MetricsSnapshot};
 use crate::net::NetworkModel;
 use crate::rng::{derive_seed, rng_from_seed, SimRng};
@@ -253,37 +254,6 @@ impl<N: Node, S: SchedulerFor<N>> Driver<N, S> for NoDriver {
     fn on_hook(&mut self, _tag: u64, _sim: &mut Simulation<N, S>) {}
 }
 
-pub(crate) struct Slot<N> {
-    pub(crate) node: N,
-    pub(crate) online: bool,
-    /// Timers from before the last offline period are invalidated by
-    /// bumping this epoch on every stop.
-    pub(crate) timer_epoch: u32,
-    pub(crate) churn: Option<crate::churn::ChurnModel>,
-    /// This node's handler/lifecycle RNG stream.
-    pub(crate) rng: SimRng,
-    /// Per-origin event counter: low 32 bits of every seq this node
-    /// originates. Sends reserve two slots (delivery + potential
-    /// duplicate) so serial and sharded execution assign identical seqs.
-    pub(crate) ctr: u32,
-}
-
-impl<N> Slot<N> {
-    /// Reserves the next seq for a single event originated by this node.
-    pub(crate) fn next_seq(&mut self, id: NodeId) -> u64 {
-        let c = self.ctr;
-        self.ctr += 1;
-        pack_seq(id as u32, c)
-    }
-
-    /// Reserves the (delivery, duplicate) seq pair for one send.
-    pub(crate) fn reserve_send_seqs(&mut self, id: NodeId) -> (u64, u64) {
-        let c = self.ctr;
-        self.ctr += 2;
-        (pack_seq(id as u32, c), pack_seq(id as u32, c + 1))
-    }
-}
-
 /// Shorthand bound for "a scheduler usable by a simulation over `N`".
 ///
 /// Blanket-implemented for every `Scheduler<EngineEvent<N::Msg>>`, so
@@ -300,6 +270,10 @@ impl<N: Node, S: Scheduler<EngineEvent<<N as Node>::Msg>>> SchedulerFor<N> for S
 /// whose scheduling pattern defeats the wheel.
 pub type HeapSim<N> = Simulation<N, BinaryHeapScheduler<EngineEvent<<N as Node>::Msg>>>;
 
+/// A monomorphized windowed (sharded) executor, installed by
+/// [`Simulation::set_shards`].
+type WindowedFn<N, S> = fn(&mut Simulation<N, S>, SimTime, bool);
+
 /// A deterministic discrete-event simulation over nodes of type `N`.
 ///
 /// Generic over its event [`Scheduler`] `S`, defaulting to the
@@ -311,10 +285,13 @@ pub type HeapSim<N> = Simulation<N, BinaryHeapScheduler<EngineEvent<<N as Node>:
 /// executed (partitioned across worker threads under conservative time
 /// windows), never what they compute.
 pub struct Simulation<N: Node, S = TimingWheel<EngineEvent<<N as Node>::Msg>>> {
-    pub(crate) slots: Vec<Slot<N>>,
-    /// Per-node network-model RNG streams, kept outside [`Slot`] so the
+    /// Struct-of-arrays per-node storage: protocol state, hot engine
+    /// metadata (online/epoch/seq counters), RNG streams and churn
+    /// models each in their own dense array (see [`crate::arena`]).
+    pub(crate) store: NodeStore<N>,
+    /// Per-node network-model RNG streams, kept outside the store so the
     /// commit phase of sharded execution can route messages while worker
-    /// threads still hold the slots.
+    /// threads still hold the node rows.
     pub(crate) net_rngs: Vec<SimRng>,
     /// One event queue per shard; events for node `n` live in queue
     /// `n % shards`. Serial execution uses a single queue.
@@ -322,7 +299,7 @@ pub struct Simulation<N: Node, S = TimingWheel<EngineEvent<<N as Node>::Msg>>> {
     pub(crate) shards: usize,
     /// Monomorphized windowed executor, set by [`Simulation::set_shards`]
     /// (where the `Send` bounds it needs are available).
-    windowed: Option<fn(&mut Simulation<N, S>, SimTime, bool)>,
+    windowed: Option<WindowedFn<N, S>>,
     /// Driver hooks, kept out of the event queues so sharded execution
     /// can advance node events in parallel and still hand hooks to the
     /// driver serially, in deterministic `(time, seq)` order.
@@ -334,6 +311,13 @@ pub struct Simulation<N: Node, S = TimingWheel<EngineEvent<<N as Node>::Msg>>> {
     rng: SimRng,
     pub(crate) stats: NetStats,
     pub(crate) events_processed: u64,
+    /// Handler activations: outer iterations of the event loop, where
+    /// one activation may drain several consecutive same-node events
+    /// (batched delivery). Equal to `events_processed` minus hooks when
+    /// no batching occurs; strictly smaller on batchable workloads.
+    /// Deliberately *not* part of [`metrics_snapshot`](Self::metrics_snapshot)
+    /// — it is a cost counter for the bench harness, not an observable.
+    pub(crate) activations: u64,
     /// Events dequeued but discarded without reaching a handler: stale
     /// timers, deliveries to offline nodes, and redundant start/stop.
     pub(crate) events_cancelled: u64,
@@ -377,7 +361,7 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
     /// ```
     pub fn with_scheduler(seed: u64, net: impl NetworkModel + 'static) -> Self {
         Simulation {
-            slots: Vec::new(),
+            store: NodeStore::new(),
             net_rngs: Vec::new(),
             queues: vec![S::new()],
             shards: 1,
@@ -390,6 +374,7 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
             rng: rng_from_seed(seed),
             stats: NetStats::default(),
             events_processed: 0,
+            activations: 0,
             events_cancelled: 0,
             scheduled: 0,
             pending: 0,
@@ -471,19 +456,13 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
     /// Panics if `at` is in the past.
     pub fn add_node_at(&mut self, node: N, at: SimTime) -> NodeId {
         assert!(at >= self.now, "cannot start a node in the past");
-        let id = self.slots.len();
+        let id = self.store.len();
         assert!(
             (id as u64) < DRIVER_ORIGIN as u64,
             "node id space exhausted"
         );
-        self.slots.push(Slot {
-            node,
-            online: false,
-            timer_epoch: 0,
-            churn: None,
-            rng: rng_from_seed(derive_seed(self.seed, 2 * id as u64)),
-            ctr: 0,
-        });
+        self.store
+            .push(node, rng_from_seed(derive_seed(self.seed, 2 * id as u64)));
         self.net_rngs
             .push(rng_from_seed(derive_seed(self.seed, 2 * id as u64 + 1)));
         let seq = self.next_driver_seq();
@@ -504,9 +483,10 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
     /// freshly sampled session length; otherwise the process starts at
     /// the node's next start event.
     pub fn set_churn(&mut self, id: NodeId, model: crate::churn::ChurnModel) {
-        let slot = &mut self.slots[id];
-        let session = slot.online.then(|| model.sample_session(&mut slot.rng));
-        slot.churn = Some(model);
+        let session = self.store.meta[id]
+            .online
+            .then(|| model.sample_session(&mut self.store.rngs[id]));
+        self.store.churn[id] = Some(model);
         if let Some(session) = session {
             let seq = self.next_driver_seq();
             self.push_at(
@@ -581,14 +561,13 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
     ) -> R {
         let mut actions = std::mem::take(&mut self.scratch);
         let out = {
-            let slot = &mut self.slots[id];
             let mut ctx = Context {
                 now: self.now,
                 id,
-                rng: &mut slot.rng,
+                rng: &mut self.store.rngs[id],
                 actions: &mut actions,
             };
-            f(&mut slot.node, &mut ctx)
+            f(&mut self.store.nodes[id], &mut ctx)
         };
         self.apply_actions(id, &mut actions);
         self.scratch = actions;
@@ -597,33 +576,33 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
 
     /// Immutable access to a node's state.
     pub fn node(&self, id: NodeId) -> &N {
-        &self.slots[id].node
+        &self.store.nodes[id]
     }
 
     /// Mutable access to a node's state (no context; for measurement only).
     pub fn node_mut(&mut self, id: NodeId) -> &mut N {
-        &mut self.slots[id].node
+        &mut self.store.nodes[id]
     }
 
     /// Number of nodes ever added.
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.store.len()
     }
 
     /// Returns true if no nodes have been added.
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.store.is_empty()
     }
 
     /// Whether node `id` is currently online.
     pub fn is_online(&self, id: NodeId) -> bool {
-        self.slots[id].online
+        self.store.meta[id].online
     }
 
     /// Ids of all currently online nodes.
     pub fn online_nodes(&self) -> Vec<NodeId> {
-        (0..self.slots.len())
-            .filter(|&i| self.slots[i].online)
+        (0..self.store.len())
+            .filter(|&i| self.store.meta[i].online)
             .collect()
     }
 
@@ -646,6 +625,14 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
     /// timers, deliveries to offline nodes, redundant starts/stops).
     pub fn events_cancelled(&self) -> u64 {
         self.events_cancelled
+    }
+
+    /// Handler activations so far: outer event-loop iterations, each of
+    /// which may drain several consecutive events bound for the same
+    /// node (batched delivery). A deterministic cost counter for the
+    /// bench harness; not part of the metrics snapshot.
+    pub fn activations(&self) -> u64 {
+        self.activations
     }
 
     /// A [`MetricsSnapshot`] of the engine's counters: event-loop
@@ -766,6 +753,7 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
             debug_assert!(time >= self.now, "time went backwards");
             self.now = time;
             self.events_processed += 1;
+            self.activations += 1;
             self.pending -= 1;
             self.dispatch(ev);
         }
@@ -785,6 +773,15 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
     /// queues. This is both the `shards == 1` main path and the fallback
     /// for sharded simulations whose network model has no usable
     /// lookahead (degenerate windows must not deadlock or reorder).
+    ///
+    /// With a single queue, consecutive events bound for the same node
+    /// are drained in one *activation* (batched delivery): the node's
+    /// row stays hot in cache across the whole run of its due events.
+    /// Each batched event is still the exact queue head at the moment it
+    /// is popped — a handler can schedule a same-time event that sorts
+    /// *before* an already-queued one, so the peek-then-pop discipline
+    /// (never pop ahead) is what keeps the order byte-identical to the
+    /// unbatched loop.
     pub(crate) fn advance_serial(&mut self, limit: SimTime, inclusive: bool) {
         loop {
             let Some(head) = self.next_event_time() else {
@@ -803,8 +800,27 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
             debug_assert!(time >= self.now, "time went backwards");
             self.now = time;
             self.events_processed += 1;
+            self.activations += 1;
             self.pending -= 1;
+            let node = ev.node;
             self.dispatch(ev);
+            if self.shards == 1 {
+                // Same activation: drain queue-head events for the same
+                // node while they remain within the advance bound.
+                loop {
+                    match self.queues[0].peek() {
+                        Some((t, _s, next))
+                            if next.node == node && !(t > limit || (t == limit && !inclusive)) => {}
+                        _ => break,
+                    }
+                    let (time, _seq, ev) = self.queues[0].pop().expect("peeked");
+                    debug_assert!(time >= self.now, "time went backwards");
+                    self.now = time;
+                    self.events_processed += 1;
+                    self.pending -= 1;
+                    self.dispatch(ev);
+                }
+            }
         }
     }
 
@@ -854,7 +870,7 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
         }
         match ev.kind {
             EventKind::Deliver { src, msg } => {
-                if !self.slots[ev.node].online {
+                if !self.store.meta[ev.node].online {
                     self.stats.dropped_offline += 1;
                     self.events_cancelled += 1;
                     return;
@@ -863,24 +879,25 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
                 self.with_node(ev.node, |node, ctx| node.on_message(src, msg, ctx));
             }
             EventKind::Timer { tag, epoch } => {
-                let slot = &self.slots[ev.node];
-                if !slot.online || slot.timer_epoch != epoch {
+                let meta = &self.store.meta[ev.node];
+                if !meta.online || meta.timer_epoch != epoch {
                     self.events_cancelled += 1;
                     return; // stale timer from before an offline period
                 }
                 self.with_node(ev.node, |node, ctx| node.on_timer(tag, ctx));
             }
             EventKind::Start => {
-                if self.slots[ev.node].online {
+                if self.store.meta[ev.node].online {
                     self.events_cancelled += 1;
                     return;
                 }
-                self.slots[ev.node].online = true;
+                self.store.meta[ev.node].online = true;
                 self.with_node(ev.node, |node, ctx| node.on_start(ctx));
-                let slot = &mut self.slots[ev.node];
-                let session = slot.churn.as_ref().map(|c| c.sample_session(&mut slot.rng));
+                let session = self.store.churn[ev.node]
+                    .as_ref()
+                    .map(|c| c.sample_session(&mut self.store.rngs[ev.node]));
                 if let Some(session) = session {
-                    let seq = self.slots[ev.node].next_seq(ev.node);
+                    let seq = self.store.meta[ev.node].next_seq(ev.node);
                     self.push_at(
                         self.now + session,
                         seq,
@@ -892,16 +909,17 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
                 }
             }
             EventKind::Stop => {
-                if !self.slots[ev.node].online {
+                if !self.store.meta[ev.node].online {
                     self.events_cancelled += 1;
                     return;
                 }
                 self.with_node(ev.node, |node, ctx| node.on_stop(ctx));
                 self.take_offline(ev.node);
-                let slot = &mut self.slots[ev.node];
-                let off = slot.churn.as_ref().map(|c| c.sample_offtime(&mut slot.rng));
+                let off = self.store.churn[ev.node]
+                    .as_ref()
+                    .map(|c| c.sample_offtime(&mut self.store.rngs[ev.node]));
                 if let Some(off) = off {
-                    let seq = self.slots[ev.node].next_seq(ev.node);
+                    let seq = self.store.meta[ev.node].next_seq(ev.node);
                     self.push_at(
                         self.now + off,
                         seq,
@@ -916,22 +934,21 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
     }
 
     fn take_offline(&mut self, id: NodeId) {
-        let slot = &mut self.slots[id];
-        slot.online = false;
-        slot.timer_epoch = slot.timer_epoch.wrapping_add(1);
+        let meta = &mut self.store.meta[id];
+        meta.online = false;
+        meta.timer_epoch = meta.timer_epoch.wrapping_add(1);
     }
 
     fn with_node(&mut self, id: NodeId, f: impl FnOnce(&mut N, &mut Context<'_, N::Msg>)) {
         let mut actions = std::mem::take(&mut self.scratch);
         {
-            let slot = &mut self.slots[id];
             let mut ctx = Context {
                 now: self.now,
                 id,
-                rng: &mut slot.rng,
+                rng: &mut self.store.rngs[id],
                 actions: &mut actions,
             };
-            f(&mut slot.node, &mut ctx);
+            f(&mut self.store.nodes[id], &mut ctx);
         }
         self.apply_actions(id, &mut actions);
         self.scratch = actions;
@@ -945,13 +962,13 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
                     self.stats.sent += 1;
                     self.stats.bytes_sent += bytes;
                     self.msg_bytes.record(bytes);
-                    let (seq_deliver, seq_dup) = self.slots[id].reserve_send_seqs(id);
+                    let (seq_deliver, seq_dup) = self.store.meta[id].reserve_send_seqs(id);
                     self.route_send(id, dst, msg, bytes, self.now, seq_deliver, seq_dup);
                 }
                 Action::Timer { delay, tag } => {
-                    let slot = &mut self.slots[id];
-                    let epoch = slot.timer_epoch;
-                    let seq = slot.next_seq(id);
+                    let meta = &mut self.store.meta[id];
+                    let epoch = meta.timer_epoch;
+                    let seq = meta.next_seq(id);
                     self.push_at(
                         self.now + delay,
                         seq,
@@ -964,12 +981,13 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
                 Action::GoOffline => offline = true,
             }
         }
-        if offline && self.slots[id].online {
+        if offline && self.store.meta[id].online {
             self.take_offline(id);
-            let slot = &mut self.slots[id];
-            let off = slot.churn.as_ref().map(|c| c.sample_offtime(&mut slot.rng));
+            let off = self.store.churn[id]
+                .as_ref()
+                .map(|c| c.sample_offtime(&mut self.store.rngs[id]));
             if let Some(off) = off {
-                let seq = self.slots[id].next_seq(id);
+                let seq = self.store.meta[id].next_seq(id);
                 self.push_at(
                     self.now + off,
                     seq,
@@ -985,6 +1003,7 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
     /// Routes one send through the network model, drawing from the
     /// sender's network stream. Used identically by the serial path and
     /// the sharded commit phase, which is what pins their equivalence.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn route_send(
         &mut self,
         src: NodeId,
@@ -1050,7 +1069,7 @@ impl<N: Node, S: SchedulerFor<N>> std::fmt::Debug for Simulation<N, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulation")
             .field("now", &self.now)
-            .field("nodes", &self.slots.len())
+            .field("nodes", &self.store.len())
             .field("shards", &self.shards)
             .field("pending", &self.pending)
             .field("stats", &self.stats)

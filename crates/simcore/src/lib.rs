@@ -7,7 +7,11 @@
 //! The kernel provides:
 //!
 //! - a deterministic event engine ([`engine::Simulation`]) over
-//!   message-passing [`engine::Node`]s with timers and churn;
+//!   message-passing [`engine::Node`]s with timers and churn, with
+//!   struct-of-arrays node storage and batched event delivery
+//!   ([`arena`]);
+//! - interned message payloads for fan-out-heavy protocols
+//!   ([`payload`]);
 //! - composable network models ([`net`]) including a planet-scale
 //!   region latency/bandwidth matrix;
 //! - scripted fault injection ([`fault`]): partitions, crash bursts,
@@ -49,6 +53,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arena;
 pub mod churn;
 pub mod dist;
 pub mod engine;
@@ -56,6 +61,7 @@ pub mod fault;
 pub mod json;
 pub mod metrics;
 pub mod net;
+pub mod payload;
 pub mod report;
 pub mod rng;
 pub mod sched;
@@ -67,6 +73,7 @@ pub mod trace;
 
 /// One-stop import for simulation authors.
 pub mod prelude {
+    pub use crate::arena::{SlotArena, SlotIdx};
     pub use crate::churn::ChurnModel;
     pub use crate::dist::{Exp, LogNormal, Pareto, Sample, Weibull, Zipf};
     pub use crate::engine::{
@@ -82,6 +89,7 @@ pub mod prelude {
     pub use crate::net::{
         ConstantLatency, LanNet, Lossy, NetworkModel, Region, RegionNet, UniformLatency,
     };
+    pub use crate::payload::Interned;
     pub use crate::report::{fmt_f, fmt_pct, fmt_si, Table};
     pub use crate::rng::{derive_seed, rng_from_seed, SimRng};
     pub use crate::sched::{BinaryHeapScheduler, SchedStats, Scheduler, TimingWheel};

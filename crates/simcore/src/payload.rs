@@ -1,0 +1,149 @@
+//! Interned message payloads: reference-counted bulk data for
+//! fan-out-heavy protocols.
+//!
+//! The engine clones a message for every extra delivery it schedules —
+//! fault-injected duplicates ([`crate::fault::Faulty`]), broadcast
+//! fan-out, and the sharded commit phase all go through `Msg: Clone`.
+//! For protocols whose messages carry bulk data (a Kademlia reply's
+//! contact list, a block body, a gossip payload), a deep `Vec` clone
+//! per delivery dominates allocation. Wrapping the bulk part in
+//! [`Interned`] makes every such clone a reference-count bump: the
+//! payload is allocated once, at send time, with an exact-size
+//! allocation, and shared by all scheduled copies.
+//!
+//! Determinism: `Interned` is immutable after construction and compares
+//! by content, so interning is observationally identical to deep
+//! cloning — pinned by the workspace's `payload_interning` equivalence
+//! suite.
+//!
+//! # Examples
+//!
+//! ```
+//! use decent_sim::payload::Interned;
+//!
+//! let a: Interned<[u32]> = Interned::from_slice(&[1, 2, 3]);
+//! let b = a.clone(); // refcount bump, no allocation
+//! assert_eq!(a, b);
+//! assert_eq!(&a[..], &[1, 2, 3]);
+//! assert_eq!(a.len(), 3);
+//! ```
+
+use std::sync::Arc;
+
+/// An immutable, cheaply cloneable payload.
+///
+/// A thin wrapper over [`Arc`] that fixes the semantics the engine
+/// needs: content equality (two interned payloads are equal iff their
+/// contents are), `Deref` access, and exact-size construction from
+/// slices and vectors. `Clone` is `O(1)` and allocation-free.
+pub struct Interned<T: ?Sized>(Arc<T>);
+
+impl<T> Interned<T> {
+    /// Interns a sized value.
+    pub fn new(val: T) -> Self {
+        Interned(Arc::new(val))
+    }
+}
+
+impl<T> Interned<[T]> {
+    /// Interns a slice with a single exact-size allocation.
+    pub fn from_slice(vals: &[T]) -> Self
+    where
+        T: Clone,
+    {
+        Interned(Arc::from(vals))
+    }
+
+    /// Interns a vector's contents with a single exact-size allocation.
+    pub fn from_vec(vals: Vec<T>) -> Self {
+        Interned(Arc::from(vals))
+    }
+}
+
+impl<T: ?Sized> Clone for Interned<T> {
+    fn clone(&self) -> Self {
+        Interned(Arc::clone(&self.0))
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for Interned<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> AsRef<T> for Interned<T> {
+    fn as_ref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized + PartialEq> PartialEq for Interned<T> {
+    fn eq(&self, other: &Self) -> bool {
+        // Pointer equality first: shared payloads (the fan-out case)
+        // compare in O(1).
+        Arc::ptr_eq(&self.0, &other.0) || *self.0 == *other.0
+    }
+}
+
+impl<T: ?Sized + Eq> Eq for Interned<T> {}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Interned<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl<T: Clone> From<&[T]> for Interned<[T]> {
+    fn from(vals: &[T]) -> Self {
+        Interned::from_slice(vals)
+    }
+}
+
+impl<T> From<Vec<T>> for Interned<[T]> {
+    fn from(vals: Vec<T>) -> Self {
+        Interned::from_vec(vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_is_shared_not_copied() {
+        let a: Interned<[u8]> = Interned::from_slice(&[1, 2, 3, 4]);
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.0, &b.0), "clone must share the allocation");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn content_equality_across_allocations() {
+        let a: Interned<[u32]> = Interned::from_vec(vec![5, 6]);
+        let b: Interned<[u32]> = Interned::from_slice(&[5, 6]);
+        let c: Interned<[u32]> = Interned::from_slice(&[5, 7]);
+        assert_eq!(a, b, "equal contents, distinct allocations");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn deref_and_len() {
+        let a: Interned<[u64]> = vec![10, 20, 30].into();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[1], 20);
+        assert_eq!(a.iter().sum::<u64>(), 60);
+        let empty: Interned<[u64]> = Interned::from_slice(&[]);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn sized_values_intern_too() {
+        let a = Interned::new(String::from("payload"));
+        let b = a.clone();
+        assert_eq!(&*a, "payload");
+        assert_eq!(a, b);
+    }
+}

@@ -95,6 +95,17 @@ pub trait Scheduler<T> {
     /// Removes and returns the earliest event, or `None` if empty.
     fn pop(&mut self) -> Option<(SimTime, u64, T)>;
 
+    /// Borrows the earliest event without removing it, or `None` if
+    /// empty (or if the implementation cannot peek — the default).
+    ///
+    /// The engine's batched delivery path uses this to decide whether
+    /// the next event targets the same node as the one just dispatched;
+    /// an implementation returning `None` merely disables batching,
+    /// never changes results.
+    fn peek(&mut self) -> Option<(SimTime, u64, &T)> {
+        None
+    }
+
     /// The timestamp of the earliest pending event, or `None` if empty.
     fn next_time(&mut self) -> Option<SimTime>;
 
@@ -170,6 +181,10 @@ impl<T> Scheduler<T> for BinaryHeapScheduler<T> {
             self.stats.popped += 1;
         }
         out
+    }
+
+    fn peek(&mut self) -> Option<(SimTime, u64, &T)> {
+        self.heap.peek().map(|Reverse(e)| (e.time, e.seq, &e.item))
     }
 
     fn next_time(&mut self) -> Option<SimTime> {
@@ -509,6 +524,18 @@ impl<T> Scheduler<T> for TimingWheel<T> {
         self.stats.popped += 1;
         let (time, seq, item) = self.release(idx);
         Some((SimTime::from_nanos(time), seq, item))
+    }
+
+    fn peek(&mut self) -> Option<(SimTime, u64, &T)> {
+        if !self.refill() {
+            return None;
+        }
+        let node = &self.slab[self.lane[self.lane_pos] as usize];
+        Some((
+            SimTime::from_nanos(node.time),
+            node.seq,
+            node.item.as_ref().expect("lane node on freelist"),
+        ))
     }
 
     fn next_time(&mut self) -> Option<SimTime> {

@@ -26,12 +26,23 @@
 
 use std::sync::mpsc::{Receiver, Sender};
 
+use crate::arena::SlotView;
 use crate::engine::{
-    Action, Context, EngineEvent, EventKind, Node, NodeId, SchedulerFor, Simulation, Slot,
+    Action, Context, EngineEvent, EventKind, Node, NodeId, SchedulerFor, Simulation,
 };
 use crate::metrics::LogHistogram;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::EventTag;
+
+/// A batch of `(time, seq, event)` triples bound for one shard's queue.
+type Feed<M> = Vec<(SimTime, u64, EngineEvent<M>)>;
+
+/// One window's dispatch and send logs from a single shard, as consumed
+/// (in merge order) by the commit phase.
+type WindowLogs<M> = (
+    std::vec::IntoIter<DispatchRec>,
+    std::vec::IntoIter<SendRec<M>>,
+);
 
 /// One dispatched event, as logged by a worker for the commit phase.
 #[derive(Copy, Clone)]
@@ -66,7 +77,7 @@ enum Cmd<M> {
         /// Exclusive end of the window.
         end: SimTime,
         /// Cross-shard deliveries committed in earlier windows.
-        feed: Vec<(SimTime, u64, EngineEvent<M>)>,
+        feed: Feed<M>,
     },
     Stop,
 }
@@ -76,6 +87,8 @@ struct WindowOut<M> {
     recs: Vec<DispatchRec>,
     sends: Vec<SendRec<M>>,
     processed: u64,
+    /// Handler activations (batched outer-loop iterations) this window.
+    activations: u64,
     cancelled: u64,
     delivered: u64,
     dropped_offline: u64,
@@ -94,6 +107,7 @@ impl<M> WindowOut<M> {
             recs: Vec::new(),
             sends: Vec::new(),
             processed: 0,
+            activations: 0,
             cancelled: 0,
             delivered: 0,
             dropped_offline: 0,
@@ -137,10 +151,10 @@ where
     debug_assert!(shards > 1, "windowed executor installed for serial sim");
 
     let queues: Vec<S> = std::mem::take(&mut sim.queues);
-    // Disjoint field borrows: workers take the slots, the commit phase
-    // owns the network model, RNG streams, and counters.
+    // Disjoint field borrows: workers take the node rows, the commit
+    // phase owns the network model, RNG streams, and counters.
     let Simulation {
-        slots,
+        store,
         net_rngs,
         queues: queues_slot,
         net,
@@ -148,6 +162,7 @@ where
         trace,
         now,
         events_processed,
+        activations,
         events_cancelled,
         scheduled,
         pending,
@@ -156,15 +171,10 @@ where
         ..
     } = sim;
 
-    let mut parts: Vec<Vec<&mut Slot<N>>> = (0..shards)
-        .map(|_| Vec::with_capacity(slots.len() / shards + 1))
-        .collect();
-    for (id, slot) in slots.iter_mut().enumerate() {
-        parts[id % shards].push(slot);
-    }
+    let parts = store.partition(shards);
 
     let mut returned: Vec<S> = Vec::with_capacity(shards);
-    let mut leftover_feeds: Vec<Vec<(SimTime, u64, EngineEvent<N::Msg>)>> = Vec::new();
+    let mut leftover_feeds: Vec<Feed<N::Msg>> = Vec::new();
     std::thread::scope(|sc| {
         let mut cmd_txs: Vec<Sender<Cmd<N::Msg>>> = Vec::with_capacity(shards);
         let mut out_rxs: Vec<Receiver<WindowOut<N::Msg>>> = Vec::with_capacity(shards);
@@ -194,8 +204,7 @@ where
             heads[i] = out.next_time;
         }
 
-        let mut feeds: Vec<Vec<(SimTime, u64, EngineEvent<N::Msg>)>> =
-            (0..shards).map(|_| Vec::new()).collect();
+        let mut feeds: Vec<Feed<N::Msg>> = (0..shards).map(|_| Vec::new()).collect();
         loop {
             // Earliest pending work: worker queue heads plus not-yet-fed
             // cross-shard deliveries.
@@ -226,14 +235,12 @@ where
                 })
                 .expect("worker alive");
             }
-            let mut outs: Vec<(
-                std::vec::IntoIter<DispatchRec>,
-                std::vec::IntoIter<SendRec<N::Msg>>,
-            )> = Vec::with_capacity(shards);
+            let mut outs: Vec<WindowLogs<N::Msg>> = Vec::with_capacity(shards);
             for (i, rx) in out_rxs.iter().enumerate() {
                 let out = rx.recv().expect("worker alive");
                 heads[i] = out.next_time;
                 *events_processed += out.processed;
+                *activations += out.activations;
                 *events_cancelled += out.cancelled;
                 *scheduled += out.local_scheduled;
                 stats.delivered += out.delivered;
@@ -259,7 +266,7 @@ where
                 let mut best: Option<(SimTime, u64, usize)> = None;
                 for (i, h) in rec_heads.iter().enumerate() {
                     if let Some(r) = h {
-                        if best.map_or(true, |(bt, bs, _)| (r.time, r.seq) < (bt, bs)) {
+                        if best.is_none_or(|(bt, bs, _)| (r.time, r.seq) < (bt, bs)) {
                             best = Some((r.time, r.seq, i));
                         }
                     }
@@ -351,8 +358,9 @@ where
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn push_feed<M>(
-    feeds: &mut [Vec<(SimTime, u64, EngineEvent<M>)>],
+    feeds: &mut [Feed<M>],
     shards: usize,
     time: SimTime,
     seq: u64,
@@ -372,9 +380,16 @@ fn push_feed<M>(
 /// Per-shard worker loop: drain the shard's queue window by window,
 /// logging dispatches and deferring sends to the commit phase. Returns
 /// the queue when told to stop so the engine can resume serially.
+///
+/// Consecutive queue-head events bound for the same node drain in one
+/// *activation* (batched delivery): the node's row is indexed once per
+/// batch and stays hot across its due events. The peek-then-pop
+/// discipline guarantees each batched event is still the exact queue
+/// head, so the per-event dispatch log — and therefore the committed
+/// order — is byte-identical to the unbatched drain.
 fn worker_main<N, S>(
     shards: usize,
-    mut part: Vec<&mut Slot<N>>,
+    mut part: Vec<SlotView<'_, N>>,
     mut queue: S,
     rx: Receiver<Cmd<N::Msg>>,
     tx: Sender<WindowOut<N::Msg>>,
@@ -395,19 +410,20 @@ where
                 break;
             }
             let (time, seq, ev) = queue.pop().expect("peeked");
+            let node = ev.node;
             out.processed += 1;
+            out.activations += 1;
             let mut rec = DispatchRec {
                 time,
                 seq,
-                node: ev.node,
+                node,
                 tag: ev.tag(),
                 pushes: 0,
                 send_end: 0,
             };
-            let slot: &mut Slot<N> = &mut *part[ev.node / shards];
             dispatch_local(
-                slot,
-                ev.node,
+                &mut part[node / shards],
+                node,
                 ev.kind,
                 time,
                 &mut queue,
@@ -417,6 +433,35 @@ where
             );
             rec.send_end = out.sends.len() as u32;
             out.recs.push(rec);
+            // Batched continuation: same node, still inside the window.
+            loop {
+                match queue.peek() {
+                    Some((t, _s, next)) if next.node == node && t < end => {}
+                    _ => break,
+                }
+                let (time, seq, ev) = queue.pop().expect("peeked");
+                out.processed += 1;
+                let mut rec = DispatchRec {
+                    time,
+                    seq,
+                    node,
+                    tag: ev.tag(),
+                    pushes: 0,
+                    send_end: 0,
+                };
+                dispatch_local(
+                    &mut part[node / shards],
+                    node,
+                    ev.kind,
+                    time,
+                    &mut queue,
+                    &mut out,
+                    &mut rec,
+                    &mut scratch,
+                );
+                rec.send_end = out.sends.len() as u32;
+                out.recs.push(rec);
+            }
         }
         out.next_time = queue.next_time();
         if tx.send(out).is_err() {
@@ -433,7 +478,7 @@ where
 /// (and vice versa) or sharded runs stop being byte-identical.
 #[allow(clippy::too_many_arguments)]
 fn dispatch_local<N, S>(
-    slot: &mut Slot<N>,
+    slot: &mut SlotView<'_, N>,
     id: NodeId,
     kind: EventKind<N::Msg>,
     now: SimTime,
@@ -447,7 +492,7 @@ fn dispatch_local<N, S>(
 {
     match kind {
         EventKind::Deliver { src, msg } => {
-            if !slot.online {
+            if !slot.meta.online {
                 out.dropped_offline += 1;
                 out.cancelled += 1;
                 return;
@@ -457,7 +502,7 @@ fn dispatch_local<N, S>(
             apply_local(slot, id, now, queue, out, rec, scratch);
         }
         EventKind::Timer { tag, epoch } => {
-            if !slot.online || slot.timer_epoch != epoch {
+            if !slot.meta.online || slot.meta.timer_epoch != epoch {
                 out.cancelled += 1;
                 return;
             }
@@ -465,16 +510,16 @@ fn dispatch_local<N, S>(
             apply_local(slot, id, now, queue, out, rec, scratch);
         }
         EventKind::Start => {
-            if slot.online {
+            if slot.meta.online {
                 out.cancelled += 1;
                 return;
             }
-            slot.online = true;
+            slot.meta.online = true;
             run_handler(slot, id, now, scratch, |n, ctx| n.on_start(ctx));
             apply_local(slot, id, now, queue, out, rec, scratch);
-            let session = slot.churn.as_ref().map(|c| c.sample_session(&mut slot.rng));
+            let session = slot.churn.as_ref().map(|c| c.sample_session(slot.rng));
             if let Some(session) = session {
-                let seq = slot.next_seq(id);
+                let seq = slot.meta.next_seq(id);
                 push_local(
                     queue,
                     now + session,
@@ -489,17 +534,17 @@ fn dispatch_local<N, S>(
             }
         }
         EventKind::Stop => {
-            if !slot.online {
+            if !slot.meta.online {
                 out.cancelled += 1;
                 return;
             }
             run_handler(slot, id, now, scratch, |n, ctx| n.on_stop(ctx));
             apply_local(slot, id, now, queue, out, rec, scratch);
-            slot.online = false;
-            slot.timer_epoch = slot.timer_epoch.wrapping_add(1);
-            let off = slot.churn.as_ref().map(|c| c.sample_offtime(&mut slot.rng));
+            slot.meta.online = false;
+            slot.meta.timer_epoch = slot.meta.timer_epoch.wrapping_add(1);
+            let off = slot.churn.as_ref().map(|c| c.sample_offtime(slot.rng));
             if let Some(off) = off {
-                let seq = slot.next_seq(id);
+                let seq = slot.meta.next_seq(id);
                 push_local(
                     queue,
                     now + off,
@@ -517,7 +562,7 @@ fn dispatch_local<N, S>(
 }
 
 fn run_handler<N: Node>(
-    slot: &mut Slot<N>,
+    slot: &mut SlotView<'_, N>,
     id: NodeId,
     now: SimTime,
     actions: &mut Vec<Action<N::Msg>>,
@@ -526,16 +571,16 @@ fn run_handler<N: Node>(
     let mut ctx = Context {
         now,
         id,
-        rng: &mut slot.rng,
+        rng: slot.rng,
         actions,
     };
-    f(&mut slot.node, &mut ctx);
+    f(slot.node, &mut ctx);
 }
 
 /// Twin of [`Simulation::apply_actions`]: drains deferred effects in
 /// handler order, reserving the same seqs and counting the same stats.
 fn apply_local<N, S>(
-    slot: &mut Slot<N>,
+    slot: &mut SlotView<'_, N>,
     id: NodeId,
     now: SimTime,
     queue: &mut S,
@@ -553,7 +598,7 @@ fn apply_local<N, S>(
                 out.sent += 1;
                 out.bytes_sent += bytes;
                 out.msg_bytes.record(bytes);
-                let (seq_deliver, seq_dup) = slot.reserve_send_seqs(id);
+                let (seq_deliver, seq_dup) = slot.meta.reserve_send_seqs(id);
                 out.sends.push(SendRec {
                     src: id,
                     dst,
@@ -565,8 +610,8 @@ fn apply_local<N, S>(
                 });
             }
             Action::Timer { delay, tag } => {
-                let epoch = slot.timer_epoch;
-                let seq = slot.next_seq(id);
+                let epoch = slot.meta.timer_epoch;
+                let seq = slot.meta.next_seq(id);
                 push_local(
                     queue,
                     now + delay,
@@ -582,12 +627,12 @@ fn apply_local<N, S>(
             Action::GoOffline => offline = true,
         }
     }
-    if offline && slot.online {
-        slot.online = false;
-        slot.timer_epoch = slot.timer_epoch.wrapping_add(1);
-        let off = slot.churn.as_ref().map(|c| c.sample_offtime(&mut slot.rng));
+    if offline && slot.meta.online {
+        slot.meta.online = false;
+        slot.meta.timer_epoch = slot.meta.timer_epoch.wrapping_add(1);
+        let off = slot.churn.as_ref().map(|c| c.sample_offtime(slot.rng));
         if let Some(off) = off {
-            let seq = slot.next_seq(id);
+            let seq = slot.meta.next_seq(id);
             push_local(
                 queue,
                 now + off,
