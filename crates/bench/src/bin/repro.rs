@@ -7,6 +7,8 @@
 //!       [--jobs N] [--shards N] [--seed N]
 //!       [--baseline PATH] [--write-baseline PATH]
 //!       [--sweep EXP:param=lo..hi:steps]
+//!       [--serve kad | --probe] [--port-base N] [--mesh-size N]
+//!       [--serve-for SECS] [--probe-timeout SECS]
 //! ```
 //!
 //! `--quick` runs CI-sized configurations (seconds); the default runs
@@ -41,10 +43,25 @@
 //! does not fail on them: claims *expected* to flip off-default are the
 //! point of the exercise.
 //!
+//! Real sockets (the transport facade, DESIGN.md §4h): `--serve kad`
+//! hosts a small TCP-backed Kademlia mesh on localhost — `--mesh-size`
+//! nodes on ports `--port-base..` — for `--serve-for` seconds, and
+//! `--probe` dials that mesh from a separate process, runs one real
+//! FIND_NODE lookup over the sockets, and checks the discovered
+//! closest-contact set against the roster's true k-closest (both sides
+//! derive identical node identities from `--seed`, so no handshake is
+//! needed). This is the same protocol core the sim experiments run;
+//! only the backend differs.
+//!
 //! Exit codes: 0 success, 1 claim failures or baseline regressions,
 //! 2 bad arguments.
 
+use std::net::SocketAddr;
 use std::process::ExitCode;
+
+use decent_overlay::id::Key;
+use decent_overlay::kadnet;
+use decent_sim::prelude::{SimDuration, SimTime};
 
 use decent_core::report::{diff_verdicts, verdicts_from_json, RunReport};
 use decent_core::scenario::ExecPolicy;
@@ -54,7 +71,8 @@ use decent_sim::json::Json;
 
 const USAGE: &str = "usage: repro [--quick] [--exp E1,E2,...] [--csv DIR] [--claims] [--list] \
 [--json PATH] [--format md|json] [--summary PATH] [--jobs N] [--shards N] [--seed N] \
-[--baseline PATH] [--write-baseline PATH] [--sweep EXP:param=lo..hi:steps]";
+[--baseline PATH] [--write-baseline PATH] [--sweep EXP:param=lo..hi:steps] \
+[--serve kad | --probe] [--port-base N] [--mesh-size N] [--serve-for SECS] [--probe-timeout SECS]";
 
 /// Output format for stdout.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +102,18 @@ struct Cli {
     baseline: Option<std::path::PathBuf>,
     write_baseline: Option<std::path::PathBuf>,
     sweep: Option<SweepSpec>,
+    /// Real-socket demo: host a TCP-backed mesh for this protocol.
+    serve: Option<String>,
+    /// Real-socket demo: dial a served mesh and run one lookup.
+    probe: bool,
+    /// First localhost port of the mesh (nodes bind base, base+1, ...).
+    port_base: Option<u16>,
+    /// Number of mesh nodes.
+    mesh_size: Option<usize>,
+    /// Serve window in wall-clock seconds.
+    serve_for: Option<f64>,
+    /// Probe lookup deadline in wall-clock seconds.
+    probe_timeout: Option<f64>,
 }
 
 /// Parses and validates arguments. Experiment ids are checked against the
@@ -160,6 +190,56 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String> {
                     .ok_or("--sweep requires an EXP:param=lo..hi:steps argument")?;
                 cli.sweep = Some(SweepSpec::parse(&spec)?);
             }
+            "--serve" => {
+                let proto = args.next().ok_or("--serve requires a protocol (kad)")?;
+                if proto != "kad" {
+                    return Err(format!("unknown --serve protocol: {proto} (expected kad)"));
+                }
+                cli.serve = Some(proto);
+            }
+            "--probe" => cli.probe = true,
+            "--port-base" => {
+                let p = args.next().ok_or("--port-base requires a port argument")?;
+                let p: u16 = p
+                    .parse()
+                    .map_err(|_| format!("--port-base expects a port number, got {p}"))?;
+                if p == 0 {
+                    return Err("--port-base must be nonzero".into());
+                }
+                cli.port_base = Some(p);
+            }
+            "--mesh-size" => {
+                let n = args
+                    .next()
+                    .ok_or("--mesh-size requires a number argument")?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("--mesh-size expects a positive integer, got {n}"))?;
+                if n < 2 {
+                    return Err("--mesh-size must be at least 2".into());
+                }
+                cli.mesh_size = Some(n);
+            }
+            "--serve-for" => {
+                let s = args.next().ok_or("--serve-for requires seconds")?;
+                let s: f64 = s
+                    .parse()
+                    .map_err(|_| format!("--serve-for expects seconds, got {s}"))?;
+                if s.is_nan() || s <= 0.0 {
+                    return Err("--serve-for must be positive".into());
+                }
+                cli.serve_for = Some(s);
+            }
+            "--probe-timeout" => {
+                let s = args.next().ok_or("--probe-timeout requires seconds")?;
+                let s: f64 = s
+                    .parse()
+                    .map_err(|_| format!("--probe-timeout expects seconds, got {s}"))?;
+                if s.is_nan() || s <= 0.0 {
+                    return Err("--probe-timeout must be positive".into());
+                }
+                cli.probe_timeout = Some(s);
+            }
             "--exp" => {
                 let list = args.next().ok_or("--exp requires an id list argument")?;
                 let ids: Vec<String> = list
@@ -196,7 +276,106 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String> {
             }
         }
     }
+    if cli.serve.is_some() && cli.probe {
+        return Err("--serve and --probe are different processes; pick one".into());
+    }
+    if cli.serve.is_some() || cli.probe {
+        for (set, flag) in [
+            (cli.sweep.is_some(), "--sweep"),
+            (cli.selected.is_some(), "--exp"),
+            (cli.baseline.is_some(), "--baseline"),
+            (cli.write_baseline.is_some(), "--write-baseline"),
+        ] {
+            if set {
+                return Err(format!("--serve/--probe cannot be combined with {flag}"));
+            }
+        }
+    }
     Ok(cli)
+}
+
+/// Demo target key: any fixed key works; the probe checks the
+/// discovered set against the roster's true k-closest to this key.
+const DEMO_TARGET: u64 = 0xDECE_2019;
+
+fn mesh_addrs(port_base: u16, n: usize) -> Result<Vec<SocketAddr>, String> {
+    if usize::from(port_base) + n > usize::from(u16::MAX) {
+        return Err(format!(
+            "--port-base {port_base} + mesh size {n} overflows the port range"
+        ));
+    }
+    Ok((0..n)
+        .map(|i| SocketAddr::from(([127, 0, 0, 1], port_base + i as u16)))
+        .collect())
+}
+
+/// `--serve kad`: host a TCP-backed Kademlia mesh on localhost and
+/// answer real-socket lookups until the serve window elapses.
+fn run_serve(seed: u64, port_base: u16, n: usize, serve_for: f64) -> Result<(), String> {
+    let cfg = kadnet::demo_config();
+    let bind = mesh_addrs(port_base, n)?;
+    let mut mesh = kadnet::serve_mesh(seed, n, &cfg, &bind)
+        .map_err(|e| format!("cannot start mesh on 127.0.0.1:{port_base}..: {e}"))?;
+    eprintln!(
+        "serving kad mesh: {n} nodes on 127.0.0.1:{port_base}-{} (seed {seed}) for {serve_for}s",
+        port_base + (n - 1) as u16
+    );
+    let horizon = SimDuration::from_secs(serve_for);
+    while mesh.runtime.now().saturating_since(SimTime::ZERO) < horizon {
+        mesh.runtime.poll(SimDuration::from_millis(200.0));
+    }
+    eprintln!("serve window elapsed; shutting down mesh");
+    Ok(())
+}
+
+/// `--probe`: dial a served mesh, run one FIND_NODE lookup over real
+/// sockets, and verify the result against the roster's true k-closest.
+fn run_probe(seed: u64, port_base: u16, n: usize, timeout: f64) -> Result<(), String> {
+    let cfg = kadnet::demo_config();
+    let addrs = mesh_addrs(port_base, n)?;
+    if !kadnet::wait_mesh_reachable(addrs[0], 100, SimDuration::from_millis(200.0)) {
+        return Err(format!(
+            "mesh not reachable at {} (is --serve kad running?)",
+            addrs[0]
+        ));
+    }
+    let target = Key::from_u64(DEMO_TARGET);
+    let bind: SocketAddr = ([127, 0, 0, 1], 0).into();
+    let result = kadnet::probe_lookup(
+        seed,
+        &cfg,
+        &addrs,
+        bind,
+        target,
+        SimDuration::from_secs(timeout),
+    )
+    .map_err(|e| format!("probe failed: {e}"))?;
+    let Some(r) = result else {
+        return Err(format!("lookup did not complete within {timeout}s"));
+    };
+    // Both processes derive the same roster from the seed, so the true
+    // k-closest set is pure key arithmetic — no side channel needed.
+    let mut expect = kadnet::demo_contacts(seed, n);
+    expect.sort_by_key(|c| (c.key.xor_distance(&target), c.node));
+    expect.truncate(cfg.k);
+    let got: Vec<usize> = r.closest.iter().map(|c| c.node).collect();
+    let want: Vec<usize> = expect.iter().map(|c| c.node).collect();
+    if got != want {
+        return Err(format!(
+            "lookup converged to the wrong set: got {got:?}, want {want:?} \
+             ({} rpcs, {} timeouts)",
+            r.rpcs, r.timeouts
+        ));
+    }
+    println!(
+        "probe ok: real-socket lookup found the true {}-closest set in {} \
+         ({} rpcs, {} timeouts)",
+        want.len(),
+        r.latency,
+        r.rpcs,
+        r.timeouts
+    );
+    Ok(())
 }
 
 /// Loads a baseline file and diffs the run's verdicts against it.
@@ -220,6 +399,23 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if cli.serve.is_some() || cli.probe {
+        let seed = cli.seed.unwrap_or(42);
+        let port_base = cli.port_base.unwrap_or(42810);
+        let n = cli.mesh_size.unwrap_or(8);
+        let outcome = if cli.serve.is_some() {
+            run_serve(seed, port_base, n, cli.serve_for.unwrap_or(60.0))
+        } else {
+            run_probe(seed, port_base, n, cli.probe_timeout.unwrap_or(30.0))
+        };
+        return match outcome {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("repro: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if cli.claims {
         println!("| id | section | claim | experiment |");
         println!("|---|---|---|---|");
@@ -556,6 +752,54 @@ mod tests {
         assert!(parse(&["--sweep", "E19:x=2..1:3"])
             .unwrap_err()
             .contains("below"));
+    }
+
+    #[test]
+    fn serve_and_probe_flags_parse() {
+        let cli = parse(&[
+            "--serve",
+            "kad",
+            "--port-base",
+            "43000",
+            "--mesh-size",
+            "12",
+            "--serve-for",
+            "90",
+        ])
+        .unwrap();
+        assert_eq!(cli.serve.as_deref(), Some("kad"));
+        assert_eq!(cli.port_base, Some(43000));
+        assert_eq!(cli.mesh_size, Some(12));
+        assert_eq!(cli.serve_for, Some(90.0));
+        let cli = parse(&["--probe", "--probe-timeout", "15"]).unwrap();
+        assert!(cli.probe);
+        assert_eq!(cli.probe_timeout, Some(15.0));
+    }
+
+    #[test]
+    fn serve_probe_validation() {
+        assert!(parse(&["--serve", "pbft"])
+            .unwrap_err()
+            .contains("unknown --serve protocol"));
+        assert!(parse(&["--serve"]).unwrap_err().contains("requires"));
+        assert!(parse(&["--serve", "kad", "--probe"])
+            .unwrap_err()
+            .contains("pick one"));
+        assert!(parse(&["--probe", "--exp", "E7"])
+            .unwrap_err()
+            .contains("cannot be combined"));
+        assert!(parse(&["--port-base", "0"])
+            .unwrap_err()
+            .contains("nonzero"));
+        assert!(parse(&["--mesh-size", "1"])
+            .unwrap_err()
+            .contains("at least 2"));
+        assert!(parse(&["--serve-for", "-1"])
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse(&["--probe-timeout", "0"])
+            .unwrap_err()
+            .contains("positive"));
     }
 
     #[test]

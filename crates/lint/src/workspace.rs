@@ -206,5 +206,15 @@ mod tests {
             .expect("lint present");
         assert!(!lint.sim_facing);
         assert_eq!(lint.package, "decent-lint");
+        // decent-net is sim-facing (its sim backend feeds the engine);
+        // only the explicit REAL_TIME_PATHS allowlist relaxes the
+        // wall-clock/entropy rules, and that happens per-file in the
+        // analyzer, not here.
+        let net = files
+            .iter()
+            .find(|f| f.rel == "crates/net/src/tcp.rs")
+            .expect("decent-net present");
+        assert!(net.sim_facing);
+        assert_eq!(net.package, "decent-net");
     }
 }

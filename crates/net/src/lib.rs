@@ -1,0 +1,160 @@
+//! Transport facade: one protocol core, two backends.
+//!
+//! The reproduction's protocols (Kademlia today; chain/BFT/edge families
+//! next) are written against two small traits instead of the simulation
+//! engine directly:
+//!
+//! - [`Transport`] is the handler-side capability surface — current time,
+//!   own address, a deterministic RNG stream, message sends, timers. It
+//!   is a 1:1 image of the engine's `Context`, so the sim backend is a
+//!   zero-cost passthrough and porting a protocol cannot change its
+//!   event order.
+//! - [`Protocol`] is the passive event-driven core — `on_start` /
+//!   `on_message` / `on_timer` / `on_stop`, each handed a `&mut impl
+//!   Transport`. A protocol never blocks, never sleeps, never opens a
+//!   socket; it only reacts and emits.
+//!
+//! Two backends drive a [`Protocol`]:
+//!
+//! | backend | module | time | delivery | determinism |
+//! |---|---|---|---|---|
+//! | sim | [`sim`] | virtual (`SimTime`) | engine network model, fault plans | byte-identical across schedulers and `--shards` |
+//! | tcp | [`tcp`] | wall clock mapped to `SimTime` | real sockets, length-prefixed frames ([`wire`]) | best-effort (the real world is not deterministic) |
+//!
+//! The sim backend is the engine itself: `Context<'_, M>` implements
+//! [`Transport`], so any type implementing the engine's `Node` trait can
+//! route its handlers through protocol code unchanged, and
+//! [`sim::SimHost`] adapts a pure [`Protocol`] into a `Node` for
+//! facade-only protocols. The tcp backend ([`tcp::TcpRuntime`]) hosts
+//! protocol instances behind real listeners, encodes messages with the
+//! [`wire::Wire`] codec, and drives timers from a wall-clock timer
+//! thread — same code, real packets.
+//!
+//! # Example
+//!
+//! A miniature request/reply protocol, written once against the facade
+//! and driven here by the deterministic sim backend:
+//!
+//! ```
+//! use decent_net::sim::SimHost;
+//! use decent_net::{Protocol, Transport};
+//! use decent_sim::prelude::*;
+//!
+//! struct Echo {
+//!     seen: usize,
+//! }
+//!
+//! impl Protocol for Echo {
+//!     type Msg = u64;
+//!     fn on_message<T: Transport<Msg = u64>>(&mut self, from: NodeId, msg: u64, net: &mut T) {
+//!         self.seen += 1;
+//!         if msg > 0 {
+//!             net.send(from, msg - 1); // ping-pong down to zero
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(1, UniformLatency::from_millis(5.0, 10.0));
+//! let a = sim.add_node(SimHost(Echo { seen: 0 }));
+//! let b = sim.add_node(SimHost(Echo { seen: 0 }));
+//! sim.invoke(a, |_, net| net.send(b, 4));
+//! sim.run_until(SimTime::from_secs(1.0));
+//! assert_eq!(sim.node(a).0.seen + sim.node(b).0.seen, 5);
+//! ```
+//!
+//! See DESIGN.md §4h for the full backend matrix, the determinism
+//! argument, and the recipe for porting the next protocol family.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use decent_sim::prelude::{NodeId, SimDuration, SimRng, SimTime};
+
+pub mod sim;
+pub mod tcp;
+pub mod wire;
+
+/// Handler-side capability surface a protocol core runs against.
+///
+/// Mirrors the simulation engine's `Context` exactly — same methods,
+/// same semantics, same default message size — so the sim backend is a
+/// passthrough and a ported protocol reproduces its pre-port event
+/// stream bit for bit. Backends provide:
+///
+/// - **time** ([`Transport::now`]): virtual time in the sim, wall clock
+///   since runtime start on TCP — both as `SimTime`, so protocol code
+///   never touches `std::time`;
+/// - **identity** ([`Transport::local`]): the dense `NodeId` address
+///   space shared by both backends (the TCP backend maps ids to socket
+///   addresses through a directory);
+/// - **randomness** ([`Transport::rng`]): a per-node RNG stream derived
+///   from `(seed, 2·id)` on both backends;
+/// - **output** ([`Transport::send`], [`Transport::send_sized`],
+///   [`Transport::set_timer`]): deferred effects, applied by the backend
+///   after the handler returns.
+pub trait Transport {
+    /// Message type carried by this transport.
+    type Msg: Clone;
+
+    /// Current time: virtual in the sim backend, wall-clock elapsed
+    /// since runtime start in the TCP backend.
+    fn now(&self) -> SimTime;
+
+    /// The local node's id.
+    fn local(&self) -> NodeId;
+
+    /// The local node's deterministic RNG stream.
+    fn rng(&mut self) -> &mut SimRng;
+
+    /// Sends a message of `bytes` bytes to `dst`. Delivery is decided
+    /// by the backend (network model in the sim, a framed TCP write on
+    /// the wire); sends to unknown or offline peers are dropped.
+    fn send_sized(&mut self, dst: NodeId, msg: Self::Msg, bytes: u64);
+
+    /// Sends a small message (default size 256 bytes) to `dst`.
+    fn send(&mut self, dst: NodeId, msg: Self::Msg) {
+        self.send_sized(dst, msg, 256);
+    }
+
+    /// Schedules [`Protocol::on_timer`] with `tag` after `delay`.
+    fn set_timer(&mut self, delay: SimDuration, tag: u64);
+}
+
+/// A passive, event-driven protocol core.
+///
+/// The facade-side image of the engine's `Node` trait: same four
+/// handlers, but generic over [`Transport`] instead of tied to the
+/// engine's `Context`. Implementations hold all protocol state and
+/// react to events; they never block and never perform I/O directly.
+///
+/// Run one under the sim with [`sim::SimHost`], or on real sockets with
+/// [`tcp::TcpNetBuilder`] (the message type must then also implement
+/// [`wire::Wire`]).
+pub trait Protocol {
+    /// Message type exchanged between protocol instances.
+    type Msg: Clone;
+
+    /// Called once when the node comes up, before any message.
+    fn on_start<T: Transport<Msg = Self::Msg>>(&mut self, net: &mut T) {
+        let _ = net;
+    }
+
+    /// Called when a message from `from` is delivered to this node.
+    fn on_message<T: Transport<Msg = Self::Msg>>(
+        &mut self,
+        from: NodeId,
+        msg: Self::Msg,
+        net: &mut T,
+    );
+
+    /// Called when a timer set via [`Transport::set_timer`] fires.
+    fn on_timer<T: Transport<Msg = Self::Msg>>(&mut self, tag: u64, net: &mut T) {
+        let _ = (tag, net);
+    }
+
+    /// Called when the node shuts down.
+    fn on_stop<T: Transport<Msg = Self::Msg>>(&mut self, net: &mut T) {
+        let _ = net;
+    }
+}

@@ -1,0 +1,100 @@
+//! Sim backend: the engine *is* the transport.
+//!
+//! Two pieces, both zero-cost passthroughs:
+//!
+//! - `Context<'_, M>` implements [`Transport`] by delegating every
+//!   method to its inherent counterpart. A protocol ported from `Node`
+//!   to [`Protocol`] therefore issues the *same* deferred actions in
+//!   the *same* order as before the port, and the engine's golden
+//!   traces stay byte-identical (verified by
+//!   `tests/facade_equivalence.rs`).
+//! - [`SimHost`] adapts a pure [`Protocol`] into an engine `Node`, for
+//!   protocols written facade-first that have no engine impl of their
+//!   own.
+//!
+//! Determinism is inherited wholesale from the engine: virtual time,
+//! per-node RNG streams derived from `(seed, 2·id)`, fault-plan
+//! composition, and the sharded executor's `(time, seq)` merge order
+//! all apply unchanged, because the facade adds no state and reorders
+//! nothing.
+
+use decent_sim::engine::{Context, Node};
+use decent_sim::prelude::{NodeId, SimDuration, SimRng, SimTime};
+
+use crate::{Protocol, Transport};
+
+impl<M: Clone> Transport for Context<'_, M> {
+    type Msg = M;
+
+    fn now(&self) -> SimTime {
+        Context::now(self)
+    }
+
+    fn local(&self) -> NodeId {
+        Context::id(self)
+    }
+
+    fn rng(&mut self) -> &mut SimRng {
+        Context::rng(self)
+    }
+
+    fn send_sized(&mut self, dst: NodeId, msg: M, bytes: u64) {
+        Context::send_sized(self, dst, msg, bytes);
+    }
+
+    fn set_timer(&mut self, delay: SimDuration, tag: u64) {
+        Context::set_timer(self, delay, tag);
+    }
+}
+
+/// Adapter running a pure [`Protocol`] as a simulation [`Node`].
+///
+/// A newtype rather than a blanket impl so that types like `KadNode`
+/// can implement *both* traits (an inherent `Node` impl for existing
+/// call sites, [`Protocol`] for the facade) without coherence
+/// conflicts.
+///
+/// # Examples
+///
+/// ```
+/// use decent_net::sim::SimHost;
+/// use decent_net::{Protocol, Transport};
+/// use decent_sim::prelude::*;
+///
+/// struct Beacon;
+///
+/// impl Protocol for Beacon {
+///     type Msg = ();
+///     fn on_start<T: Transport<Msg = ()>>(&mut self, net: &mut T) {
+///         net.set_timer(SimDuration::from_secs(1.0), 7);
+///     }
+///     fn on_message<T: Transport<Msg = ()>>(&mut self, _: NodeId, _: (), _: &mut T) {}
+/// }
+///
+/// let mut sim = Simulation::new(3, UniformLatency::from_millis(1.0, 2.0));
+/// let id = sim.add_node(SimHost(Beacon));
+/// sim.run_until(SimTime::from_secs(2.0));
+/// assert_eq!(id, 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimHost<P>(pub P);
+
+impl<P: Protocol> Node for SimHost<P> {
+    type Msg = P::Msg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        self.0.on_start(ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
+        self.0.on_message(from, msg, ctx);
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_, Self::Msg>) {
+        self.0.on_timer(tag, ctx);
+    }
+
+    fn on_stop(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        self.0.on_stop(ctx);
+    }
+}

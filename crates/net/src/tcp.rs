@@ -1,0 +1,632 @@
+//! TCP backend: the same protocol core on real sockets.
+//!
+//! A [`TcpRuntime`] hosts one or more [`Protocol`] instances behind
+//! real `TcpListener`s and drives them from a single caller thread —
+//! the event loop is [`TcpRuntime::poll`], mirroring the engine's
+//! `run_until`. Helper threads do only I/O and timekeeping:
+//!
+//! - one **acceptor** per hosted listener;
+//! - one **reader** per live connection (accepted or dialed), decoding
+//!   `[len][from][payload]` frames ([`crate::wire`]) and forwarding
+//!   `(to, from, msg)` events to the loop's channel;
+//! - one **timer** thread turning [`Transport::set_timer`] calls into
+//!   channel events when their wall-clock deadline passes.
+//!
+//! Protocol state is therefore never shared across threads: handlers
+//! run on the caller thread exactly as they do in the sim, with
+//! deferred sends and timers applied after each activation.
+//!
+//! Addressing keeps the sim's dense `NodeId` space: a *directory* maps
+//! ids to socket addresses. Outbound sends reuse a cached connection
+//! per `(local, peer)` pair or dial the directory entry; **replies
+//! prefer the connection a request arrived on**, so a client whose
+//! listener is unknown to the server (e.g. `repro --probe` dialing a
+//! serve mesh) still gets answers — its inbound connection is
+//! registered under the sender id of the first frame it carries.
+//!
+//! Time is wall clock, reported as `SimTime` elapsed since
+//! [`TcpRuntime`] construction so protocol code stays `std::time`-free.
+//! Per-node RNG streams use the same `(seed, 2·id)` derivation as the
+//! engine. Determinism, of course, ends at the socket boundary: real
+//! networks reorder and delay, which is exactly what this backend is
+//! for — demos and load tests, while claims and CI stay on the sim
+//! backend (DESIGN.md §4h).
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::fmt;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use decent_sim::prelude::{derive_seed, rng_from_seed, NodeId, SimDuration, SimRng, SimTime};
+
+use crate::wire::{read_frame, write_frame, Wire};
+use crate::{Protocol, Transport};
+
+fn to_std(d: SimDuration) -> Duration {
+    Duration::from_nanos(d.as_nanos())
+}
+
+/// Event delivered to the caller-thread loop by the I/O and timer
+/// threads.
+enum Event<M> {
+    Msg { to: NodeId, from: NodeId, msg: M },
+    Timer { node: NodeId, tag: u64 },
+}
+
+/// Deferred handler effect, applied after the activation returns (same
+/// discipline as the engine's `Action`).
+enum OutAction<M> {
+    Send { dst: NodeId, msg: M },
+    Timer { delay: SimDuration, tag: u64 },
+}
+
+struct TimerState {
+    /// Min-heap of `(deadline, seq, node, tag)`; `seq` breaks deadline
+    /// ties in schedule order.
+    heap: BinaryHeap<Reverse<(Instant, u64, NodeId, u64)>>,
+    seq: u64,
+    shutdown: bool,
+}
+
+type SharedTimers = Arc<(Mutex<TimerState>, Condvar)>;
+type Conns = Arc<Mutex<BTreeMap<(NodeId, NodeId), TcpStream>>>;
+
+/// Handler-side [`Transport`] for the TCP backend.
+///
+/// Like the engine's `Context`, it defers all effects: sends and timers
+/// are queued during the activation and applied by the runtime after
+/// the handler returns.
+pub struct TcpCtx<'a, M> {
+    now: SimTime,
+    id: NodeId,
+    rng: &'a mut SimRng,
+    out: &'a mut Vec<OutAction<M>>,
+}
+
+impl<M> fmt::Debug for TcpCtx<'_, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TcpCtx")
+            .field("now", &self.now)
+            .field("id", &self.id)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M: Clone> Transport for TcpCtx<'_, M> {
+    type Msg = M;
+
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn local(&self) -> NodeId {
+        self.id
+    }
+
+    fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    fn send_sized(&mut self, dst: NodeId, msg: M, _bytes: u64) {
+        // The advisory size hint is a network-model input; on the wire
+        // the frame length is the actual encoded size.
+        self.out.push(OutAction::Send { dst, msg });
+    }
+
+    fn set_timer(&mut self, delay: SimDuration, tag: u64) {
+        self.out.push(OutAction::Timer { delay, tag });
+    }
+}
+
+struct Hosted<P> {
+    proto: P,
+    rng: SimRng,
+    addr: SocketAddr,
+}
+
+/// Builder for a [`TcpRuntime`]: declare remote peers and locally
+/// hosted protocol instances, then [`TcpNetBuilder::build`].
+///
+/// Hosting with port 0 binds an ephemeral port; the actual address is
+/// available afterwards via [`TcpRuntime::local_addr`] (used by the
+/// in-process loopback tests). Cross-process meshes use fixed ports so
+/// both sides can compute the directory without a handshake.
+pub struct TcpNetBuilder<P: Protocol> {
+    seed: u64,
+    peers: BTreeMap<NodeId, SocketAddr>,
+    hosts: Vec<(NodeId, SocketAddr, P)>,
+}
+
+impl<P: Protocol> fmt::Debug for TcpNetBuilder<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TcpNetBuilder")
+            .field("seed", &self.seed)
+            .field("peers", &self.peers.len())
+            .field("hosts", &self.hosts.len())
+            .finish()
+    }
+}
+
+impl<P> TcpNetBuilder<P>
+where
+    P: Protocol,
+    P::Msg: Wire + Send + 'static,
+{
+    /// Starts a builder; `seed` roots the per-node RNG stream
+    /// derivation (`derive_seed(seed, 2 * id)`, matching the engine).
+    pub fn new(seed: u64) -> Self {
+        TcpNetBuilder {
+            seed,
+            peers: BTreeMap::new(),
+            hosts: Vec::new(),
+        }
+    }
+
+    /// Declares a remote peer: `id` becomes dialable at `addr`.
+    #[must_use]
+    pub fn peer(mut self, id: NodeId, addr: SocketAddr) -> Self {
+        self.peers.insert(id, addr);
+        self
+    }
+
+    /// Hosts a protocol instance locally: binds a listener at `addr`
+    /// (port 0 for ephemeral) and routes its inbound frames to `proto`.
+    #[must_use]
+    pub fn host(mut self, id: NodeId, addr: SocketAddr, proto: P) -> Self {
+        self.hosts.push((id, addr, proto));
+        self
+    }
+
+    /// Binds all listeners, spawns the I/O and timer threads, and
+    /// dispatches `on_start` to every hosted node in id order.
+    pub fn build(mut self) -> io::Result<TcpRuntime<P>> {
+        let (tx, rx) = channel();
+        let conns: Conns = Arc::new(Mutex::new(BTreeMap::new()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let reader_streams = Arc::new(Mutex::new(Vec::new()));
+        let timers: SharedTimers = Arc::new((
+            Mutex::new(TimerState {
+                heap: BinaryHeap::new(),
+                seq: 0,
+                shutdown: false,
+            }),
+            Condvar::new(),
+        ));
+
+        let mut directory: Vec<Option<SocketAddr>> = Vec::new();
+        let set_dir = |dir: &mut Vec<Option<SocketAddr>>, id: NodeId, addr: SocketAddr| {
+            if dir.len() <= id {
+                dir.resize(id + 1, None);
+            }
+            dir[id] = Some(addr);
+        };
+        for (&id, &addr) in &self.peers {
+            set_dir(&mut directory, id, addr);
+        }
+
+        self.hosts.sort_by_key(|(id, _, _)| *id);
+        let mut hosted = BTreeMap::new();
+        let mut bound = Vec::new();
+        for (id, addr, proto) in self.hosts {
+            let listener = TcpListener::bind(addr)?;
+            let actual = listener.local_addr()?;
+            set_dir(&mut directory, id, actual);
+            bound.push((id, listener));
+            hosted.insert(
+                id,
+                Hosted {
+                    proto,
+                    rng: rng_from_seed(derive_seed(self.seed, 2 * id as u64)),
+                    addr: actual,
+                },
+            );
+        }
+
+        let mut threads = Vec::new();
+        for (id, listener) in bound {
+            let tx = tx.clone();
+            let conns = conns.clone();
+            let shutdown = shutdown.clone();
+            let reader_streams = reader_streams.clone();
+            threads.push(thread::spawn(move || {
+                accept_loop::<P::Msg>(id, listener, tx, conns, shutdown, reader_streams)
+            }));
+        }
+        {
+            let timers = timers.clone();
+            let tx = tx.clone();
+            threads.push(thread::spawn(move || timer_loop::<P::Msg>(timers, tx)));
+        }
+
+        let mut rt = TcpRuntime {
+            start: Instant::now(),
+            directory,
+            hosted,
+            tx,
+            rx,
+            conns,
+            timers,
+            shutdown,
+            reader_streams,
+            threads,
+            scratch: Vec::new(),
+            dropped: 0,
+        };
+        let ids: Vec<NodeId> = rt.hosted.keys().copied().collect();
+        for id in ids {
+            rt.dispatch(id, |p, ctx| p.on_start(ctx));
+        }
+        Ok(rt)
+    }
+}
+
+/// A running TCP-backed node host: protocol instances, their
+/// listeners, and the single-threaded event loop that drives them.
+///
+/// Dropping the runtime dispatches `on_stop` to every hosted node,
+/// shuts the helper threads down, and closes all sockets.
+pub struct TcpRuntime<P: Protocol> {
+    start: Instant,
+    directory: Vec<Option<SocketAddr>>,
+    hosted: BTreeMap<NodeId, Hosted<P>>,
+    tx: Sender<Event<P::Msg>>,
+    rx: Receiver<Event<P::Msg>>,
+    conns: Conns,
+    timers: SharedTimers,
+    shutdown: Arc<AtomicBool>,
+    reader_streams: Arc<Mutex<Vec<TcpStream>>>,
+    threads: Vec<JoinHandle<()>>,
+    scratch: Vec<OutAction<P::Msg>>,
+    dropped: u64,
+}
+
+impl<P: Protocol> fmt::Debug for TcpRuntime<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TcpRuntime")
+            .field("hosted", &self.hosted.len())
+            .field("directory", &self.directory.len())
+            .field("dropped", &self.dropped)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P> TcpRuntime<P>
+where
+    P: Protocol,
+    P::Msg: Wire + Send + 'static,
+{
+    /// Wall-clock time elapsed since the runtime was built, as
+    /// `SimTime` (the TCP image of the engine's virtual clock).
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX))
+    }
+
+    /// The actual bound address of a hosted node's listener.
+    pub fn local_addr(&self, id: NodeId) -> Option<SocketAddr> {
+        self.hosted.get(&id).map(|h| h.addr)
+    }
+
+    /// Ids of the locally hosted nodes, ascending.
+    pub fn hosted_ids(&self) -> Vec<NodeId> {
+        self.hosted.keys().copied().collect()
+    }
+
+    /// Outbound messages dropped (unknown peer, failed dial or write).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Immutable access to a hosted node's protocol state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not hosted here.
+    pub fn node(&self, id: NodeId) -> &P {
+        &self.hosted.get(&id).expect("node hosted here").proto
+    }
+
+    /// Mutable access to a hosted node's protocol state (setup only —
+    /// mutations here bypass the event loop, like the engine's
+    /// `node_mut`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not hosted here.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut P {
+        &mut self.hosted.get_mut(&id).expect("node hosted here").proto
+    }
+
+    /// Runs `f` against a hosted node with a full transport context,
+    /// applying deferred sends/timers afterwards — the TCP mirror of
+    /// `Simulation::invoke`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not hosted here.
+    pub fn invoke<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut P, &mut TcpCtx<'_, P::Msg>) -> R,
+    ) -> R {
+        self.dispatch(id, f).expect("invoke on a node hosted here")
+    }
+
+    /// Processes inbound events (messages, timer firings) for up to
+    /// `budget` of wall-clock time; returns the number processed. The
+    /// TCP mirror of `run_until`: call it in a loop to serve.
+    pub fn poll(&mut self, budget: SimDuration) -> usize {
+        let deadline = Instant::now() + to_std(budget);
+        let mut processed = 0;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return processed;
+            }
+            match self.rx.recv_timeout(remaining) {
+                Ok(ev) => {
+                    self.deliver(ev);
+                    processed += 1;
+                }
+                Err(_) => return processed,
+            }
+        }
+    }
+
+    fn deliver(&mut self, ev: Event<P::Msg>) {
+        match ev {
+            Event::Msg { to, from, msg } => {
+                self.dispatch(to, |p, ctx| p.on_message(from, msg, ctx));
+            }
+            Event::Timer { node, tag } => {
+                self.dispatch(node, |p, ctx| p.on_timer(tag, ctx));
+            }
+        }
+    }
+
+    fn dispatch<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut P, &mut TcpCtx<'_, P::Msg>) -> R,
+    ) -> Option<R> {
+        let now = self.now();
+        let mut out = std::mem::take(&mut self.scratch);
+        let r = {
+            let host = self.hosted.get_mut(&id)?;
+            let mut ctx = TcpCtx {
+                now,
+                id,
+                rng: &mut host.rng,
+                out: &mut out,
+            };
+            f(&mut host.proto, &mut ctx)
+        };
+        for act in out.drain(..) {
+            match act {
+                OutAction::Send { dst, msg } => self.send_msg(id, dst, &msg),
+                OutAction::Timer { delay, tag } => self.schedule_timer(id, delay, tag),
+            }
+        }
+        self.scratch = out;
+        Some(r)
+    }
+
+    fn send_msg(&mut self, src: NodeId, dst: NodeId, msg: &P::Msg) {
+        let mut payload = Vec::new();
+        msg.encode(&mut payload);
+        let mut map = self.conns.lock().expect("conns lock");
+        if let Some(stream) = map.get_mut(&(src, dst)) {
+            if write_frame(stream, src, &payload).is_ok() {
+                return;
+            }
+            map.remove(&(src, dst));
+        }
+        let Some(&Some(addr)) = self.directory.get(dst) else {
+            self.dropped += 1;
+            return;
+        };
+        match TcpStream::connect(addr) {
+            Ok(mut stream) => {
+                if write_frame(&mut stream, src, &payload).is_err() {
+                    self.dropped += 1;
+                    return;
+                }
+                // Read replies coming back over this dialed connection;
+                // register the stream for shutdown on drop.
+                if let Ok(clone) = stream.try_clone() {
+                    if let Ok(shutdown_handle) = stream.try_clone() {
+                        self.reader_streams
+                            .lock()
+                            .expect("reader streams lock")
+                            .push(shutdown_handle);
+                    }
+                    let tx = self.tx.clone();
+                    thread::spawn(move || read_loop::<P::Msg>(src, clone, tx, None));
+                }
+                map.insert((src, dst), stream);
+            }
+            Err(_) => {
+                self.dropped += 1;
+            }
+        }
+    }
+
+    fn schedule_timer(&self, node: NodeId, delay: SimDuration, tag: u64) {
+        let deadline = Instant::now() + to_std(delay);
+        let (lock, cvar) = &*self.timers;
+        let mut st = lock.lock().expect("timer lock");
+        let seq = st.seq;
+        st.seq += 1;
+        st.heap.push(Reverse((deadline, seq, node, tag)));
+        cvar.notify_one();
+    }
+}
+
+impl<P: Protocol> Drop for TcpRuntime<P> {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        {
+            let (lock, cvar) = &*self.timers;
+            lock.lock().expect("timer lock").shutdown = true;
+            cvar.notify_all();
+        }
+        // Wake each acceptor out of accept() with a throwaway dial.
+        for host in self.hosted.values() {
+            let _ = TcpStream::connect(host.addr);
+        }
+        // Unblock reader threads stuck mid-read.
+        for s in self
+            .reader_streams
+            .lock()
+            .expect("reader streams lock")
+            .drain(..)
+        {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Blocks until `addr` accepts a TCP connection, retrying up to
+/// `attempts` times `delay` apart. Returns whether it became
+/// reachable — the standard way for a probe to wait out a serve mesh's
+/// startup without racing its RPC timeouts.
+pub fn wait_reachable(addr: SocketAddr, attempts: u32, delay: SimDuration) -> bool {
+    for i in 0..attempts {
+        if TcpStream::connect(addr).is_ok() {
+            return true;
+        }
+        if i + 1 < attempts {
+            thread::sleep(to_std(delay));
+        }
+    }
+    false
+}
+
+fn accept_loop<M: Wire + Send + 'static>(
+    local: NodeId,
+    listener: TcpListener,
+    tx: Sender<Event<M>>,
+    conns: Conns,
+    shutdown: Arc<AtomicBool>,
+    reader_streams: Arc<Mutex<Vec<TcpStream>>>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Ok(handle) = stream.try_clone() {
+                    reader_streams
+                        .lock()
+                        .expect("reader streams lock")
+                        .push(handle);
+                }
+                let tx = tx.clone();
+                let conns = conns.clone();
+                thread::spawn(move || read_loop::<M>(local, stream, tx, Some(conns)));
+            }
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Decodes frames off one connection and forwards them to the event
+/// loop. For accepted connections (`register` set), the stream is also
+/// cached under `(local, sender)` so replies travel back over the
+/// inbound connection instead of requiring the sender's listener to be
+/// in the directory.
+fn read_loop<M: Wire + Send + 'static>(
+    local: NodeId,
+    mut stream: TcpStream,
+    tx: Sender<Event<M>>,
+    register: Option<Conns>,
+) {
+    let mut registered = false;
+    loop {
+        match read_frame(&mut stream) {
+            Ok(Some((from, payload))) => {
+                // Register the inbound connection on its first frame so
+                // replies flow back over it. Overwrite (not or_insert):
+                // a peer that reconnects — e.g. a fresh probe process
+                // reusing the same node id — must supersede the stale
+                // stream left behind by its predecessor.
+                if !registered {
+                    registered = true;
+                    if let Some(conns) = &register {
+                        if let Ok(clone) = stream.try_clone() {
+                            conns
+                                .lock()
+                                .expect("conns lock")
+                                .insert((local, from), clone);
+                        }
+                    }
+                }
+                let mut r = &payload[..];
+                if let Ok(msg) = M::decode(&mut r) {
+                    if tx
+                        .send(Event::Msg {
+                            to: local,
+                            from,
+                            msg,
+                        })
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+                // Malformed payloads are dropped; the stream stays up.
+            }
+            Ok(None) | Err(_) => return,
+        }
+    }
+}
+
+fn timer_loop<M: Send + 'static>(timers: SharedTimers, tx: Sender<Event<M>>) {
+    let (lock, cvar) = &*timers;
+    let mut st = lock.lock().expect("timer lock");
+    loop {
+        if st.shutdown {
+            return;
+        }
+        let now = Instant::now();
+        let mut due = Vec::new();
+        while let Some(&Reverse((deadline, _, node, tag))) = st.heap.peek() {
+            if deadline <= now {
+                st.heap.pop();
+                due.push((node, tag));
+            } else {
+                break;
+            }
+        }
+        if !due.is_empty() {
+            drop(st);
+            for (node, tag) in due {
+                if tx.send(Event::Timer { node, tag }).is_err() {
+                    return;
+                }
+            }
+            st = lock.lock().expect("timer lock");
+            continue;
+        }
+        st = match st.heap.peek() {
+            Some(&Reverse((deadline, _, _, _))) => {
+                let wait = deadline.saturating_duration_since(Instant::now());
+                cvar.wait_timeout(st, wait).expect("timer lock").0
+            }
+            None => cvar.wait(st).expect("timer lock"),
+        };
+    }
+}

@@ -13,9 +13,18 @@
 //!   tables and cause timeouts;
 //! - **bucket staleness**: routing tables may be pre-filled with entries
 //!   pointing at departed nodes.
+//!
+//! The protocol core is **transport-generic** (DESIGN.md §4h): every
+//! handler and the lookup state machine run against `decent_net`'s
+//! [`Transport`] capability trait rather than the engine's `Context`
+//! directly. Under the sim backend (`Context` *is* a `Transport`) this
+//! compiles to exactly the pre-port code — golden traces are
+//! byte-identical — while [`crate::kadnet`] runs the same core over
+//! real TCP sockets.
 
 use std::collections::BTreeSet;
 
+use decent_net::{Protocol, Transport};
 use decent_sim::prelude::*;
 
 use crate::id::{Distance, Key, KEY_BITS};
@@ -326,11 +335,14 @@ impl KadNode {
 
     /// Starts an iterative FIND_NODE (or FIND_VALUE) lookup and returns
     /// its id; the result appears in [`KadNode::results`] on completion.
-    pub fn start_lookup(
+    ///
+    /// Generic over [`Transport`]: in the sim, pass the handler's
+    /// `Context`; on the TCP backend, the runtime's `TcpCtx`.
+    pub fn start_lookup<T: Transport<Msg = KadMsg>>(
         &mut self,
         target: Key,
         is_value: bool,
-        ctx: &mut Context<'_, KadMsg>,
+        ctx: &mut T,
     ) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
@@ -449,7 +461,7 @@ impl KadNode {
         }
     }
 
-    fn drive_lookup(&mut self, idx: SlotIdx, ctx: &mut Context<'_, KadMsg>) {
+    fn drive_lookup<T: Transport<Msg = KadMsg>>(&mut self, idx: SlotIdx, ctx: &mut T) {
         let (k, alpha, timeout, from_key) =
             (self.cfg.k, self.cfg.alpha, self.cfg.rpc_timeout, self.key);
         let mut to_send: Vec<NodeId> = Vec::new();
@@ -503,20 +515,17 @@ impl KadNode {
             ctx.set_timer(timeout, rpc);
         }
         if finished {
-            self.finish_lookup(idx, false, ctx.now());
+            let now = ctx.now();
+            self.finish_lookup_with_ctx(idx, false, now, None::<&mut T>);
         }
     }
 
-    fn finish_lookup(&mut self, idx: SlotIdx, found_value: bool, now: SimTime) {
-        self.finish_lookup_with_ctx(idx, found_value, now, None);
-    }
-
-    fn finish_lookup_with_ctx(
+    fn finish_lookup_with_ctx<T: Transport<Msg = KadMsg>>(
         &mut self,
         idx: SlotIdx,
         found_value: bool,
         now: SimTime,
-        ctx: Option<&mut Context<'_, KadMsg>>,
+        ctx: Option<&mut T>,
     ) {
         let Some(lookup) = self.lookups.remove(idx) else {
             return;
@@ -582,14 +591,14 @@ impl KadNode {
             .sort_unstable_by_key(|a| (a.dist, a.contact.node));
     }
 
-    fn on_reply(
+    fn on_reply<T: Transport<Msg = KadMsg>>(
         &mut self,
         rpc: u64,
         from: NodeId,
         from_key: Key,
         contacts: &[Contact],
         found: bool,
-        ctx: &mut Context<'_, KadMsg>,
+        ctx: &mut T,
     ) {
         self.touch(
             Contact {
@@ -625,16 +634,19 @@ impl KadNode {
     }
 }
 
-impl Node for KadNode {
+/// The transport-generic protocol core: identical handler logic for
+/// both backends. The engine [`Node`] impl below delegates here, so
+/// sim-side behavior (and therefore the golden traces) is unchanged.
+impl Protocol for KadNode {
     type Msg = KadMsg;
 
-    fn on_start(&mut self, ctx: &mut Context<'_, KadMsg>) {
+    fn on_start<T: Transport<Msg = KadMsg>>(&mut self, ctx: &mut T) {
         if let Some(every) = self.cfg.refresh_interval {
             ctx.set_timer(every, REFRESH_TAG);
         }
     }
 
-    fn on_message(&mut self, from: NodeId, msg: KadMsg, ctx: &mut Context<'_, KadMsg>) {
+    fn on_message<T: Transport<Msg = KadMsg>>(&mut self, from: NodeId, msg: KadMsg, ctx: &mut T) {
         match msg {
             KadMsg::FindNode {
                 rpc,
@@ -725,7 +737,7 @@ impl Node for KadNode {
         }
     }
 
-    fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_, KadMsg>) {
+    fn on_timer<T: Transport<Msg = KadMsg>>(&mut self, tag: u64, ctx: &mut T) {
         if tag == REFRESH_TAG {
             if let Some(every) = self.cfg.refresh_interval {
                 // Refresh a random bucket by looking up a key inside it.
@@ -754,10 +766,32 @@ impl Node for KadNode {
         self.drive_lookup(idx, ctx);
     }
 
-    fn on_stop(&mut self, _ctx: &mut Context<'_, KadMsg>) {
+    fn on_stop<T: Transport<Msg = KadMsg>>(&mut self, _ctx: &mut T) {
         // Abandon in-flight lookups; keep the (now possibly stale) table.
         self.lookups.clear();
         self.rpc_to_lookup.clear();
+    }
+}
+
+/// Engine adapter: every handler forwards to the transport-generic
+/// [`Protocol`] impl with the engine `Context` as the transport.
+impl Node for KadNode {
+    type Msg = KadMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, KadMsg>) {
+        Protocol::on_start(self, ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: KadMsg, ctx: &mut Context<'_, KadMsg>) {
+        Protocol::on_message(self, from, msg, ctx);
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_, KadMsg>) {
+        Protocol::on_timer(self, tag, ctx);
+    }
+
+    fn on_stop(&mut self, ctx: &mut Context<'_, KadMsg>) {
+        Protocol::on_stop(self, ctx);
     }
 }
 

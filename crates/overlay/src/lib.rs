@@ -14,6 +14,7 @@ pub mod flood;
 pub mod gossip;
 pub mod id;
 pub mod kademlia;
+pub mod kadnet;
 pub mod onehop;
 pub mod pastry;
 pub mod superpeer;

@@ -5,6 +5,19 @@
 //! experiments: random regular (Bitcoin-like fixed peer count),
 //! Erdős–Rényi, Watts–Strogatz small worlds, and Barabási–Albert
 //! preferential attachment (superpeer-like skew).
+//!
+//! Generators draw only from a caller-supplied [`SimRng`], so a seed
+//! fully determines the graph:
+//!
+//! ```
+//! use decent_sim::rng::rng_from_seed;
+//! use decent_sim::topology::Graph;
+//!
+//! let g = Graph::watts_strogatz(64, 6, 0.1, &mut rng_from_seed(7));
+//! assert_eq!(g.len(), 64);
+//! assert!(g.is_connected());
+//! assert_eq!(g, Graph::watts_strogatz(64, 6, 0.1, &mut rng_from_seed(7)));
+//! ```
 
 use std::collections::VecDeque;
 

@@ -6,6 +6,26 @@
 //! actually happened" questions — which node received what and when —
 //! without instrumenting protocol code.
 //!
+//! ```
+//! use decent_sim::prelude::*;
+//! use decent_sim::trace::EventTag;
+//!
+//! struct Silent;
+//! impl Node for Silent {
+//!     type Msg = ();
+//!     fn on_message(&mut self, _: NodeId, _: (), _: &mut Context<'_, ()>) {}
+//! }
+//!
+//! let mut sim: Simulation<Silent> = Simulation::new(1, ConstantLatency::from_millis(10.0));
+//! let a = sim.add_node(Silent);
+//! let b = sim.add_node(Silent);
+//! sim.enable_trace(16);
+//! sim.run_until(SimTime::from_secs(1.0));
+//! sim.invoke(a, |_, ctx| ctx.send(b, ()));
+//! sim.run_until(SimTime::from_secs(2.0));
+//! assert_eq!(sim.trace().unwrap().count(EventTag::Deliver), 1);
+//! ```
+//!
 //! [`Simulation::enable_trace`]: crate::engine::Simulation::enable_trace
 
 use std::collections::VecDeque;

@@ -13,7 +13,10 @@
 //! - [`edge`] — edge-centric vs. centralized-cloud service placement
 //!   with permissioned trust (paper §V / Fig. 1);
 //! - [`core`] — the claim catalog and experiments E1–E19 that
-//!   regenerate every quantitative statement in the paper.
+//!   regenerate every quantitative statement in the paper;
+//! - [`net`] — the transport facade: the same protocol cores run
+//!   deterministically in the sim and, via a TCP backend, over real
+//!   sockets (ARCHITECTURE.md, DESIGN.md §4h).
 //!
 //! # Examples
 //!
@@ -34,6 +37,7 @@ pub use decent_bft as bft;
 pub use decent_chain as chain;
 pub use decent_core as core;
 pub use decent_edge as edge;
+pub use decent_net as net;
 pub use decent_overlay as overlay;
 pub use decent_sim as sim;
 

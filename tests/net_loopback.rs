@@ -1,0 +1,111 @@
+//! Loopback backend-equivalence test for the transport facade.
+//!
+//! The same Kademlia core (crates/overlay/src/kademlia.rs) runs under
+//! the deterministic sim backend and the TCP backend against the same
+//! seeded topology (`kadnet`'s deterministic demo roster, every node
+//! seeded with the full roster). Because the initiator's shortlist
+//! then starts at the true global k-closest set and no discovery can
+//! displace it, the lookup's *values* — the closest-contact set and
+//! the found flag — are timing-independent: wall-clock TCP and
+//! virtual-time sim must agree exactly. Latencies and RPC interleaving
+//! legitimately differ and are not compared.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use decent_overlay::id::Key;
+use decent_overlay::kadnet;
+use decent_sim::prelude::SimDuration;
+
+#[test]
+fn tcp_and_sim_backends_agree_on_lookup_values() {
+    let (seed, n) = (4242u64, 12usize);
+    let cfg = kadnet::demo_config();
+    let target = Key::from_u64(0xFEED_F00D);
+
+    // Sim backend: virtual time, deterministic engine.
+    let sim = kadnet::sim_lookup(seed, n, &cfg, target);
+
+    // TCP backend: real listeners on ephemeral loopback ports, served
+    // from a background thread while this thread probes.
+    let bind: Vec<SocketAddr> = (0..n)
+        .map(|_| SocketAddr::from(([127, 0, 0, 1], 0)))
+        .collect();
+    let mut mesh = kadnet::serve_mesh(seed, n, &cfg, &bind).expect("mesh binds on loopback");
+    let addrs = mesh.addrs.clone();
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_server = stop.clone();
+    let server = thread::spawn(move || {
+        while !stop_server.load(Ordering::SeqCst) {
+            mesh.runtime.poll(SimDuration::from_millis(20.0));
+        }
+        mesh
+    });
+
+    let probe = kadnet::probe_lookup(
+        seed,
+        &cfg,
+        &addrs,
+        SocketAddr::from(([127, 0, 0, 1], 0)),
+        target,
+        SimDuration::from_secs(30.0),
+    )
+    .expect("probe runtime starts")
+    .expect("real-socket lookup completes before the deadline");
+
+    stop.store(true, Ordering::SeqCst);
+    let mesh = server.join().expect("server thread exits cleanly");
+    drop(mesh);
+
+    assert!(!probe.closest.is_empty(), "lookup discovered no contacts");
+    assert_eq!(probe.timeouts, 0, "loopback RPCs must not time out");
+    assert_eq!(
+        probe.closest, sim.closest,
+        "TCP and sim backends disagree on the k-closest set"
+    );
+    assert_eq!(probe.found_value, sim.found_value);
+}
+
+#[test]
+fn mesh_serves_consecutive_probes() {
+    // A served mesh is a long-lived process: two independent probe
+    // runtimes (fresh sockets each) must both converge.
+    let (seed, n) = (7u64, 8usize);
+    let cfg = kadnet::demo_config();
+    let bind: Vec<SocketAddr> = (0..n)
+        .map(|_| SocketAddr::from(([127, 0, 0, 1], 0)))
+        .collect();
+    let mut mesh = kadnet::serve_mesh(seed, n, &cfg, &bind).expect("mesh binds on loopback");
+    let addrs = mesh.addrs.clone();
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_server = stop.clone();
+    let server = thread::spawn(move || {
+        while !stop_server.load(Ordering::SeqCst) {
+            mesh.runtime.poll(SimDuration::from_millis(20.0));
+        }
+    });
+
+    let mut sets = Vec::new();
+    for round in 0..2u64 {
+        let r = kadnet::probe_lookup(
+            seed,
+            &cfg,
+            &addrs,
+            SocketAddr::from(([127, 0, 0, 1], 0)),
+            Key::from_u64(0xABCD ^ round),
+            SimDuration::from_secs(30.0),
+        )
+        .expect("probe runtime starts")
+        .expect("lookup completes");
+        sets.push(r.closest);
+    }
+    stop.store(true, Ordering::SeqCst);
+    server.join().expect("server thread exits cleanly");
+
+    // Different targets, but both sets come from the same 8-node
+    // roster and must be full-size (k = 8, mesh = 8 responsive nodes).
+    assert_eq!(sets[0].len(), n.min(kadnet::demo_config().k));
+    assert_eq!(sets[1].len(), n.min(kadnet::demo_config().k));
+}
