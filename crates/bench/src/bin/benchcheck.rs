@@ -74,21 +74,35 @@ fn schema_errors(doc: &Json) -> Vec<String> {
         errs.push("`runs` is not an array".to_string());
         return errs;
     };
+    run_array_errors("runs", runs, cores, &mut errs);
+    // A bench file may carry a second workload (e.g. BENCH_9's chain
+    // family) in an optional `chain_runs` array, held to the same rules.
+    if let Some(extra) = doc.get("chain_runs") {
+        match extra.as_arr() {
+            Some(chain_runs) => run_array_errors("chain_runs", chain_runs, cores, &mut errs),
+            None => errs.push("`chain_runs` is not an array".to_string()),
+        }
+    }
+    errs
+}
+
+/// The per-run rules, shared between `runs` and optional `chain_runs`.
+fn run_array_errors(label: &str, runs: &[Json], cores: f64, errs: &mut Vec<String>) {
     if runs.is_empty() {
-        errs.push("`runs` is empty".to_string());
+        errs.push(format!("`{label}` is empty"));
     }
     let mut prev_shards = 0.0;
     let mut serial_events: Option<f64> = None;
     for (i, run) in runs.iter().enumerate() {
         for key in RUN_KEYS {
             if run.get(key).is_none() {
-                errs.push(format!("runs[{i}]: missing key `{key}`"));
+                errs.push(format!("{label}[{i}]: missing key `{key}`"));
             }
         }
         let shards = num(run, "shards").unwrap_or(0.0);
         if shards <= prev_shards {
             errs.push(format!(
-                "runs[{i}]: shard list must be strictly increasing (shards={shards} after {prev_shards})"
+                "{label}[{i}]: shard list must be strictly increasing (shards={shards} after {prev_shards})"
             ));
         }
         prev_shards = shards;
@@ -98,7 +112,7 @@ fn schema_errors(doc: &Json) -> Vec<String> {
             match serial_events {
                 None => serial_events = Some(events),
                 Some(se) if events != se => errs.push(format!(
-                    "runs[{i}]: events={events} differs from serial run's {se} — sharded \
+                    "{label}[{i}]: events={events} differs from serial run's {se} — sharded \
                      execution is not equivalent"
                 )),
                 Some(_) => {}
@@ -114,17 +128,16 @@ fn schema_errors(doc: &Json) -> Vec<String> {
         let speedup = num(run, "speedup_vs_serial").unwrap_or(0.0);
         if shards > cores && !overhead_only {
             errs.push(format!(
-                "runs[{i}]: shards={shards} > logical_cores={cores} but not labelled \
+                "{label}[{i}]: shards={shards} > logical_cores={cores} but not labelled \
                  coordination_overhead_only"
             ));
         }
         if overhead_only && speedup > 1.0 {
             errs.push(format!(
-                "runs[{i}]: coordination_overhead_only run claims speedup_vs_serial={speedup} > 1"
+                "{label}[{i}]: coordination_overhead_only run claims speedup_vs_serial={speedup} > 1"
             ));
         }
     }
-    errs
 }
 
 fn cmd_schema(paths: &[String]) -> ExitCode {
@@ -377,6 +390,23 @@ mod tests {
     fn valid_file_passes_schema() {
         let d = doc(8, vec![run(1, 100, false, 1.0), run(2, 100, false, 1.6)]);
         assert!(schema_errors(&d).is_empty());
+    }
+
+    #[test]
+    fn chain_runs_held_to_same_rules() {
+        let mut d = doc(8, vec![run(1, 100, false, 1.0), run(2, 100, false, 1.6)]);
+        if let Json::Obj(pairs) = &mut d {
+            pairs.push((
+                "chain_runs".to_string(),
+                Json::arr(vec![run(1, 40, false, 1.0), run(2, 39, false, 1.1)]),
+            ));
+        }
+        let errs = schema_errors(&d);
+        assert!(
+            errs.iter()
+                .any(|e| e.starts_with("chain_runs[1]") && e.contains("not equivalent")),
+            "{errs:?}"
+        );
     }
 
     #[test]

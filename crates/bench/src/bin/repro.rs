@@ -26,9 +26,10 @@
 //! experiment seeds its own RNG streams, the sharded executor commits
 //! events in the exact serial `(time, seq)` order, and the canonical
 //! JSON excludes wall-clock, so serial, `--jobs N`, and `--shards N`
-//! runs are byte-identical. Scenarios whose node state cannot move
-//! across threads (the chain/BFT/edge families) ignore `--shards` and
-//! stay serial — same bytes, just no speedup.
+//! runs are byte-identical. Every registered experiment honours
+//! `--shards` (all node state is `Send`); scenarios with no
+//! discrete-event loop (closed-form or Monte Carlo) honour it
+//! vacuously. `--list` shows each scenario's execution policy.
 //!
 //! The claim-regression gate: `--baseline PATH` diffs this run's claim
 //! verdicts against a committed claims file and exits 1 on any verdict
@@ -430,14 +431,27 @@ fn main() -> ExitCode {
     if cli.list {
         // Everything here derives from the scenario registry: the ids,
         // the titles (shared with the report headers), the sweepable
-        // parameter maps, and which scenarios actually consume a seed.
-        for s in scenario::all(true) {
+        // parameter maps, which scenarios actually consume a seed, and
+        // which execution policies each honours (probed via `set_exec`
+        // on a throwaway instance, then reset to serial).
+        for mut s in scenario::all(true) {
             let seed_note = if s.seed().is_none() {
                 "  (closed-form: no RNG, --seed is a no-op)"
             } else {
                 ""
             };
-            println!("{:<4} {}{}", s.id(), s.description(), seed_note);
+            let exec_note = if s.set_exec(ExecPolicy::sharded(2)) {
+                "  [exec: serial | --shards N]"
+            } else {
+                "  [exec: serial only]"
+            };
+            println!(
+                "{:<4} {}{}{}",
+                s.id(),
+                s.description(),
+                seed_note,
+                exec_note
+            );
             for p in s.params() {
                 println!("       --sweep {}:{}=..  {}", s.id(), p.name, p.help);
             }

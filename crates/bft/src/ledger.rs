@@ -18,7 +18,6 @@
 //!    (asserted in tests).
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::rc::Rc;
 
 use decent_sim::prelude::*;
 
@@ -68,8 +67,9 @@ pub enum FabricMsg {
     },
     /// Lead orderer → follower orderers: replicate a cut block.
     Replicate {
-        /// The block.
-        block: Rc<FabricBlock>,
+        /// The block. Interned: one allocation per cut block, shared by
+        /// every replication and delivery copy.
+        block: Interned<FabricBlock>,
     },
     /// Follower orderer → leader: block persisted.
     Ack {
@@ -83,7 +83,7 @@ pub enum FabricMsg {
     /// Orderer → channel peers: committed block delivery.
     Deliver {
         /// The block.
-        block: Rc<FabricBlock>,
+        block: Interned<FabricBlock>,
     },
 }
 
@@ -178,7 +178,7 @@ pub enum FabricNode {
         /// Proposals queued for simulated chaincode execution (FIFO).
         exec_queue: VecDeque<(TxEnvelope, NodeId)>,
         /// Blocks queued for validation (FIFO).
-        validate_queue: VecDeque<Rc<FabricBlock>>,
+        validate_queue: VecDeque<Interned<FabricBlock>>,
         /// Committed transactions in order.
         committed: Vec<Commit>,
         /// Messages received (channel-isolation accounting).
@@ -203,7 +203,7 @@ pub enum FabricNode {
         /// Per-channel next sequence.
         next_seq: HashMap<u32, u64>,
         /// Blocks awaiting follower acks: (channel, seq) -> (block, acks).
-        inflight: HashMap<(u32, u64), (Rc<FabricBlock>, u32)>,
+        inflight: HashMap<(u32, u64), (Interned<FabricBlock>, u32)>,
         /// Messages received.
         messages_seen: u64,
     },
@@ -451,7 +451,7 @@ impl Node for FabricNode {
                     let txs: Vec<TxEnvelope> = batch.drain(..take).collect();
                     let seq = next_seq.entry(channel).or_insert(0);
                     *seq += 1;
-                    let block = Rc::new(FabricBlock {
+                    let block = Interned::new(FabricBlock {
                         channel,
                         seq: *seq,
                         txs,

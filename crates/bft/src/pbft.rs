@@ -18,15 +18,16 @@
 //! vote traffic.
 
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
 
 use decent_sim::prelude::*;
 
 /// One client operation: `(request id, submit time)`.
 pub type Request = (u64, SimTime);
 
-/// A proposed batch of requests.
-pub type Batch = Rc<Vec<Request>>;
+/// A proposed batch of requests. Interned so the primary's O(n) fan-out
+/// clones are refcount bumps, and `Send` so sharded runs can move
+/// replica state across worker threads.
+pub type Batch = Interned<[Request]>;
 
 /// PBFT wire messages.
 #[derive(Clone, Debug)]
@@ -250,7 +251,7 @@ impl PbftReplica {
             return;
         }
         let take = self.buffer.len().min(self.cfg.batch_max);
-        let batch: Batch = Rc::new(self.buffer.drain(..take).collect());
+        let batch: Batch = Interned::from_vec(self.buffer.drain(..take).collect());
         let seq = self.next_seq;
         self.next_seq += 1;
         let digest = Self::digest_of(&batch);

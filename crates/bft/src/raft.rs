@@ -11,7 +11,6 @@
 //! duplicates are suppressed at apply time by request id.
 
 use std::collections::HashSet;
-use std::rc::Rc;
 
 use rand::Rng;
 
@@ -53,8 +52,10 @@ pub enum RaftMsg {
         prev_index: u64,
         /// Term of that entry.
         prev_term: u64,
-        /// Entries to append (empty = heartbeat).
-        entries: Rc<Vec<Entry>>,
+        /// Entries to append (empty = heartbeat). Interned: the leader
+        /// replicates the same slice to every follower, so each extra
+        /// delivery clone is a refcount bump.
+        entries: Interned<[Entry]>,
         /// Leader's commit index.
         leader_commit: u64,
     },
@@ -293,7 +294,7 @@ impl RaftNode {
                     leader: self.index,
                     prev_index,
                     prev_term,
-                    entries: Rc::new(entries),
+                    entries: Interned::from_vec(entries),
                     leader_commit: self.commit_index,
                 },
                 bytes,

@@ -4,8 +4,8 @@
 //! the parent links between them, and the current best tip under the
 //! most-work rule (ties broken by first arrival, as in Bitcoin).
 
+use decent_sim::payload::Interned;
 use std::collections::{BTreeMap, HashMap};
-use std::rc::Rc;
 
 use decent_sim::engine::NodeId;
 use decent_sim::time::SimTime;
@@ -41,8 +41,8 @@ pub struct Block {
 
 impl Block {
     /// The conventional genesis block.
-    pub fn genesis(difficulty: f64) -> Rc<Block> {
-        Rc::new(Block {
+    pub fn genesis(difficulty: f64) -> Interned<Block> {
+        Interned::new(Block {
             id: BlockId(0),
             parent: None,
             height: 0,
@@ -67,7 +67,7 @@ pub struct ChainView {
     /// Accepted blocks by id. A `BTreeMap` so that id-keyed walks
     /// (e.g. [`ChainView::stale_blocks`]) observe a deterministic order
     /// — hasher state must never leak into anything a caller iterates.
-    blocks: BTreeMap<BlockId, Rc<Block>>,
+    blocks: BTreeMap<BlockId, Interned<Block>>,
     /// Arrival time of each block at this node.
     arrivals: HashMap<BlockId, SimTime>,
     /// Cumulative work (sum of difficulties) from genesis to each block.
@@ -77,7 +77,7 @@ pub struct ChainView {
 
 impl ChainView {
     /// Creates a view containing only `genesis`.
-    pub fn new(genesis: Rc<Block>) -> Self {
+    pub fn new(genesis: Interned<Block>) -> Self {
         let id = genesis.id;
         let mut blocks = BTreeMap::new();
         let mut work = HashMap::new();
@@ -99,7 +99,7 @@ impl ChainView {
     }
 
     /// The block with the given id, if accepted.
-    pub fn get(&self, id: BlockId) -> Option<&Rc<Block>> {
+    pub fn get(&self, id: BlockId) -> Option<&Interned<Block>> {
         self.blocks.get(&id)
     }
 
@@ -113,7 +113,7 @@ impl ChainView {
     /// # Panics
     ///
     /// Panics on an empty view (construct with [`ChainView::new`]).
-    pub fn tip(&self) -> &Rc<Block> {
+    pub fn tip(&self) -> &Interned<Block> {
         let id = self.tip.expect("view always holds genesis");
         &self.blocks[&id]
     }
@@ -140,7 +140,7 @@ impl ChainView {
     ///
     /// Panics if the parent is unknown (buffer orphans at the caller) or
     /// the block is a duplicate.
-    pub fn accept(&mut self, block: Rc<Block>, now: SimTime) -> bool {
+    pub fn accept(&mut self, block: Interned<Block>, now: SimTime) -> bool {
         let parent = block
             .parent
             .expect("only genesis lacks a parent; accept() is for mined blocks");
@@ -178,7 +178,7 @@ impl ChainView {
     }
 
     /// Iterates the best chain from the tip back to genesis.
-    pub fn best_chain(&self) -> Vec<&Rc<Block>> {
+    pub fn best_chain(&self) -> Vec<&Interned<Block>> {
         let mut out = Vec::new();
         let mut cur = Some(self.tip().id);
         while let Some(id) = cur {
@@ -211,7 +211,7 @@ impl ChainView {
 
     /// The block `depth` levels below the tip on the best chain, if the
     /// chain is that long.
-    pub fn confirmed(&self, depth: u64) -> Option<&Rc<Block>> {
+    pub fn confirmed(&self, depth: u64) -> Option<&Interned<Block>> {
         let chain = self.best_chain();
         chain.get(depth as usize).copied()
     }
@@ -221,12 +221,12 @@ impl ChainView {
 mod tests {
     use super::*;
 
-    fn mk(id: u64, parent: BlockId, height: u64) -> Rc<Block> {
+    fn mk(id: u64, parent: BlockId, height: u64) -> Interned<Block> {
         mk_d(id, parent, height, 1.0)
     }
 
-    fn mk_d(id: u64, parent: BlockId, height: u64, difficulty: f64) -> Rc<Block> {
-        Rc::new(Block {
+    fn mk_d(id: u64, parent: BlockId, height: u64, difficulty: f64) -> Interned<Block> {
+        Interned::new(Block {
             id: BlockId(id),
             parent: Some(parent),
             height,

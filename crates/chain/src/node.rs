@@ -11,8 +11,8 @@
 //! same) that preserves throughput, block size, and propagation
 //! behaviour without simulating per-transaction gossip.
 
+use decent_sim::payload::Interned;
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::rc::Rc;
 
 use decent_sim::prelude::*;
 
@@ -27,7 +27,7 @@ pub enum ChainMsg {
     /// Request for the full block.
     GetBlock(BlockId),
     /// The full block.
-    BlockData(Rc<Block>),
+    BlockData(Interned<Block>),
 }
 
 /// Mining strategy of a node.
@@ -95,9 +95,9 @@ pub struct ChainNode {
     neighbors: Vec<NodeId>,
     /// The node's view of the block tree.
     pub view: ChainView,
-    orphans: HashMap<BlockId, Vec<Rc<Block>>>,
+    orphans: HashMap<BlockId, Vec<Interned<Block>>>,
     requested: HashSet<BlockId>,
-    validating: VecDeque<Rc<Block>>,
+    validating: VecDeque<Interned<Block>>,
     mining_epoch: u64,
     difficulty: f64,
     retarget: RetargetClock,
@@ -107,7 +107,7 @@ pub struct ChainNode {
     next_block_seq: u64,
     next_tx_seq: u64,
     /// Withheld own blocks (selfish mining), oldest first.
-    unpublished: Vec<Rc<Block>>,
+    unpublished: Vec<Interned<Block>>,
     /// Height of the best block known to the public network.
     public_height: u64,
     /// Bytes of block data received (bandwidth accounting).
@@ -118,7 +118,7 @@ pub struct ChainNode {
 
 impl ChainNode {
     /// Creates a node; all nodes must share the same `genesis`.
-    pub fn new(cfg: ChainNodeConfig, neighbors: Vec<NodeId>, genesis: Rc<Block>) -> Self {
+    pub fn new(cfg: ChainNodeConfig, neighbors: Vec<NodeId>, genesis: Interned<Block>) -> Self {
         let difficulty = cfg.initial_difficulty;
         ChainNode {
             cfg,
@@ -198,7 +198,7 @@ impl ChainNode {
             .collect();
         self.next_block_seq += 1;
         let parent = self.view.tip().clone();
-        let block = Rc::new(Block {
+        let block = Interned::new(Block {
             // Block ids are namespaced by miner id: unique network-wide.
             id: BlockId((ctx.id() as u64) << 40 | self.next_block_seq),
             parent: Some(parent.id),
@@ -219,7 +219,7 @@ impl ChainNode {
 
     /// Accepts an own block into the local view without announcing it
     /// (the selfish miner's private chain), then keeps mining on it.
-    fn accept_withheld(&mut self, block: Rc<Block>, ctx: &mut Context<'_, ChainMsg>) {
+    fn accept_withheld(&mut self, block: Interned<Block>, ctx: &mut Context<'_, ChainMsg>) {
         let tip_moved = self.view.accept(block.clone(), ctx.now());
         self.unpublished.push(block);
         if tip_moved {
@@ -271,7 +271,7 @@ impl ChainNode {
 
     /// Accepts a validated block whose parent is known, relays it, and
     /// restarts mining if the tip moved.
-    fn accept_block(&mut self, block: Rc<Block>, ctx: &mut Context<'_, ChainMsg>) {
+    fn accept_block(&mut self, block: Interned<Block>, ctx: &mut Context<'_, ChainMsg>) {
         if self.view.contains(block.id) {
             return;
         }
@@ -483,7 +483,7 @@ pub fn report<S: SchedulerFor<ChainNode>>(
     let height = view.height();
     let total_txs: u64 = chain.iter().map(|b| b.txs.len() as u64).sum();
     let span = sim.now().as_secs().max(1e-9);
-    let mined: Vec<&Rc<Block>> = chain.iter().rev().skip(1).copied().collect();
+    let mined: Vec<&Interned<Block>> = chain.iter().rev().skip(1).copied().collect();
     let mean_interval_secs = if mined.len() >= 2 {
         (mined[mined.len() - 1].mined_at.as_secs() - mined[0].mined_at.as_secs())
             / (mined.len() - 1) as f64
@@ -515,11 +515,13 @@ pub fn run_selfish_attack(
     interval: SimDuration,
     horizon: SimDuration,
     seed: u64,
+    shards: usize,
 ) -> (f64, f64) {
     assert!((0.0..0.5).contains(&alpha));
     let n = honest_miners + 1 + 10; // + relays/observers
     let total_hashrate = 1e6;
     let mut sim: Simulation<ChainNode> = Simulation::new(seed, ConstantLatency::from_millis(80.0));
+    sim.set_shards(shards);
     let graph = Graph::random_outbound(n, 8, &mut rng_from_seed(seed ^ 1));
     let params = PowParams {
         target_interval: interval,
@@ -661,7 +663,7 @@ mod tests {
         let a = sim.add_node(ChainNode::new(cfg.clone(), vec![1], genesis.clone()));
         let b = sim.add_node(ChainNode::new(cfg, vec![0], genesis.clone()));
         sim.run_until(SimTime::from_secs(0.1));
-        let parent = Rc::new(Block {
+        let parent = Interned::new(Block {
             id: BlockId(101),
             parent: Some(genesis.id),
             height: 1,
@@ -671,7 +673,7 @@ mod tests {
             size_bytes: 100,
             difficulty: 1.0,
         });
-        let child = Rc::new(Block {
+        let child = Interned::new(Block {
             id: BlockId(102),
             parent: Some(parent.id),
             height: 2,
@@ -736,6 +738,7 @@ mod tests {
             SimDuration::from_secs(60.0),
             SimDuration::from_days(3.0),
             0x5EF,
+            2,
         );
         assert!(
             share > 0.45,

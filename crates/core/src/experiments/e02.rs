@@ -27,6 +27,10 @@ pub struct Config {
     pub ttl: u32,
     /// Base RNG seed.
     pub seed: u64,
+    /// Execution shards per simulation (1 = serial). Not a sweepable
+    /// parameter and absent from reports: sharding never changes
+    /// results, so it must never appear in canonical output.
+    pub shards: usize,
 }
 
 impl Default for Config {
@@ -36,6 +40,7 @@ impl Default for Config {
             queries: 3000,
             ttl: 5,
             seed: 0xE2,
+            shards: 1,
         }
     }
 }
@@ -96,6 +101,10 @@ impl Scenario for Config {
     fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
         scenario::set_in(PARAMS, self, name, value)
     }
+    fn set_exec(&mut self, exec: scenario::ExecPolicy) -> bool {
+        self.shards = exec.shard_count();
+        true
+    }
     fn run(&self) -> ExperimentReport {
         run(self)
     }
@@ -105,6 +114,7 @@ impl Scenario for Config {
 pub fn run(cfg: &Config) -> ExperimentReport {
     let flood_cfg = FloodConfig::default();
     let mut sim = Simulation::new(cfg.seed, UniformLatency::from_millis(30.0, 120.0));
+    sim.set_shards(cfg.shards);
     let ids = build_network(&mut sim, cfg.nodes, &flood_cfg, cfg.seed ^ 2);
     sim.run_until(SimTime::from_secs(0.1));
     let zipf = Zipf::new(flood_cfg.catalog_size, flood_cfg.popularity_exponent);

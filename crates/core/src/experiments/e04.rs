@@ -27,6 +27,10 @@ pub struct Config {
     pub sessions_mins: Vec<Option<f64>>,
     /// Base RNG seed.
     pub seed: u64,
+    /// Execution shards per simulation (1 = serial). Not a sweepable
+    /// parameter and absent from reports: sharding never changes
+    /// results, so it must never appear in canonical output.
+    pub shards: usize,
 }
 
 impl Default for Config {
@@ -36,6 +40,7 @@ impl Default for Config {
             lookups: 250,
             sessions_mins: vec![Some(10.0), Some(30.0), Some(120.0), None],
             seed: 0xE4,
+            shards: 1,
         }
     }
 }
@@ -100,6 +105,10 @@ impl Scenario for Config {
     fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
         scenario::set_in(PARAMS, self, name, value)
     }
+    fn set_exec(&mut self, exec: scenario::ExecPolicy) -> bool {
+        self.shards = exec.shard_count();
+        true
+    }
     fn run(&self) -> ExperimentReport {
         run(self)
     }
@@ -119,6 +128,7 @@ fn run_level(cfg: &Config, session: Option<f64>, lan: bool, seed: u64) -> Row {
     } else {
         Simulation::new(seed, UniformLatency::from_millis(30.0, 120.0))
     };
+    sim.set_shards(cfg.shards);
     let kad = KadConfig {
         k: 10,
         alpha: 3,

@@ -33,6 +33,10 @@ pub struct Config {
     pub oltp_shards: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Execution shards per simulation (1 = serial). Not a sweepable
+    /// parameter and absent from reports: sharding never changes
+    /// results, so it must never appear in canonical output.
+    pub shards: usize,
 }
 
 impl Default for Config {
@@ -43,6 +47,7 @@ impl Default for Config {
             ethereum_mins: 90.0,
             oltp_shards: 64,
             seed: 0xE7,
+            shards: 1,
         }
     }
 }
@@ -111,6 +116,10 @@ impl Scenario for Config {
     fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
         scenario::set_in(PARAMS, self, name, value)
     }
+    fn set_exec(&mut self, exec: scenario::ExecPolicy) -> bool {
+        self.shards = exec.shard_count();
+        true
+    }
     fn run(&self) -> ExperimentReport {
         run(self)
     }
@@ -130,6 +139,7 @@ fn run_chain(
         &mut rng,
     );
     let mut sim = Simulation::new(seed ^ 7, net);
+    sim.set_shards(cfg.shards);
     let ncfg = NetworkConfig {
         nodes: cfg.chain_nodes,
         miner_fraction: 0.25,
@@ -169,6 +179,7 @@ impl Node for OltpShard {
 /// Simulates the partitioned cluster at saturation and returns TPS.
 fn run_oltp(cfg: &Config, horizon: SimDuration, seed: u64) -> (f64, MetricsSnapshot) {
     let mut sim: Simulation<OltpShard> = Simulation::new(seed, ConstantLatency::from_millis(0.5));
+    sim.set_shards(cfg.shards);
     let shards: Vec<NodeId> = (0..cfg.oltp_shards)
         .map(|_| sim.add_node(OltpShard::default()))
         .collect();

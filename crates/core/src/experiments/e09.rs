@@ -33,6 +33,10 @@ pub struct Config {
     pub pool_share: f64,
     /// Base RNG seed.
     pub seed: u64,
+    /// Execution shards per simulation (1 = serial). Not a sweepable
+    /// parameter and absent from reports: sharding never changes
+    /// results, so it must never appear in canonical output.
+    pub shards: usize,
 }
 
 impl Default for Config {
@@ -43,6 +47,7 @@ impl Default for Config {
             blocks: 2_000_000,
             pool_share: 0.42,
             seed: 0xE9,
+            shards: 1,
         }
     }
 }
@@ -99,6 +104,10 @@ impl Scenario for Config {
     fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
         scenario::set_in(PARAMS, self, name, value)
     }
+    fn set_exec(&mut self, exec: scenario::ExecPolicy) -> bool {
+        self.shards = exec.shard_count();
+        true
+    }
     fn run(&self) -> ExperimentReport {
         run(self)
     }
@@ -146,6 +155,7 @@ pub fn run(cfg: &Config) -> ExperimentReport {
         SimDuration::from_secs(60.0),
         SimDuration::from_days(if cfg.blocks > 1_000_000 { 6.0 } else { 2.0 }),
         cfg.seed ^ 0xE77,
+        cfg.shards,
     );
     let mut t_net = Table::new(
         format!(

@@ -34,6 +34,11 @@ pub struct Config {
     pub committee: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Execution shards per simulation (1 = serial; distinct from the
+    /// protocol-level `shards` knob above). Not a sweepable parameter
+    /// and absent from reports: execution sharding never changes
+    /// results, so it must never appear in canonical output.
+    pub exec_shards: usize,
 }
 
 impl Default for Config {
@@ -44,6 +49,7 @@ impl Default for Config {
             shards: 16,
             committee: 16,
             seed: 0xE11,
+            exec_shards: 1,
         }
     }
 }
@@ -110,6 +116,10 @@ impl Scenario for Config {
     fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
         scenario::set_in(PARAMS, self, name, value)
     }
+    fn set_exec(&mut self, exec: scenario::ExecPolicy) -> bool {
+        self.exec_shards = exec.shard_count();
+        true
+    }
     fn run(&self) -> ExperimentReport {
         run(self)
     }
@@ -136,6 +146,7 @@ pub fn run(cfg: &Config) -> ExperimentReport {
         &mut rng,
     );
     let mut sim = Simulation::new(cfg.seed ^ 1, net);
+    sim.set_shards(cfg.exec_shards);
     let ncfg = NetworkConfig {
         nodes: cfg.chain_nodes,
         miner_fraction: 0.25,

@@ -29,6 +29,10 @@ pub struct Config {
     pub chain_hours: f64,
     /// Base RNG seed.
     pub seed: u64,
+    /// Execution shards per simulation (1 = serial). Not a sweepable
+    /// parameter and absent from reports: sharding never changes
+    /// results, so it must never appear in canonical output.
+    pub shards: usize,
 }
 
 impl Default for Config {
@@ -38,6 +42,7 @@ impl Default for Config {
             chain_nodes: 80,
             chain_hours: 12.0,
             seed: 0xE12,
+            shards: 1,
         }
     }
 }
@@ -102,13 +107,18 @@ impl Scenario for Config {
     fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
         scenario::set_in(PARAMS, self, name, value)
     }
+    fn set_exec(&mut self, exec: scenario::ExecPolicy) -> bool {
+        self.shards = exec.shard_count();
+        true
+    }
     fn run(&self) -> ExperimentReport {
         run(self)
     }
 }
 
-fn measure_raft(seed: u64) -> (f64, f64, MetricsSnapshot) {
+fn measure_raft(seed: u64, shards: usize) -> (f64, f64, MetricsSnapshot) {
     let mut sim = Simulation::new(seed, LanNet::datacenter());
+    sim.set_shards(shards);
     let ids = build_cluster(&mut sim, &RaftConfig::default());
     sim.run_until(SimTime::from_secs(1.0));
     let _ = current_leader(&sim, &ids);
@@ -159,7 +169,7 @@ pub fn run(cfg: &Config) -> ExperimentReport {
         ]);
         pbft_tps.push(tps);
     }
-    let (raft_tps, raft_p50, raft_metrics) = measure_raft(cfg.seed ^ 0x4A);
+    let (raft_tps, raft_p50, raft_metrics) = measure_raft(cfg.seed ^ 0x4A, cfg.shards);
     report.absorb_metrics(raft_metrics);
     t.row([
         "Raft (CFT)".to_string(),
@@ -176,6 +186,7 @@ pub fn run(cfg: &Config) -> ExperimentReport {
         &mut rng,
     );
     let mut sim = Simulation::new(cfg.seed ^ 0x51, net);
+    sim.set_shards(cfg.shards);
     let ncfg = NetworkConfig {
         nodes: cfg.chain_nodes,
         miner_fraction: 0.25,

@@ -26,6 +26,10 @@ pub struct Config {
     pub requests_per_device: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Execution shards per simulation (1 = serial). Not a sweepable
+    /// parameter and absent from reports: sharding never changes
+    /// results, so it must never appear in canonical output.
+    pub shards: usize,
 }
 
 impl Default for Config {
@@ -34,6 +38,7 @@ impl Default for Config {
             devices_per_region: 120,
             requests_per_device: 5,
             seed: 0xE13,
+            shards: 1,
         }
     }
 }
@@ -88,6 +93,10 @@ impl Scenario for Config {
     fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
         scenario::set_in(PARAMS, self, name, value)
     }
+    fn set_exec(&mut self, exec: scenario::ExecPolicy) -> bool {
+        self.shards = exec.shard_count();
+        true
+    }
     fn run(&self) -> ExperimentReport {
         run(self)
     }
@@ -95,8 +104,9 @@ impl Scenario for Config {
 
 /// Measures the one-time federation-join cost on the permissioned
 /// ledger (a channel transaction committing on all peers).
-fn federation_join_ms(seed: u64) -> (f64, MetricsSnapshot) {
+fn federation_join_ms(seed: u64, shards: usize) -> (f64, MetricsSnapshot) {
     let mut sim = Simulation::new(seed, LanNet::datacenter());
+    sim.set_shards(shards);
     let cfg = FabricConfig::default();
     let channels = vec![Channel {
         id: 1,
@@ -131,6 +141,7 @@ pub fn run(cfg: &Config) -> ExperimentReport {
         let ecfg = EdgeConfig {
             strategy,
             devices_per_region: cfg.devices_per_region,
+            shards: cfg.shards,
             ..EdgeConfig::default()
         };
         let (mut lat, wan, locality) = run_workload(&ecfg, cfg.requests_per_device, cfg.seed);
@@ -149,7 +160,7 @@ pub fn run(cfg: &Config) -> ExperimentReport {
     }
     report.table(t);
 
-    let (join_ms, join_metrics) = federation_join_ms(cfg.seed ^ 0xFED);
+    let (join_ms, join_metrics) = federation_join_ms(cfg.seed ^ 0xFED, cfg.shards);
     report.absorb_metrics(join_metrics);
     let mut t2 = Table::new("Trust establishment cost", &["mechanism", "cost", "paid"]);
     t2.row([

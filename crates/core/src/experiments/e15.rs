@@ -28,6 +28,10 @@ pub struct Config {
     pub years: Vec<f64>,
     /// Base RNG seed.
     pub seed: u64,
+    /// Execution shards per simulation (1 = serial). Not a sweepable
+    /// parameter and absent from reports: sharding never changes
+    /// results, so it must never appear in canonical output.
+    pub shards: usize,
 }
 
 impl Default for Config {
@@ -37,6 +41,7 @@ impl Default for Config {
             days: 3.0,
             years: vec![1.0, 5.0, 10.0],
             seed: 0xE15,
+            shards: 1,
         }
     }
 }
@@ -91,6 +96,10 @@ impl Scenario for Config {
     fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
         scenario::set_in(PARAMS, self, name, value)
     }
+    fn set_exec(&mut self, exec: scenario::ExecPolicy) -> bool {
+        self.shards = exec.shard_count();
+        true
+    }
     fn run(&self) -> ExperimentReport {
         run(self)
     }
@@ -100,6 +109,7 @@ impl Scenario for Config {
 pub fn run(cfg: &Config) -> ExperimentReport {
     let mut report = ExperimentReport::new("E15", TITLE);
     let mut sim = Simulation::new(cfg.seed, ConstantLatency::from_millis(80.0));
+    sim.set_shards(cfg.shards);
     let ncfg = NetworkConfig {
         nodes: cfg.nodes,
         miner_fraction: 0.2,

@@ -89,6 +89,11 @@ impl Scenario for Config {
     fn set_param(&mut self, name: &str, value: f64) -> Result<(), String> {
         scenario::set_in(PARAMS, self, name, value)
     }
+    fn set_exec(&mut self, _exec: scenario::ExecPolicy) -> bool {
+        // Monte Carlo attack races — there is no discrete-event loop to
+        // shard, so any shard count yields identical output trivially.
+        true
+    }
     fn run(&self) -> ExperimentReport {
         run(self)
     }

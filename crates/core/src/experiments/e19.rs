@@ -345,6 +345,7 @@ fn run_pbft(cfg: &Config) -> (PbftOutcome, MetricsSnapshot) {
     );
     let mut sim: Simulation<PbftReplica> =
         Simulation::new(cfg.seed ^ 0xBF7, Faulty::new(LanNet::datacenter(), plan));
+    sim.set_shards(cfg.shards);
     let ids = build_cluster(&mut sim, &pcfg, &[]);
     sim.run_until(SimTime::from_secs(0.5));
 

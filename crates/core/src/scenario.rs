@@ -166,11 +166,12 @@ pub trait Scenario: Send {
 
     /// Applies an execution policy (`repro --shards N`).
     ///
-    /// Returns whether the scenario honours it: the default
-    /// implementation ignores the policy and returns `false`, which is
-    /// what scenarios with non-`Send` node state (the chain/BFT/edge
-    /// families use `Rc` internally) must do — they simply stay serial.
-    /// Either way the results are identical; only wall-clock changes.
+    /// Returns whether the scenario honours it. Every registered
+    /// experiment now does — all node state is `Send` — so the default
+    /// `false` exists only as a guard for future scenarios that cannot
+    /// shard; closed-form scenarios with no simulation (E10) honour it
+    /// vacuously. Either way the results are byte-identical; only
+    /// wall-clock changes.
     fn set_exec(&mut self, exec: ExecPolicy) -> bool {
         let _ = exec;
         false

@@ -5,8 +5,8 @@
 //! the cloud datacenter lives in one region and is reached over the
 //! inter-continental RTT matrix.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use decent_sim::net::{NetworkModel, Region};
 use decent_sim::prelude::*;
@@ -42,7 +42,13 @@ pub struct EdgeNet {
     placements: Vec<Placement>,
     edge_latency: SimDuration,
     wan_extra: SimDuration,
-    wan_bytes: Rc<Cell<u64>>,
+    /// WAN byte tally, shared with [`wan_counter`](Self::wan_counter)
+    /// handles. An atomic rather than `Rc<Cell>` so the model — and any
+    /// node state holding a counter handle — is `Send` for sharded
+    /// runs. The model itself is only ever driven from the engine's
+    /// single routing thread (serial loop or sharded commit phase), so
+    /// `Relaxed` ordering suffices and the tally stays deterministic.
+    wan_bytes: Arc<AtomicU64>,
 }
 
 impl EdgeNet {
@@ -52,13 +58,14 @@ impl EdgeNet {
             placements,
             edge_latency: SimDuration::from_millis(5.0),
             wan_extra: SimDuration::from_millis(10.0),
-            wan_bytes: Rc::new(Cell::new(0)),
+            wan_bytes: Arc::new(AtomicU64::new(0)),
         }
     }
 
     /// A shared handle to the WAN-bytes counter; keep a clone before
-    /// handing the model to the simulation to read traffic afterwards.
-    pub fn wan_counter(&self) -> Rc<Cell<u64>> {
+    /// handing the model to the simulation to read traffic afterwards
+    /// (read it with `load(Ordering::Relaxed)`).
+    pub fn wan_counter(&self) -> Arc<AtomicU64> {
         self.wan_bytes.clone()
     }
 
@@ -99,10 +106,60 @@ impl NetworkModel for EdgeNet {
         }
         let (base, wan) = self.base_delay(self.placements[src], self.placements[dst]);
         if wan {
-            self.wan_bytes.set(self.wan_bytes.get() + bytes);
+            self.wan_bytes.fetch_add(bytes, Ordering::Relaxed);
         }
         let jitter = 0.9 + 0.2 * rng.gen::<f64>();
         Some(base * jitter)
+    }
+
+    fn lookahead(&self) -> Option<SimDuration> {
+        // Cheapest link between any two distinct placements, at the low
+        // end of the jitter band (0.9×). `base_delay` depends only on
+        // the placement pair, so the scan over distinct placements
+        // covers every node pair.
+        let mut distinct: Vec<Placement> = Vec::new();
+        for &p in &self.placements {
+            if !distinct.contains(&p) {
+                distinct.push(p);
+            }
+        }
+        let mut min: Option<SimDuration> = None;
+        for &a in &distinct {
+            for &b in &distinct {
+                let (d, _) = self.base_delay(a, b);
+                min = Some(min.map_or(d, |m: SimDuration| m.min(d)));
+            }
+        }
+        min.map(|d| d * 0.9)
+    }
+
+    fn shard_lookahead(&self, nodes: usize, shards: usize) -> Option<Vec<SimDuration>> {
+        // Cheapest link between the placements actually present in each
+        // shard pair: two shards without a shared region pay at least a
+        // WAN hop, far above the same-region edge floor.
+        let mut present: Vec<Vec<Placement>> = vec![Vec::new(); shards];
+        for id in 0..nodes.min(self.placements.len()) {
+            let p = self.placements[id];
+            if !present[id % shards].contains(&p) {
+                present[id % shards].push(p);
+            }
+        }
+        let mut mat = Vec::with_capacity(shards * shards);
+        for pj in &present {
+            for pk in &present {
+                let mut min: Option<SimDuration> = None;
+                for &a in pj {
+                    for &b in pk {
+                        let (d, _) = self.base_delay(a, b);
+                        min = Some(min.map_or(d, |m: SimDuration| m.min(d)));
+                    }
+                }
+                // Empty shards: zero = "unknown", the executor falls
+                // back to the global bound (and they never send anyway).
+                mat.push(min.map_or(SimDuration::ZERO, |d| d * 0.9));
+            }
+        }
+        Some(mat)
     }
 }
 
@@ -148,10 +205,35 @@ mod tests {
         let mut rng = rng_from_seed(2);
         let counter = net.wan_counter();
         net.delay(0, 1, 500, SimTime::ZERO, &mut rng);
-        assert_eq!(counter.get(), 0);
+        assert_eq!(counter.load(Ordering::Relaxed), 0);
         net.delay(0, 2, 500, SimTime::ZERO, &mut rng);
-        assert_eq!(counter.get(), 500);
+        assert_eq!(counter.load(Ordering::Relaxed), 500);
         net.delay(3, 1, 200, SimTime::ZERO, &mut rng); // AP -> EU edge
-        assert_eq!(counter.get(), 700);
+        assert_eq!(counter.load(Ordering::Relaxed), 700);
+    }
+
+    #[test]
+    fn lookahead_is_the_jittered_edge_floor() {
+        let net = world();
+        // Device↔edge in Europe is the cheapest link: 5 ms × 0.9.
+        let la = net.lookahead().unwrap();
+        assert_eq!(la, SimDuration::from_millis(5.0) * 0.9);
+    }
+
+    #[test]
+    fn shard_lookahead_widens_wan_only_pairs() {
+        let net = world();
+        // One node per shard. Shard 0 → shard 1 (EU device → EU edge)
+        // sits on the global edge floor; shard 0 → shard 2 (EU device →
+        // NA cloud) can only be a WAN hop, so its bound is far wider.
+        let mat = net.shard_lookahead(4, 4).unwrap();
+        assert_eq!(mat.len(), 16);
+        let global = net.lookahead().unwrap();
+        assert_eq!(mat[4], global, "EU edge → EU device");
+        assert!(
+            mat[2] > global * 10.0,
+            "EU device → NA cloud is a WAN link: {:?}",
+            mat[2]
+        );
     }
 }

@@ -98,6 +98,9 @@ pub struct EdgeConfig {
     /// nano-DC (the cloud scales out; the comparison is about distance,
     /// not provisioning).
     pub cloud_parallelism: f64,
+    /// Execution shards for the simulation (1 = serial). Never changes
+    /// results, only wall-clock.
+    pub shards: usize,
 }
 
 impl Default for EdgeConfig {
@@ -112,6 +115,7 @@ impl Default for EdgeConfig {
             anchor_interval: SimDuration::from_secs(10.0),
             warm_session_fraction: 0.5,
             cloud_parallelism: 32.0,
+            shards: 1,
         }
     }
 }
@@ -347,8 +351,9 @@ pub struct EdgeWorld {
     pub cloud: NodeId,
     /// The cloud TTP / digest sink.
     pub ttp: NodeId,
-    /// WAN-byte counter handle.
-    pub wan_bytes: std::rc::Rc<std::cell::Cell<u64>>,
+    /// WAN-byte counter handle (shared with the network model; read
+    /// with `load(Ordering::Relaxed)` after the run).
+    pub wan_bytes: std::sync::Arc<std::sync::atomic::AtomicU64>,
 }
 
 /// Builds the world and returns the simulation plus id handles.
@@ -388,6 +393,7 @@ pub fn build_world(cfg: &EdgeConfig, seed: u64) -> (Simulation<EdgeNode>, EdgeWo
     let net = EdgeNet::new(placements.clone());
     let wan = net.wan_counter();
     let mut sim = Simulation::new(seed, net);
+    sim.set_shards(cfg.shards);
     // Devices point at their server per strategy.
     let mut devices = Vec::new();
     let mut region_edge_cursor: BTreeMap<Region, usize> = BTreeMap::new();
@@ -527,7 +533,8 @@ pub fn run_workload(
     } else {
         local as f64 / total as f64
     };
-    (lat, world.wan_bytes.get(), locality)
+    let wan = world.wan_bytes.load(std::sync::atomic::Ordering::Relaxed);
+    (lat, wan, locality)
 }
 
 #[cfg(test)]

@@ -117,6 +117,7 @@ pub fn analyze_source_with_stats(file: &str, src: &str, sim_facing: bool) -> (Ve
         let names = collect_hash_names(&code);
         scan_hash_iteration(&code, &names, &mut findings);
         scan_ambient_env(&code, &mut findings);
+        scan_rc(&code, &mut findings);
     }
 
     // Apply pragmas: a finding survives only if no pragma covering its
@@ -267,6 +268,35 @@ fn scan_randomness(code: &[&Tok], findings: &mut BTreeSet<(u32, Rule, String)>) 
             && matches!(code.get(i + 2), Some(t) if t.is_ident("random"))
         {
             findings.insert((code[i].line, Rule::D003, "`rand::random`".to_string()));
+        }
+    }
+}
+
+/// D006: `std::rc::Rc` in a sim-facing crate. Flags the `std::rc`
+/// path itself (imports and fully-qualified uses) plus any `Rc` in
+/// constructor (`Rc::...`) or type (`Rc<...>`) position. `Arc` is a
+/// distinct identifier and never matches.
+fn scan_rc(code: &[&Tok], findings: &mut BTreeSet<(u32, Rule, String)>) {
+    for i in 0..code.len() {
+        if code[i].is_ident("rc")
+            && i >= 2
+            && code[i - 1].is_punct("::")
+            && code[i - 2].is_ident("std")
+        {
+            findings.insert((code[i].line, Rule::D006, "`std::rc`".to_string()));
+        }
+        if !code[i].is_ident("Rc") {
+            continue;
+        }
+        match code.get(i + 1) {
+            Some(t) if t.is_punct("::") => {
+                let member = code.get(i + 2).map(|t| t.text.clone()).unwrap_or_default();
+                findings.insert((code[i].line, Rule::D006, format!("`Rc::{member}`")));
+            }
+            Some(t) if t.is_punct("<") => {
+                findings.insert((code[i].line, Rule::D006, "`Rc<...>`".to_string()));
+            }
+            _ => {}
         }
     }
 }
@@ -649,6 +679,18 @@ mod tests {
                    // decent-lint: allow(D001)\n\
                    fn f() {}";
         assert_eq!(rules_at(src, false), vec![(1, "P001"), (2, "P001")]);
+    }
+
+    #[test]
+    fn rc_flagged_only_in_sim_facing_code() {
+        let src = "use std::rc::Rc;\n\
+                   struct S { v: Rc<u64>, a: std::sync::Arc<u64> }\n\
+                   fn f() -> Rc<u64> { Rc::new(1) }";
+        assert_eq!(rules_at(src, false), vec![]);
+        assert_eq!(
+            rules_at(src, true),
+            vec![(1, "D006"), (2, "D006"), (3, "D006"), (3, "D006")]
+        );
     }
 
     #[test]

@@ -20,6 +20,10 @@ pub enum Rule {
     D004,
     /// `unsafe` blocks (doubly enforced by `#![forbid(unsafe_code)]`).
     D005,
+    /// `std::rc::Rc` in a sim-facing crate: node and message state must
+    /// be `Send` for the sharded executor — share with `Arc` or the
+    /// engine's `Interned` payloads instead.
+    D006,
     /// A `decent-lint: allow(...)` pragma that suppressed nothing —
     /// stale suppressions are errors so they cannot rot in place.
     P000,
@@ -29,18 +33,19 @@ pub enum Rule {
 }
 
 /// Every rule, in report order.
-pub const ALL_RULES: [Rule; 7] = [
+pub const ALL_RULES: [Rule; 8] = [
     Rule::D001,
     Rule::D002,
     Rule::D003,
     Rule::D004,
     Rule::D005,
+    Rule::D006,
     Rule::P000,
     Rule::P001,
 ];
 
 impl Rule {
-    /// The stable rule id (`D001` ... `D005`, `P000`, `P001`).
+    /// The stable rule id (`D001` ... `D006`, `P000`, `P001`).
     pub fn code(self) -> &'static str {
         match self {
             Rule::D001 => "D001",
@@ -48,6 +53,7 @@ impl Rule {
             Rule::D003 => "D003",
             Rule::D004 => "D004",
             Rule::D005 => "D005",
+            Rule::D006 => "D006",
             Rule::P000 => "P000",
             Rule::P001 => "P001",
         }
@@ -63,6 +69,7 @@ impl Rule {
             "D003" => Some(Rule::D003),
             "D004" => Some(Rule::D004),
             "D005" => Some(Rule::D005),
+            "D006" => Some(Rule::D006),
             _ => None,
         }
     }
@@ -75,6 +82,7 @@ impl Rule {
             Rule::D003 => "unseeded randomness (thread_rng / rand::random / from_entropy)",
             Rule::D004 => "ambient process state (std::env) in a sim-facing crate",
             Rule::D005 => "unsafe block",
+            Rule::D006 => "non-Send Rc shared state in a sim-facing crate (use Arc/Interned)",
             Rule::P000 => "unused decent-lint pragma",
             Rule::P001 => "malformed decent-lint pragma",
         }

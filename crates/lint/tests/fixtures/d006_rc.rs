@@ -1,0 +1,22 @@
+// Fixture: D006 — non-Send Rc shared state in a sim-facing crate.
+use std::rc::Rc;
+
+struct Violation {
+    shared: Rc<Vec<u64>>,
+}
+
+fn violation() -> Rc<u64> {
+    Rc::new(7)
+}
+
+fn qualified() -> std::rc::Rc<u64> {
+    std::rc::Rc::new(9)
+}
+
+// Arc is Send-safe and must never match.
+fn fine() -> std::sync::Arc<u64> {
+    std::sync::Arc::new(11)
+}
+
+// decent-lint: allow(D006) reason="exercises the suppression grammar"
+fn suppressed() -> Rc<u64> { Rc::new(13) }

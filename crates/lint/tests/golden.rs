@@ -17,6 +17,7 @@ const FIXTURES: &[(&str, bool)] = &[
     ("d003_randomness.rs", true),
     ("d004_ambient_env.rs", true),
     ("d005_unsafe.rs", true),
+    ("d006_rc.rs", true),
     ("unused_pragma.rs", true),
     ("clean.rs", true),
 ];
@@ -84,7 +85,9 @@ fn fixtures_cover_every_rule() {
             seen.insert(f.rule.code().to_string());
         }
     }
-    for code in ["D001", "D002", "D003", "D004", "D005", "P000", "P001"] {
+    for code in [
+        "D001", "D002", "D003", "D004", "D005", "D006", "P000", "P001",
+    ] {
         assert!(seen.contains(code), "no fixture exercises {code}");
     }
 }

@@ -318,6 +318,13 @@ pub struct Simulation<N: Node, S = TimingWheel<EngineEvent<<N as Node>::Msg>>> {
     /// Deliberately *not* part of [`metrics_snapshot`](Self::metrics_snapshot)
     /// — it is a cost counter for the bench harness, not an observable.
     pub(crate) activations: u64,
+    /// Conservative windows executed by the sharded path (zero on
+    /// serial runs). Like `activations`, a deterministic cost counter
+    /// for the bench harness — the per-link lookahead's whole point is
+    /// fewer, wider windows — and deliberately *not* part of
+    /// [`metrics_snapshot`](Self::metrics_snapshot), so window policy
+    /// can change without touching observable output.
+    pub(crate) windows: u64,
     /// Events dequeued but discarded without reaching a handler: stale
     /// timers, deliveries to offline nodes, and redundant start/stop.
     pub(crate) events_cancelled: u64,
@@ -375,6 +382,7 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
             stats: NetStats::default(),
             events_processed: 0,
             activations: 0,
+            windows: 0,
             events_cancelled: 0,
             scheduled: 0,
             pending: 0,
@@ -633,6 +641,14 @@ impl<N: Node, S: SchedulerFor<N>> Simulation<N, S> {
     /// bench harness; not part of the metrics snapshot.
     pub fn activations(&self) -> u64 {
         self.activations
+    }
+
+    /// Conservative windows executed by the sharded path so far (zero
+    /// on serial runs). A deterministic cost counter for the bench
+    /// harness: wider lookahead windows mean fewer windows per run and
+    /// more events per window. Not part of the metrics snapshot.
+    pub fn windows(&self) -> u64 {
+        self.windows
     }
 
     /// A [`MetricsSnapshot`] of the engine's counters: event-loop

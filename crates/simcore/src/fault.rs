@@ -589,6 +589,21 @@ impl<M: NetworkModel> NetworkModel for Faulty<M> {
             .product::<f64>();
         Some(inner * scale)
     }
+
+    fn shard_lookahead(&self, nodes: usize, shards: usize) -> Option<Vec<SimDuration>> {
+        // Same conservative Degrade scaling as `lookahead`, applied to
+        // every shard-pair entry of the inner model's matrix.
+        let mat = self.inner.shard_lookahead(nodes, shards)?;
+        let scale = self
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::Degrade { latency_mult, .. } if latency_mult < 1.0 => Some(latency_mult),
+                _ => None,
+            })
+            .product::<f64>();
+        Some(mat.into_iter().map(|d| d * scale).collect())
+    }
 }
 
 #[cfg(test)]

@@ -78,6 +78,27 @@ pub trait NetworkModel {
     fn lookahead(&self) -> Option<SimDuration> {
         None
     }
+
+    /// Per-link lookahead: a flattened `shards × shards` matrix whose
+    /// entry `[j * shards + k]` is a lower bound on the delay of any
+    /// message from a node of shard `j` (node ids `≡ j mod shards`,
+    /// the dealing used by [`Simulation::set_shards`]) to a node of
+    /// shard `k`, or `None` to use the single global
+    /// [`lookahead`](NetworkModel::lookahead) for every pair.
+    ///
+    /// Heterogeneous topologies should override this: with the global
+    /// bound, one short link anywhere in the matrix collapses *every*
+    /// window to that minimum, even between shards whose nodes only
+    /// talk over long-haul links. Entries must hold for all argument
+    /// combinations and internal states, like the global bound; a zero
+    /// entry is treated as "unknown" and replaced by the global bound,
+    /// never as license for a zero-width window.
+    ///
+    /// [`Simulation::set_shards`]: crate::engine::Simulation::set_shards
+    fn shard_lookahead(&self, nodes: usize, shards: usize) -> Option<Vec<SimDuration>> {
+        let _ = (nodes, shards);
+        None
+    }
 }
 
 /// Fixed one-way latency, no loss, infinite bandwidth.
@@ -221,6 +242,10 @@ impl<M: NetworkModel> NetworkModel for Lossy<M> {
     fn lookahead(&self) -> Option<SimDuration> {
         // Dropping messages never shortens a delivered one.
         self.inner.lookahead()
+    }
+
+    fn shard_lookahead(&self, nodes: usize, shards: usize) -> Option<Vec<SimDuration>> {
+        self.inner.shard_lookahead(nodes, shards)
     }
 }
 
@@ -463,6 +488,42 @@ impl NetworkModel for RegionNet {
             .flatten()
             .fold(f64::INFINITY, |a, &b| a.min(b));
         Some(SimDuration::from_millis(min_ms * (1.0 - self.jitter)))
+    }
+
+    fn shard_lookahead(&self, nodes: usize, shards: usize) -> Option<Vec<SimDuration>> {
+        // Restrict the matrix minimum to the regions actually present
+        // in each shard pair: two shards whose nodes sit only in, say,
+        // North and South America get the NA↔SA floor (≥ 184 ms), not
+        // the whole-matrix floor (11 ms intra-Europe). Nodes beyond the
+        // assignment list default to Europe, exactly as `region_of`.
+        let mut present = vec![[false; 6]; shards];
+        for id in 0..nodes {
+            present[id % shards][self.region_of(id).index()] = true;
+        }
+        let mut mat = Vec::with_capacity(shards * shards);
+        for pj in &present {
+            for pk in &present {
+                let mut min_ms = f64::INFINITY;
+                for (a, &ja) in pj.iter().enumerate() {
+                    if !ja {
+                        continue;
+                    }
+                    for (b, &kb) in pk.iter().enumerate() {
+                        if kb {
+                            min_ms = min_ms.min(REGION_LATENCY_MS[a][b]);
+                        }
+                    }
+                }
+                // Empty shards never originate messages; a zero entry
+                // defers to the global bound (the executor's "unknown").
+                mat.push(if min_ms.is_finite() {
+                    SimDuration::from_millis(min_ms * (1.0 - self.jitter))
+                } else {
+                    SimDuration::ZERO
+                });
+            }
+        }
+        Some(mat)
     }
 }
 

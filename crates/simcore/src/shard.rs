@@ -2,12 +2,27 @@
 //!
 //! [`windowed_advance`] partitions nodes across worker threads by
 //! `id % shards` and advances the shards in lockstep over *conservative
-//! time windows* of width `L`, the network model's
-//! [`lookahead`](crate::net::NetworkModel::lookahead) — the minimum
-//! latency any message can experience. Within a window `[w, w + L)` a
-//! node can only be affected by events that already existed when the
-//! window opened or that it creates itself (every send lands at least
-//! `L` later), so each shard can drain its own queue independently.
+//! time windows*. The window end is the earliest instant any cross-node
+//! delivery could land: with per-shard queue heads `h_j` and a
+//! per-shard-pair lookahead matrix `LA[j][k]` (the minimum latency from
+//! any node of shard `j` to any node of shard `k`, from
+//! [`shard_lookahead`](crate::net::NetworkModel::shard_lookahead), or
+//! the single global
+//! [`lookahead`](crate::net::NetworkModel::lookahead) for every pair
+//! when no matrix is offered),
+//!
+//! ```text
+//! end = min over shards j with pending work of (h_j + min_k LA[j][k])
+//! ```
+//!
+//! — no send can originate before its shard's head, and none can be
+//! delivered sooner than its origin's cheapest outgoing link, so within
+//! `[t0, end)` a node can only be affected by events that already
+//! existed when the window opened or that it creates itself, and each
+//! shard can drain its own queue independently. All shards share one
+//! common `end` per window (lockstep): heterogeneous per-shard ends
+//! would commit events out of global `(time, seq)` order and break
+//! byte-identity with the serial engine.
 //!
 //! Cross-shard effects are reconciled in a serial *commit phase* after
 //! every window: the per-shard dispatch logs are merged by repeatedly
@@ -121,14 +136,54 @@ impl<M> WindowOut<M> {
 }
 
 /// Exclusive end of the window opening at `start`: one lookahead ahead,
-/// capped at the advance bound.
+/// capped at the advance bound (the homogeneous special case of the
+/// per-shard computation in the main loop; kept for the unit tests).
+#[cfg(test)]
 fn window_end(start: SimTime, la: SimDuration, limit: SimTime, inclusive: bool) -> SimTime {
+    clamp_end(start + la, limit, inclusive)
+}
+
+/// Caps a raw window end at the advance bound (one nanosecond past it
+/// when the bound is inclusive, so limit-time events still drain).
+fn clamp_end(raw: SimTime, limit: SimTime, inclusive: bool) -> SimTime {
     let cap = if inclusive {
         SimTime::from_nanos(limit.as_nanos().saturating_add(1))
     } else {
         limit
     };
-    (start + la).min(cap)
+    raw.min(cap)
+}
+
+/// Per-source-shard window allowance: the cheapest outgoing link of
+/// each shard, reduced from the model's shard-pair matrix (or the
+/// global bound for every shard when no matrix is offered). Zero matrix
+/// entries mean "unknown" and defer to the global bound; destination
+/// shards beyond the node count hold no nodes and cannot receive, so
+/// their columns are skipped.
+fn row_lookaheads(
+    mat: Option<Vec<SimDuration>>,
+    la: SimDuration,
+    nodes: usize,
+    shards: usize,
+) -> Vec<SimDuration> {
+    let Some(mat) = mat else {
+        return vec![la; shards];
+    };
+    assert_eq!(
+        mat.len(),
+        shards * shards,
+        "shard_lookahead must return a shards*shards matrix"
+    );
+    let occupied = shards.min(nodes.max(1));
+    (0..shards)
+        .map(|j| {
+            mat[j * shards..j * shards + occupied]
+                .iter()
+                .map(|&d| if d.is_zero() { la } else { d })
+                .min()
+                .unwrap_or(la)
+        })
+        .collect()
 }
 
 /// Windowed parallel equivalent of
@@ -149,6 +204,12 @@ where
     };
     let shards = sim.shards;
     debug_assert!(shards > 1, "windowed executor installed for serial sim");
+    let row_la = row_lookaheads(
+        sim.net.shard_lookahead(sim.len(), shards),
+        la,
+        sim.len(),
+        shards,
+    );
 
     let queues: Vec<S> = std::mem::take(&mut sim.queues);
     // Disjoint field borrows: workers take the node rows, the commit
@@ -163,6 +224,7 @@ where
         now,
         events_processed,
         activations,
+        windows,
         events_cancelled,
         scheduled,
         pending,
@@ -206,28 +268,35 @@ where
 
         let mut feeds: Vec<Feed<N::Msg>> = (0..shards).map(|_| Vec::new()).collect();
         loop {
-            // Earliest pending work: worker queue heads plus not-yet-fed
-            // cross-shard deliveries.
+            // Earliest pending work per shard (worker queue head plus
+            // not-yet-fed cross-shard deliveries), and the earliest
+            // instant any shard's pending work could affect another:
+            // each shard with work extends the window to its head plus
+            // its cheapest outgoing link.
             let mut tmin: Option<SimTime> = None;
-            for h in heads.iter().flatten() {
-                tmin = Some(tmin.map_or(*h, |m: SimTime| m.min(*h)));
-            }
-            for f in &feeds {
-                for (t, _, _) in f {
-                    tmin = Some(tmin.map_or(*t, |m: SimTime| m.min(*t)));
+            let mut end_raw: Option<SimTime> = None;
+            for j in 0..shards {
+                let mut hj: Option<SimTime> = heads[j];
+                for (t, _, _) in &feeds[j] {
+                    hj = Some(hj.map_or(*t, |m: SimTime| m.min(*t)));
                 }
+                let Some(h) = hj else { continue };
+                tmin = Some(tmin.map_or(h, |m: SimTime| m.min(h)));
+                let e = h + row_la[j];
+                end_raw = Some(end_raw.map_or(e, |m: SimTime| m.min(e)));
             }
             let Some(t0) = tmin else { break };
             if t0 > limit || (t0 == limit && !inclusive) {
                 break;
             }
-            let end = window_end(t0, la, limit, inclusive);
+            let end = clamp_end(end_raw.expect("some shard has work"), limit, inclusive);
             if end <= t0 {
                 // Only reachable with windows saturated at the end of
                 // time; stop rather than spin (remaining events stay
                 // queued for a later, serial-fallback advance).
                 break;
             }
+            *windows += 1;
             for (tx, feed) in cmd_txs.iter().zip(feeds.iter_mut()) {
                 tx.send(Cmd::Run {
                     end,

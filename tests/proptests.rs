@@ -11,9 +11,9 @@ use decent::overlay::can::Zone;
 use decent::overlay::id::{Key, KEY_BITS};
 use decent::overlay::pastry::{digit, shared_prefix, DIGITS};
 use decent::sim::metrics::{gini, top_k_share, Histogram};
+use decent::sim::payload::Interned;
 use decent::sim::rng::rng_from_seed;
 use decent::sim::topology::Graph;
-use std::rc::Rc;
 
 fn arb_key() -> impl Strategy<Value = Key> {
     proptest::array::uniform20(any::<u8>()).prop_map(Key::from_bytes)
@@ -113,11 +113,11 @@ proptest! {
         // Randomly extend one of up to four competing branch heads.
         let genesis = Block::genesis(1.0);
         let mut view = ChainView::new(genesis.clone());
-        let mut heads: Vec<Rc<Block>> = vec![genesis; 4];
+        let mut heads: Vec<Interned<Block>> = vec![genesis; 4];
         let mut max_height = 0u64;
         for (step, &c) in choices.iter().enumerate() {
             let parent = heads[c].clone();
-            let block = Rc::new(Block {
+            let block = Interned::new(Block {
                 id: BlockId(step as u64 + 1),
                 parent: Some(parent.id),
                 height: parent.height + 1,

@@ -22,6 +22,9 @@
 use proptest::prelude::*;
 use rand::Rng;
 
+use decent::bft::pbft::{build_cluster, PbftConfig, PbftReplica};
+use decent::chain::node::{build_network, ChainNode, ChainNodeConfig, NetworkConfig};
+use decent::chain::pow::PowParams;
 use decent::core::{experiments, scenario::ExecPolicy};
 use decent::sim::prelude::*;
 use decent::sim::trace::EventRecord;
@@ -234,23 +237,171 @@ proptest! {
     }
 }
 
+/// Fingerprint of a PoW chain run: engine counters, the full trace,
+/// and every node's view of the block tree. `Interned<Block>` payloads
+/// (post-`Rc` migration) cross worker threads here, so a single
+/// misrouted or reordered block delivery diverges tips or heights.
+#[derive(Debug, PartialEq)]
+struct ChainFingerprint {
+    events: u64,
+    trace: Vec<EventRecord>,
+    metrics: MetricsSnapshot,
+    state: Vec<(u64, usize, u64, u64, u64)>,
+}
+
+fn run_chain<S: SchedulerFor<ChainNode> + Send>(seed: u64, shards: usize) -> ChainFingerprint {
+    let mut sim: Simulation<ChainNode, S> =
+        Simulation::with_scheduler(seed, UniformLatency::from_millis(40.0, 120.0));
+    sim.set_shards(shards);
+    sim.enable_trace(1 << 16);
+    let ncfg = NetworkConfig {
+        nodes: 12,
+        miner_fraction: 0.5,
+        node: ChainNodeConfig {
+            params: PowParams {
+                target_interval: SimDuration::from_secs(20.0),
+                ..PowParams::bitcoin()
+            },
+            ..ChainNodeConfig::default()
+        },
+        ..NetworkConfig::default()
+    };
+    let ids = build_network(&mut sim, &ncfg, seed ^ 0xC4A1);
+    sim.run_until(SimTime::from_secs(600.0));
+    let state = ids
+        .iter()
+        .map(|&id| {
+            let n = sim.node(id);
+            (
+                n.view.height(),
+                n.view.len(),
+                n.view.tip().id.0,
+                n.blocks_mined,
+                n.bytes_received,
+            )
+        })
+        .collect();
+    ChainFingerprint {
+        events: sim.events_processed(),
+        trace: sim
+            .trace()
+            .expect("trace enabled")
+            .records()
+            .copied()
+            .collect(),
+        metrics: sim.metrics_snapshot(),
+        state,
+    }
+}
+
+/// Fingerprint of a PBFT run: engine counters, trace, and each
+/// replica's executed-request log and view-change count. The batches
+/// are `Interned<[Request]>` payloads shared across shard workers.
+#[derive(Debug, PartialEq)]
+struct PbftFingerprint {
+    events: u64,
+    trace: Vec<EventRecord>,
+    metrics: MetricsSnapshot,
+    state: Vec<(Vec<(SimTime, SimTime)>, u64)>,
+}
+
+fn run_pbft<S: SchedulerFor<PbftReplica> + Send>(seed: u64, shards: usize) -> PbftFingerprint {
+    let mut sim: Simulation<PbftReplica, S> =
+        Simulation::with_scheduler(seed, LanNet::datacenter());
+    sim.set_shards(shards);
+    sim.enable_trace(1 << 16);
+    let cfg = PbftConfig {
+        n: 7,
+        ..PbftConfig::default()
+    };
+    let ids = build_cluster(&mut sim, &cfg, &[]);
+    sim.run_until(SimTime::from_secs(0.5));
+    for round in 0..3u64 {
+        sim.run_until(SimTime::from_secs(0.5 + round as f64));
+        let now = sim.now();
+        for &id in &ids {
+            sim.node_mut(id).submit_many(
+                (round * 1000 + id as u64 * 100)..(round * 1000 + id as u64 * 100 + 40),
+                now,
+            );
+        }
+    }
+    sim.run_until(SimTime::from_secs(10.0));
+    let state = ids
+        .iter()
+        .map(|&id| {
+            let r = sim.node(id);
+            (r.executed.clone(), r.view_changes)
+        })
+        .collect();
+    PbftFingerprint {
+        events: sim.events_processed(),
+        trace: sim
+            .trace()
+            .expect("trace enabled")
+            .records()
+            .copied()
+            .collect(),
+        metrics: sim.metrics_snapshot(),
+        state,
+    }
+}
+
+proptest! {
+    // Chain and PBFT runs are heavier than the gossip workload (block
+    // validation timers, batch pipelines), so fewer cases — each still
+    // runs 2 serial + 2x2 sharded executions and compares full traces.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // The chain family under sharding: PoW mining races, inv/getblock
+    // relay, and reorgs reproduce the serial fingerprint exactly at
+    // every shard count, on both schedulers.
+    #[test]
+    fn chain_runs_are_event_for_event_identical_to_serial(seed in any::<u64>()) {
+        let serial = run_chain::<TimingWheel<EngineEvent<_>>>(seed, 1);
+        let serial_heap = run_chain::<BinaryHeapScheduler<EngineEvent<_>>>(seed, 1);
+        prop_assert_eq!(&serial, &serial_heap, "schedulers diverged on the serial chain path");
+        for shards in [2usize, 4] {
+            let wheel = run_chain::<TimingWheel<EngineEvent<_>>>(seed, shards);
+            prop_assert_eq!(&serial, &wheel, "chain wheel diverged at shards={}", shards);
+            let heap = run_chain::<BinaryHeapScheduler<EngineEvent<_>>>(seed, shards);
+            prop_assert_eq!(&serial, &heap, "chain heap diverged at shards={}", shards);
+        }
+    }
+
+    // The BFT family under sharding: three-phase commit with interned
+    // batches reproduces the serial fingerprint exactly.
+    #[test]
+    fn pbft_runs_are_event_for_event_identical_to_serial(seed in any::<u64>()) {
+        let serial = run_pbft::<TimingWheel<EngineEvent<_>>>(seed, 1);
+        let serial_heap = run_pbft::<BinaryHeapScheduler<EngineEvent<_>>>(seed, 1);
+        prop_assert_eq!(&serial, &serial_heap, "schedulers diverged on the serial PBFT path");
+        for shards in [2usize, 4] {
+            let wheel = run_pbft::<TimingWheel<EngineEvent<_>>>(seed, shards);
+            prop_assert_eq!(&serial, &wheel, "PBFT wheel diverged at shards={}", shards);
+            let heap = run_pbft::<BinaryHeapScheduler<EngineEvent<_>>>(seed, shards);
+            prop_assert_eq!(&serial, &heap, "PBFT heap diverged at shards={}", shards);
+        }
+    }
+}
+
 proptest! {
     // Full experiments are expensive: a few cases suffice because each
     // one already covers thousands of events end-to-end.
-    #![proptest_config(ProptestConfig::with_cases(3))]
+    #![proptest_config(ProptestConfig::with_cases(5))]
 
     // Report-level equivalence: the canonical RunReport JSON from a
-    // sharded experiment run is byte-identical to the serial run.
-    // E1/E5/E19 are the `Send` scenario families that honour
-    // `--shards`; scenarios that refuse the policy are covered by the
-    // default-serial path of the same call.
+    // sharded experiment run is byte-identical to the serial run. The
+    // pool spans every family that drives a discrete-event simulation:
+    // overlay (E1/E5), fault injection (E19), chain PoW (E14), and
+    // BFT/permissioned (E12) — all scenarios honour `--shards` now.
     #[test]
     fn report_json_is_byte_identical_under_sharding(
-        which in 0usize..3,
+        which in 0usize..5,
         shards in (1usize..4).prop_map(|i| 1usize << i),
         seed in proptest::option::of(any::<u64>()),
     ) {
-        const IDS: [&str; 3] = ["E1", "E5", "E19"];
+        const IDS: [&str; 5] = ["E1", "E5", "E19", "E14", "E12"];
         let id = IDS[which];
         let serial = experiments::run_report_exec(&[id], true, seed, 1, ExecPolicy::serial());
         let sharded =
