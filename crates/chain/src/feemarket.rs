@@ -135,7 +135,7 @@ pub fn simulate_congestion(cfg: &FeeMarketConfig, seed: u64) -> CongestionReport
             report.phase_mut(phase).submitted += 1;
         }
         // Miners take the highest-fee transactions.
-        mempool.sort_by(|a, b| b.fee.partial_cmp(&a.fee).expect("no NaN"));
+        mempool.sort_by(|a, b| b.fee.total_cmp(&a.fee));
         let take = mempool.len().min(cfg.block_capacity);
         for tx in mempool.drain(..take) {
             let stats = report.phase_mut(tx.phase);

@@ -138,7 +138,7 @@ pub fn run(cfg: &Config) -> ExperimentReport {
         .map(|&i| sim.node(i).hits_served as f64)
         .collect();
     let total_hits: f64 = served.iter().sum();
-    served.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+    served.sort_by(|a, b| b.total_cmp(a));
     let share_of_top = |frac: f64| -> f64 {
         let k = ((ids.len() as f64 * frac).ceil() as usize).max(1);
         if total_hits == 0.0 {
@@ -154,7 +154,7 @@ pub fn run(cfg: &Config) -> ExperimentReport {
         .map(|&i| sim.node(i).shared_count() as f64)
         .collect();
     let total_instances: f64 = libraries.iter().sum();
-    libraries.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+    libraries.sort_by(|a, b| b.total_cmp(a));
     let files_top = |frac: f64| -> f64 {
         let k = ((ids.len() as f64 * frac).ceil() as usize).max(1);
         libraries.iter().take(k).sum::<f64>() / total_instances.max(1.0)

@@ -149,7 +149,7 @@ pub fn run(cfg: &Config) -> ExperimentReport {
         &["pool", "share"],
     );
     let mut sorted = pools.clone();
-    sorted.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+    sorted.sort_by(|a, b| b.total_cmp(a));
     let total: f64 = sorted.iter().sum();
     for (i, p) in sorted.iter().take(8).enumerate() {
         t2.row([format!("#{}", i + 1), fmt_pct(p / total)]);

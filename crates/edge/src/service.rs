@@ -650,7 +650,7 @@ mod tests {
                 done.saturating_since(issued).as_millis()
             })
             .collect();
-        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        latencies.sort_by(|a, b| a.total_cmp(b));
         // Roughly 60 / 110 / 160 ms: each queued request waits for the
         // previous one's 50 ms of service.
         assert!(latencies[1] - latencies[0] > 30.0, "{latencies:?}");

@@ -1,11 +1,21 @@
 //! Per-file rule engine: runs the determinism rules over a token
 //! stream, applies `decent-lint: allow(...)` pragmas, and reports
 //! pragmas that suppressed nothing.
+//!
+//! Since PR 10 the engine is scope-aware: every file first gets a
+//! [`ScopeTree`] (brace-matched fn/impl/mod/block regions) and a
+//! [`SymbolTable`] (per-scope `use`-tree and `type` aliases), and rules
+//! match *canonical* names through [`SymbolTable::canonical_last`] —
+//! so `use std::collections::HashMap as FastMap;` no longer evades
+//! D001, and a function-local alias shadows a file-level one exactly as
+//! rustc resolves it.
 
 use std::collections::BTreeSet;
 
 use crate::lex::{lex, Tok, TokKind};
 use crate::rules::{Finding, Rule};
+use crate::scope::{ScopeKind, ScopeTree};
+use crate::symbols::SymbolTable;
 
 /// Iteration methods on `HashMap`/`HashSet` whose visit order is the
 /// hasher's (D001 trigger set).
@@ -52,8 +62,47 @@ const NEUTRAL_ADAPTERS: &[&str] = &[
     "inspect",
 ];
 
-/// Crates whose code feeds simulations (D001/D004 apply). Everything in
-/// the workspace gets D002/D003/D005.
+/// Atomic RMW methods whose result depends on operation order (D007):
+/// last-writer-wins or read-modify-write shapes the window-barrier
+/// merge protocol cannot linearize.
+const ATOMIC_NONCOMMUTATIVE: &[&str] = &[
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_update",
+];
+
+/// Commutative atomic RMWs: tolerated as merge-only counters, but only
+/// under a pragma documenting that the value is read exclusively after
+/// the window barrier (D007's checked-annotation half).
+const ATOMIC_COMMUTATIVE: &[&str] = &[
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_nand",
+];
+
+/// Memory orderings that advertise cross-thread happens-before edges
+/// the merge protocol neither needs nor honours (D007).
+const STRONG_ORDERINGS: &[&str] = &["Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Blocking synchronization primitives banned from sim-facing code
+/// (D010); matched on the canonical final path segment so `use
+/// std::sync::Mutex as Lock;` still trips the rule.
+const BLOCKING_SYNC: &[&str] = &["Mutex", "RwLock", "Condvar", "mpsc"];
+
+/// Keyed unstable sorts whose output permutation is unspecified under
+/// key ties (D009). Plain `sort_unstable()` is exempt: equal elements
+/// are indistinguishable, so every permutation serializes identically.
+const UNSTABLE_KEYED_SORTS: &[&str] = &["sort_unstable_by", "sort_unstable_by_key"];
+
+/// Crates whose code feeds simulations (D001/D004/D006–D010 apply).
+/// Everything in the workspace gets D002/D003/D005.
 pub const SIM_FACING_CRATES: &[&str] = &[
     "decent-sim",
     "decent-overlay",
@@ -64,13 +113,14 @@ pub const SIM_FACING_CRATES: &[&str] = &[
     "decent-net",
 ];
 
-/// Files that legitimately touch wall-clock time and OS entropy: the
-/// real-network backends behind the transport facade (DESIGN.md §4h).
-/// D002/D003 are skipped here — and ONLY here — so the deterministic
-/// sim side of `decent-net` stays fully enforced while the TCP side
-/// can use `Instant`, sockets and threads. Paths are workspace-relative
-/// and must be listed file-by-file; no globs, so the allowlist cannot
-/// silently grow.
+/// Files that legitimately touch wall-clock time, OS entropy, threads
+/// and real synchronization: the real-network backends behind the
+/// transport facade (DESIGN.md §4h). D002/D003 and the shared-state
+/// rules D007/D010 are skipped here — and ONLY here — so the
+/// deterministic sim side of `decent-net` stays fully enforced while
+/// the TCP side can use `Instant`, sockets, channels and locks. Paths
+/// are workspace-relative and must be listed file-by-file; no globs, so
+/// the allowlist cannot silently grow.
 pub const REAL_TIME_PATHS: &[&str] = &["crates/net/src/tcp.rs"];
 
 /// A parsed suppression pragma.
@@ -86,8 +136,34 @@ struct Pragma {
     uses: usize,
 }
 
+/// One canonical path use-site: the leading identifier (resolved
+/// through the symbol table when a binding is visible) plus any
+/// `::segment` continuation, e.g. `Clock::now` under
+/// `use std::time::Instant as Clock;` yields
+/// `["std", "time", "Instant", "now"]`.
+struct PathUse {
+    line: u32,
+    raw_first: String,
+    resolved: bool,
+    segs: Vec<String>,
+}
+
+impl PathUse {
+    /// `" (via `alias`)"` when the site only matched through symbol
+    /// resolution, empty otherwise — so findings name the canonical
+    /// item while still pointing at what the file actually wrote.
+    fn note(&self) -> String {
+        if self.resolved && !self.segs.contains(&self.raw_first) {
+            format!(" (via `{}`)", self.raw_first)
+        } else {
+            String::new()
+        }
+    }
+}
+
 /// Analyzes one file's source. `file` is used verbatim in findings;
-/// `sim_facing` switches on D001/D004 in addition to D002/D003/D005.
+/// `sim_facing` switches on D001/D004/D006–D010 in addition to
+/// D002/D003/D005.
 pub fn analyze_source(file: &str, src: &str, sim_facing: bool) -> Vec<Finding> {
     analyze_source_with_stats(file, src, sim_facing).0
 }
@@ -107,17 +183,27 @@ pub fn analyze_source_with_stats(file: &str, src: &str, sim_facing: bool) -> (Ve
         findings.insert((line, Rule::P001, msg));
     }
 
+    let scopes = ScopeTree::build(&code);
+    let symbols = SymbolTable::build(&code, &scopes);
+    let paths = collect_paths(&code, &symbols);
+
     let real_time = REAL_TIME_PATHS.contains(&file);
     if !real_time {
-        scan_wall_clock(&code, &mut findings);
-        scan_randomness(&code, &mut findings);
+        scan_wall_clock(&paths, &mut findings);
+        scan_randomness(&code, &paths, &mut findings);
     }
     scan_unsafe(&code, &mut findings);
     if sim_facing {
-        let names = collect_hash_names(&code);
-        scan_hash_iteration(&code, &names, &mut findings);
-        scan_ambient_env(&code, &mut findings);
-        scan_rc(&code, &mut findings);
+        let names = collect_hash_names(&code, &symbols, &scopes);
+        scan_hash_iteration(&code, &symbols, &names, &mut findings);
+        scan_ambient_env(&paths, &mut findings);
+        scan_rc(&code, &symbols, &paths, &mut findings);
+        scan_float_cmp(&code, &mut findings);
+        scan_unstable_sort(&code, &mut findings);
+        if !real_time {
+            scan_atomics(&code, &symbols, &mut findings);
+            scan_blocking_sync(&code, &symbols, &mut findings);
+        }
     }
 
     // Apply pragmas: a finding survives only if no pragma covering its
@@ -237,64 +323,123 @@ fn parse_pragma_body(body: &str) -> Result<Vec<Rule>, String> {
     Ok(rules)
 }
 
-/// D002: `Instant::now` and any `SystemTime::` member access.
-fn scan_wall_clock(code: &[&Tok], findings: &mut BTreeSet<(u32, Rule, String)>) {
+/// Collects every canonical multi-segment path use-site: each leading
+/// identifier (one not preceded by `::` or `.`) is resolved through the
+/// symbol table, then extended with the literal `::segment` tail that
+/// follows it in the source.
+fn collect_paths(code: &[&Tok], symbols: &SymbolTable) -> Vec<PathUse> {
+    let mut out = Vec::new();
     for i in 0..code.len() {
-        if code[i].is_ident("Instant")
-            && matches!(code.get(i + 1), Some(t) if t.is_punct("::"))
-            && matches!(code.get(i + 2), Some(t) if t.is_ident("now"))
-        {
-            findings.insert((code[i].line, Rule::D002, "`Instant::now()`".to_string()));
+        let t = code[i];
+        if t.kind != TokKind::Ident {
+            continue;
         }
-        if code[i].is_ident("SystemTime") && matches!(code.get(i + 1), Some(t) if t.is_punct("::"))
+        if i > 0 && (code[i - 1].is_punct("::") || code[i - 1].is_punct(".")) {
+            continue; // mid-path segment or method/field name
+        }
+        let (resolved, mut segs) = match symbols.resolve(&t.text, i) {
+            Some(s) => (true, s.to_vec()),
+            None => (false, vec![t.text.clone()]),
+        };
+        let mut j = i + 1;
+        while matches!(code.get(j), Some(p) if p.is_punct("::"))
+            && matches!(code.get(j + 1), Some(n) if n.kind == TokKind::Ident)
         {
-            let member = code.get(i + 2).map(|t| t.text.clone()).unwrap_or_default();
-            findings.insert((code[i].line, Rule::D002, format!("`SystemTime::{member}`")));
+            segs.push(code[j + 1].text.clone());
+            j += 2;
+        }
+        if segs.len() >= 2 {
+            out.push(PathUse {
+                line: t.line,
+                raw_first: t.text.clone(),
+                resolved,
+                segs,
+            });
+        }
+    }
+    out
+}
+
+/// D002: `Instant::now` and member access on `SystemTime`, matched on
+/// canonical paths so renamed imports still trip the rule.
+fn scan_wall_clock(paths: &[PathUse], findings: &mut BTreeSet<(u32, Rule, String)>) {
+    for p in paths {
+        for w in p.segs.windows(2) {
+            if w[0] == "Instant" && w[1] == "now" {
+                findings.insert((p.line, Rule::D002, format!("`Instant::now()`{}", p.note())));
+            }
+            if w[0] == "SystemTime" {
+                findings.insert((
+                    p.line,
+                    Rule::D002,
+                    format!("`SystemTime::{}`{}", w[1], p.note()),
+                ));
+            }
         }
     }
 }
 
-/// D003: `thread_rng`, `rand::random`, `from_entropy`.
-fn scan_randomness(code: &[&Tok], findings: &mut BTreeSet<(u32, Rule, String)>) {
-    for i in 0..code.len() {
-        if code[i].is_ident("thread_rng") {
-            findings.insert((code[i].line, Rule::D003, "`thread_rng`".to_string()));
+/// D003: `thread_rng`, `from_entropy`, `rand::random` — raw tokens plus
+/// canonical paths (so `use rand::thread_rng as tr;` is still caught).
+fn scan_randomness(code: &[&Tok], paths: &[PathUse], findings: &mut BTreeSet<(u32, Rule, String)>) {
+    for t in code {
+        if t.is_ident("thread_rng") {
+            findings.insert((t.line, Rule::D003, "`thread_rng`".to_string()));
         }
-        if code[i].is_ident("from_entropy") {
-            findings.insert((code[i].line, Rule::D003, "`from_entropy`".to_string()));
+        if t.is_ident("from_entropy") {
+            findings.insert((t.line, Rule::D003, "`from_entropy`".to_string()));
         }
-        if code[i].is_ident("rand")
-            && matches!(code.get(i + 1), Some(t) if t.is_punct("::"))
-            && matches!(code.get(i + 2), Some(t) if t.is_ident("random"))
+    }
+    for p in paths {
+        for name in ["thread_rng", "from_entropy"] {
+            if p.segs.iter().any(|s| s == name) {
+                findings.insert((p.line, Rule::D003, format!("`{name}`{}", p.note())));
+            }
+        }
+        if p.segs
+            .windows(2)
+            .any(|w| w[0] == "rand" && w[1] == "random")
         {
-            findings.insert((code[i].line, Rule::D003, "`rand::random`".to_string()));
+            findings.insert((p.line, Rule::D003, format!("`rand::random`{}", p.note())));
         }
     }
 }
 
 /// D006: `std::rc::Rc` in a sim-facing crate. Flags the `std::rc`
-/// path itself (imports and fully-qualified uses) plus any `Rc` in
-/// constructor (`Rc::...`) or type (`Rc<...>`) position. `Arc` is a
-/// distinct identifier and never matches.
-fn scan_rc(code: &[&Tok], findings: &mut BTreeSet<(u32, Rule, String)>) {
-    for i in 0..code.len() {
-        if code[i].is_ident("rc")
-            && i >= 2
-            && code[i - 1].is_punct("::")
-            && code[i - 2].is_ident("std")
-        {
-            findings.insert((code[i].line, Rule::D006, "`std::rc`".to_string()));
+/// canonical path (imports and fully-qualified uses) plus any
+/// identifier *resolving* to `Rc` in constructor (`Rc::...`) or type
+/// (`Rc<...>`) position. `Arc` is a distinct identifier and never
+/// matches.
+fn scan_rc(
+    code: &[&Tok],
+    symbols: &SymbolTable,
+    paths: &[PathUse],
+    findings: &mut BTreeSet<(u32, Rule, String)>,
+) {
+    for p in paths {
+        // Only paths *written* through std::rc (imports, fully
+        // qualified uses): sites that merely resolve there are already
+        // reported once by the canonical `Rc` check below.
+        if !p.resolved && p.segs.windows(2).any(|w| w[0] == "std" && w[1] == "rc") {
+            findings.insert((p.line, Rule::D006, "`std::rc`".to_string()));
         }
-        if !code[i].is_ident("Rc") {
+    }
+    for i in 0..code.len() {
+        if code[i].kind != TokKind::Ident || symbols.canonical_last(code[i], i) != "Rc" {
             continue;
         }
+        let note = if code[i].text != "Rc" {
+            format!(" (via `{}`)", code[i].text)
+        } else {
+            String::new()
+        };
         match code.get(i + 1) {
             Some(t) if t.is_punct("::") => {
                 let member = code.get(i + 2).map(|t| t.text.clone()).unwrap_or_default();
-                findings.insert((code[i].line, Rule::D006, format!("`Rc::{member}`")));
+                findings.insert((code[i].line, Rule::D006, format!("`Rc::{member}`{note}")));
             }
             Some(t) if t.is_punct("<") => {
-                findings.insert((code[i].line, Rule::D006, "`Rc<...>`".to_string()));
+                findings.insert((code[i].line, Rule::D006, format!("`Rc<...>`{note}")));
             }
             _ => {}
         }
@@ -310,42 +455,205 @@ fn scan_unsafe(code: &[&Tok], findings: &mut BTreeSet<(u32, Rule, String)>) {
     }
 }
 
-/// D004: `std::env` paths, plus `env::...` when `std::env` is imported.
-fn scan_ambient_env(code: &[&Tok], findings: &mut BTreeSet<(u32, Rule, String)>) {
-    let mut env_imported = false;
-    for i in 0..code.len() {
-        if code[i].is_ident("std")
-            && matches!(code.get(i + 1), Some(t) if t.is_punct("::"))
-            && matches!(code.get(i + 2), Some(t) if t.is_ident("env"))
-        {
-            if i > 0 && code[i - 1].is_ident("use") {
-                env_imported = true;
-            }
-            findings.insert((code[i].line, Rule::D004, "`std::env`".to_string()));
+/// D004: any canonical path through `std::env` — which covers direct
+/// `std::env::var` uses, `use std::env;` imports, and member calls on
+/// any alias of the module (`env::var`, `environ::var`, ...).
+fn scan_ambient_env(paths: &[PathUse], findings: &mut BTreeSet<(u32, Rule, String)>) {
+    for p in paths {
+        if p.segs.windows(2).any(|w| w[0] == "std" && w[1] == "env") {
+            findings.insert((p.line, Rule::D004, format!("`std::env`{}", p.note())));
         }
     }
-    if env_imported {
-        for i in 0..code.len() {
-            if code[i].is_ident("env")
-                && matches!(code.get(i + 1), Some(t) if t.is_punct("::"))
-                && !(i > 0 && code[i - 1].is_punct("::"))
-            {
-                let member = code.get(i + 2).map(|t| t.text.clone()).unwrap_or_default();
-                findings.insert((code[i].line, Rule::D004, format!("`env::{member}`")));
-            }
+}
+
+/// D007: shared-atomic mutation. Flags (a) non-commutative atomic
+/// methods, (b) commutative RMWs without distinguishing — both carry an
+/// `Ordering` argument, which is what disambiguates them from
+/// `slice::swap` and friends — and (c) `Ordering::{Acquire, Release,
+/// AcqRel, SeqCst}` paths, which advertise cross-thread happens-before
+/// edges the window-barrier merge protocol does not honour.
+fn scan_atomics(
+    code: &[&Tok],
+    symbols: &SymbolTable,
+    findings: &mut BTreeSet<(u32, Rule, String)>,
+) {
+    for i in 0..code.len() {
+        if !code[i].is_punct(".") {
+            continue;
         }
+        let Some(m) = code.get(i + 1) else { continue };
+        if m.kind != TokKind::Ident {
+            continue;
+        }
+        let name = m.text.as_str();
+        let noncomm = ATOMIC_NONCOMMUTATIVE.contains(&name);
+        if !noncomm && !ATOMIC_COMMUTATIVE.contains(&name) {
+            continue;
+        }
+        let (after_tf, _) = skip_turbofish(code, i + 2);
+        if !matches!(code.get(after_tf), Some(t) if t.is_punct("(")) {
+            continue;
+        }
+        let end = skip_parens(code, after_tf);
+        // An atomic call always names a memory ordering; `slice.swap(i, j)`
+        // and other same-named methods never do.
+        let has_ordering = (after_tf..end.min(code.len())).any(|k| {
+            let c = symbols.canonical_last(code[k], k);
+            c == "Ordering" || c == "Relaxed" || STRONG_ORDERINGS.contains(&c)
+        });
+        if !has_ordering {
+            continue;
+        }
+        let msg = if noncomm {
+            format!("non-commutative atomic `.{name}(..)`")
+        } else {
+            format!("merge-only counter `.{name}(..)` requires a documented pragma")
+        };
+        findings.insert((m.line, Rule::D007, msg));
+    }
+    for i in 0..code.len() {
+        if code[i].kind != TokKind::Ident || symbols.canonical_last(code[i], i) != "Ordering" {
+            continue;
+        }
+        if !matches!(code.get(i + 1), Some(t) if t.is_punct("::")) {
+            continue;
+        }
+        let Some(v) = code.get(i + 2) else { continue };
+        if STRONG_ORDERINGS.contains(&v.text.as_str()) {
+            findings.insert((
+                code[i].line,
+                Rule::D007,
+                format!(
+                    "`Ordering::{}` (only `Relaxed` is merge-compatible)",
+                    v.text
+                ),
+            ));
+        }
+    }
+}
+
+/// D008: `.partial_cmp(..)` in call position. Float `PartialOrd` is not
+/// a total order, so comparators built on it can panic (NaN) or hand
+/// the sort an inconsistent ordering; `total_cmp` is required. `fn
+/// partial_cmp` *definitions* are not call sites and do not match.
+fn scan_float_cmp(code: &[&Tok], findings: &mut BTreeSet<(u32, Rule, String)>) {
+    for i in 0..code.len() {
+        if code[i].is_punct(".")
+            && matches!(code.get(i + 1), Some(t) if t.is_ident("partial_cmp"))
+            && matches!(code.get(i + 2), Some(t) if t.is_punct("("))
+        {
+            findings.insert((
+                code[i + 1].line,
+                Rule::D008,
+                "`.partial_cmp(..)` is not a total order; use `total_cmp`".to_string(),
+            ));
+        }
+    }
+}
+
+/// D009: keyed unstable sorts. The output permutation is unspecified
+/// whenever the key ties distinct elements, so each site must carry a
+/// pragma arguing the key is injective over the slice (or switch to the
+/// stable sort). Plain `sort_unstable()` is exempt — see
+/// [`UNSTABLE_KEYED_SORTS`].
+fn scan_unstable_sort(code: &[&Tok], findings: &mut BTreeSet<(u32, Rule, String)>) {
+    for i in 0..code.len() {
+        if !code[i].is_punct(".") {
+            continue;
+        }
+        let Some(m) = code.get(i + 1) else { continue };
+        if !UNSTABLE_KEYED_SORTS.contains(&m.text.as_str()) {
+            continue;
+        }
+        if !matches!(code.get(i + 2), Some(t) if t.is_punct("(")) {
+            continue;
+        }
+        findings.insert((
+            m.line,
+            Rule::D009,
+            format!(
+                "`.{}(..)` requires a pragma-documented injective key",
+                m.text
+            ),
+        ));
+    }
+}
+
+/// D010: blocking synchronization primitives, matched on the canonical
+/// final path segment (so `use std::sync::Mutex as Lock;` still trips).
+/// One finding per line per primitive: the import line and every use
+/// site each need a pragma or a redesign.
+fn scan_blocking_sync(
+    code: &[&Tok],
+    symbols: &SymbolTable,
+    findings: &mut BTreeSet<(u32, Rule, String)>,
+) {
+    for (i, tok) in code.iter().enumerate() {
+        if tok.kind != TokKind::Ident {
+            continue;
+        }
+        let c = symbols.canonical_last(tok, i);
+        if !BLOCKING_SYNC.contains(&c) {
+            continue;
+        }
+        let msg = if tok.text == c {
+            format!("`{c}`")
+        } else {
+            format!("`{c}` (via `{}`)", tok.text)
+        };
+        findings.insert((tok.line, Rule::D010, msg));
+    }
+}
+
+/// A tracked hash-collection name and the code-token span in which it
+/// is visible.
+struct NameSpan {
+    name: String,
+    start: usize,
+    end: usize,
+}
+
+/// Whether a tracked name is visible at code index `idx`.
+fn name_visible(names: &[NameSpan], text: &str, idx: usize) -> bool {
+    names
+        .iter()
+        .any(|n| n.name == text && n.start <= idx && idx < n.end)
+}
+
+/// The span of the innermost enclosing `fn` scope at `idx`, or the
+/// whole file when the declaration is an item (struct field, static,
+/// fn param in the header before the body's `{`) — those stay visible
+/// file-wide, since methods elsewhere access them through `self`.
+fn enclosing_fn_span(scopes: &ScopeTree, idx: usize) -> (usize, usize) {
+    let mut id = scopes.innermost(idx);
+    loop {
+        let s = scopes.scopes()[id];
+        if s.kind == ScopeKind::Fn {
+            return (s.open, s.close);
+        }
+        if id == 0 {
+            return (0, usize::MAX);
+        }
+        id = s.parent;
     }
 }
 
 /// Names (fields, locals, params) declared with a `HashMap`/`HashSet`
 /// type annotation or initialized from a `HashMap`/`HashSet`
-/// constructor. Tracking is per-file and purely lexical: that is
-/// coarse, but suppressions exist precisely for the cases a lexer
-/// cannot prove.
-fn collect_hash_names(code: &[&Tok]) -> BTreeSet<String> {
-    let mut names = BTreeSet::new();
+/// constructor — where the type name is matched through symbol
+/// resolution, so `FastMap<..>` under a rename and `type T = HashMap<..>`
+/// aliases register too. Function-local declarations are visible only
+/// inside their enclosing `fn`; item-level ones (fields, statics)
+/// file-wide. Still coarse — no per-block shadowing — but suppressions
+/// exist precisely for the cases a file-local analysis cannot prove.
+fn collect_hash_names(code: &[&Tok], symbols: &SymbolTable, scopes: &ScopeTree) -> Vec<NameSpan> {
+    let mut names: Vec<NameSpan> = Vec::new();
     for i in 0..code.len() {
-        if !(code[i].is_ident("HashMap") || code[i].is_ident("HashSet")) {
+        if code[i].kind != TokKind::Ident {
+            continue;
+        }
+        let canon = symbols.canonical_last(code[i], i);
+        if canon != "HashMap" && canon != "HashSet" {
             continue;
         }
         let next = code.get(i + 1);
@@ -381,14 +689,24 @@ fn collect_hash_names(code: &[&Tok]) -> BTreeSet<String> {
                     k -= 1;
                 }
                 if k > 0 && code[k].is_punct(":") && code[k - 1].kind == TokKind::Ident {
-                    names.insert(code[k - 1].text.clone());
+                    let (start, end) = enclosing_fn_span(scopes, i);
+                    names.push(NameSpan {
+                        name: code[k - 1].text.clone(),
+                        start,
+                        end,
+                    });
                 }
             }
             // `name = HashMap::new()` / `let mut name = HashMap::new()`.
             t if t.is_punct("=") && j >= 2 && code[j - 2].kind == TokKind::Ident => {
                 let cand = &code[j - 2].text;
                 if cand != "let" && cand != "mut" {
-                    names.insert(cand.clone());
+                    let (start, end) = enclosing_fn_span(scopes, i);
+                    names.push(NameSpan {
+                        name: cand.clone(),
+                        start,
+                        end,
+                    });
                 }
             }
             _ => {}
@@ -398,8 +716,9 @@ fn collect_hash_names(code: &[&Tok]) -> BTreeSet<String> {
 }
 
 /// Skips an optional `::<...>` turbofish starting at `i`, returning the
-/// index after it (or `i` unchanged) and the idents seen inside.
-fn skip_turbofish(code: &[&Tok], i: usize) -> (usize, Vec<String>) {
+/// index after it (or `i` unchanged) and the code indices of the idents
+/// seen inside (for resolution by the caller).
+fn skip_turbofish(code: &[&Tok], i: usize) -> (usize, Vec<usize>) {
     if !(matches!(code.get(i), Some(t) if t.is_punct("::"))
         && matches!(code.get(i + 1), Some(t) if t.is_punct("<")))
     {
@@ -417,7 +736,7 @@ fn skip_turbofish(code: &[&Tok], i: usize) -> (usize, Vec<String>) {
                     return (j + 1, idents);
                 }
             }
-            t if t.kind == TokKind::Ident => idents.push(t.text.clone()),
+            t if t.kind == TokKind::Ident => idents.push(j),
             _ => {}
         }
         j += 1;
@@ -454,7 +773,7 @@ enum ChainVerdict {
 
 /// Scans the `.method(...)` chain starting at `i` (the token right
 /// after the iteration call's closing paren).
-fn scan_chain(code: &[&Tok], mut i: usize) -> ChainVerdict {
+fn scan_chain(code: &[&Tok], symbols: &SymbolTable, mut i: usize) -> ChainVerdict {
     loop {
         if !matches!(code.get(i), Some(t) if t.is_punct(".")) {
             return ChainVerdict::Unproven; // chain ends without proof
@@ -475,7 +794,13 @@ fn scan_chain(code: &[&Tok], mut i: usize) -> ChainVerdict {
             return ChainVerdict::OrderSafe;
         }
         if name == "collect" {
-            let sorted = tf_idents.iter().any(|t| t == "BTreeMap" || t == "BTreeSet");
+            // Resolve turbofish targets so `collect::<Sorted<..>>()`
+            // under `type Sorted = BTreeMap<..>` counts as sorted (and
+            // a renamed HashMap does not).
+            let sorted = tf_idents.iter().any(|&ix| {
+                let c = symbols.canonical_last(code[ix], ix);
+                c == "BTreeMap" || c == "BTreeSet"
+            });
             return if sorted {
                 ChainVerdict::OrderSafe
             } else {
@@ -493,12 +818,13 @@ fn scan_chain(code: &[&Tok], mut i: usize) -> ChainVerdict {
 /// D001: iteration over hash-ordered collections.
 fn scan_hash_iteration(
     code: &[&Tok],
-    names: &BTreeSet<String>,
+    symbols: &SymbolTable,
+    names: &[NameSpan],
     findings: &mut BTreeSet<(u32, Rule, String)>,
 ) {
     // Method-call sites: `name.iter()...`, `self.name.keys()...`.
     for i in 0..code.len() {
-        if code[i].kind != TokKind::Ident || !names.contains(&code[i].text) {
+        if code[i].kind != TokKind::Ident || !name_visible(names, &code[i].text, i) {
             continue;
         }
         if !matches!(code.get(i + 1), Some(t) if t.is_punct(".")) {
@@ -513,7 +839,7 @@ fn scan_hash_iteration(
             continue; // e.g. a field named `keys`
         }
         let after_call = skip_parens(code, after_tf);
-        if let ChainVerdict::Unproven = scan_chain(code, after_call) {
+        if let ChainVerdict::Unproven = scan_chain(code, symbols, after_call) {
             findings.insert((
                 code[i].line,
                 Rule::D001,
@@ -555,7 +881,7 @@ fn scan_hash_iteration(
                 t if t.is_punct("(") || t.is_punct("[") => depth += 1,
                 t if t.is_punct(")") || t.is_punct("]") => depth -= 1,
                 t if depth == 0 && t.is_punct("{") => break,
-                t if t.kind == TokKind::Ident && names.contains(&t.text) => {
+                t if t.kind == TokKind::Ident && name_visible(names, &t.text, k) => {
                     // A name followed by `.` is handled by the
                     // method-site scanner; `::` means it is a path
                     // segment, not the collection.
@@ -641,21 +967,138 @@ mod tests {
     }
 
     #[test]
-    fn real_time_allowlist_skips_wall_clock_and_randomness_only() {
-        // The TCP backend file may use Instant and OS entropy, but
-        // every other rule (here: D005) still applies to it.
-        let src = "fn f() { let _t = Instant::now(); let _r = thread_rng(); unsafe { g(); } }";
+    fn import_aliases_do_not_evade_the_rules() {
+        let src = "use std::collections::HashMap as FastMap;\n\
+                   use std::rc::Rc as Shared;\n\
+                   use std::time::Instant as Clock;\n\
+                   fn f() {\n\
+                   let m: FastMap<u64, u32> = FastMap::new();\n\
+                   let _keys: Vec<u64> = m.keys().copied().collect();\n\
+                   let _p = Shared::new(1u64);\n\
+                   let _t = Clock::now();\n\
+                   }";
+        assert_eq!(
+            rules_at(src, true),
+            vec![(2, "D006"), (6, "D001"), (7, "D006"), (8, "D002")]
+        );
+        // The messages name the canonical item and the alias used.
+        let findings = analyze_source("t.rs", src, true);
+        assert!(findings
+            .iter()
+            .any(|f| f.message == "`Rc::new` (via `Shared`)"));
+        assert!(findings
+            .iter()
+            .any(|f| f.message == "`Instant::now()` (via `Clock`)"));
+    }
+
+    #[test]
+    fn fn_local_alias_expires_with_its_scope() {
+        let src = "fn f() {\n\
+                   use std::collections::HashMap as M;\n\
+                   let m: M<u64, u32> = M::new();\n\
+                   for _ in m.keys() {}\n\
+                   }\n\
+                   fn g() {\n\
+                   let m: M<u64, u32> = M::new();\n\
+                   for _ in m.keys() {}\n\
+                   }";
+        // Inside f the alias resolves to HashMap (flagged); in g the
+        // name M is unbound, so nothing registers.
+        assert_eq!(rules_at(src, true), vec![(4, "D001")]);
+    }
+
+    #[test]
+    fn real_time_allowlist_skips_clock_entropy_and_shared_state_rules() {
+        // The TCP backend file may use Instant, OS entropy, channels,
+        // locks and SeqCst atomics, but every other rule (here: D005)
+        // still applies to it.
+        let src = "fn f(a: &AtomicU64, m: &Mutex<u32>) {\n\
+                   let _t = Instant::now();\n\
+                   let _r = thread_rng();\n\
+                   a.store(1, Ordering::SeqCst);\n\
+                   let _g = m.lock();\n\
+                   unsafe { g(); }\n\
+                   }";
         let allowed: Vec<(u32, &str)> = analyze_source("crates/net/src/tcp.rs", src, true)
             .into_iter()
             .map(|f| (f.line, f.rule.code()))
             .collect();
-        assert_eq!(allowed, vec![(1, "D005")]);
-        // The same source under any other path keeps D002/D003.
+        assert_eq!(allowed, vec![(6, "D005")]);
+        // The same source under any other sim-facing path keeps the
+        // clock, entropy and shared-state rules.
         let elsewhere: Vec<&str> = analyze_source("crates/net/src/sim.rs", src, true)
             .into_iter()
             .map(|f| f.rule.code())
             .collect();
-        assert!(elsewhere.contains(&"D002") && elsewhere.contains(&"D003"));
+        for code in ["D002", "D003", "D005", "D007", "D010"] {
+            assert!(elsewhere.contains(&code), "missing {code}: {elsewhere:?}");
+        }
+    }
+
+    #[test]
+    fn atomics_need_ordering_evidence_to_match() {
+        // slice::swap has no Ordering argument and must not trip D007.
+        let src = "fn f(v: &mut Vec<u32>) { v.swap(0, 1); }";
+        assert_eq!(rules_at(src, true), vec![]);
+        let src = "fn g(a: &AtomicU64) {\n\
+                   a.store(1, Ordering::Relaxed);\n\
+                   a.fetch_add(1, Ordering::Relaxed);\n\
+                   let _v = a.load(Ordering::Relaxed);\n\
+                   }";
+        // store is non-commutative; fetch_add needs a pragma; a Relaxed
+        // load is fine.
+        assert_eq!(rules_at(src, true), vec![(2, "D007"), (3, "D007")]);
+        assert_eq!(rules_at(src, false), vec![]);
+    }
+
+    #[test]
+    fn strong_orderings_are_flagged_even_on_loads() {
+        let src = "fn f(a: &AtomicU64) -> u64 { a.load(Ordering::SeqCst) }";
+        assert_eq!(rules_at(src, true), vec![(1, "D007")]);
+    }
+
+    #[test]
+    fn partial_cmp_calls_flagged_but_definitions_are_not() {
+        let src = "impl PartialOrd for T {\n\
+                   fn partial_cmp(&self, other: &T) -> Option<Ordering> { Some(self.cmp(other)) }\n\
+                   }\n\
+                   fn f(xs: &mut [f64]) { xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); }";
+        assert_eq!(rules_at(src, true), vec![(4, "D008")]);
+        assert_eq!(rules_at(src, false), vec![]);
+    }
+
+    #[test]
+    fn keyed_unstable_sorts_flagged_plain_sort_unstable_exempt() {
+        let src = "fn f(xs: &mut Vec<(u64, u64)>) {\n\
+                   xs.sort_unstable();\n\
+                   xs.sort_unstable_by_key(|x| x.0);\n\
+                   xs.sort_unstable_by(|a, b| a.0.cmp(&b.0));\n\
+                   }";
+        assert_eq!(rules_at(src, true), vec![(3, "D009"), (4, "D009")]);
+        assert_eq!(rules_at(src, false), vec![]);
+    }
+
+    #[test]
+    fn blocking_sync_flagged_in_sim_facing_code_only() {
+        let src = "use std::sync::Mutex;\n\
+                   use std::sync::mpsc;\n\
+                   fn f() -> Mutex<u64> { Mutex::new(0) }\n\
+                   fn g() { let (_tx, _rx) = mpsc::channel::<u32>(); }";
+        assert_eq!(
+            rules_at(src, true),
+            vec![(1, "D010"), (2, "D010"), (3, "D010"), (4, "D010")]
+        );
+        assert_eq!(rules_at(src, false), vec![]);
+    }
+
+    #[test]
+    fn renamed_mutex_still_trips_d010() {
+        let src = "use std::sync::Mutex as Lock;\n\
+                   fn f() -> Lock<u64> { Lock::new(0) }";
+        let findings = analyze_source("t.rs", src, true);
+        assert!(findings
+            .iter()
+            .any(|f| f.line == 2 && f.message == "`Mutex` (via `Lock`)"));
     }
 
     #[test]

@@ -206,7 +206,9 @@ pub fn lex(src: &str) -> Vec<Tok> {
                 let start = i;
                 while i < b.len()
                     && (b[i].is_alphanumeric() || b[i] == '_' || b[i] == '.')
-                    && !(b[i] == '.' && i + 1 < b.len() && b[i + 1] == '.')
+                    && !(b[i] == '.'
+                        && i + 1 < b.len()
+                        && (b[i + 1] == '.' || b[i + 1].is_alphabetic() || b[i + 1] == '_'))
                 {
                     i += 1;
                 }

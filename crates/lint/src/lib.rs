@@ -18,6 +18,23 @@
 //!   crates.
 //! - **D005** — `unsafe` blocks (doubly enforced by
 //!   `#![forbid(unsafe_code)]` on every workspace crate).
+//! - **D006** — `std::rc::Rc` in sim-facing crates: node/message state
+//!   must be `Send` for the sharded executor.
+//! - **D007** — shared-atomic mutation in sim-facing crates: the
+//!   window-barrier merge protocol tolerates only merge-only
+//!   commutative `Relaxed` counters, and those only under a pragma
+//!   documenting the discipline.
+//! - **D008** — `.partial_cmp(..)` comparators (floats are not totally
+//!   ordered; `total_cmp` is).
+//! - **D009** — keyed unstable sorts (`sort_unstable_by(_key)`) without
+//!   a pragma-documented injectivity argument.
+//! - **D010** — blocking synchronization (`Mutex`, `RwLock`, `mpsc`,
+//!   `Condvar`) in sim-facing crates.
+//!
+//! Rules match through a scope-aware symbol layer ([`scope`],
+//! [`symbols`]): per-scope `use`-tree aliases and `type` aliases are
+//! resolved to canonical paths before matching, so
+//! `use std::collections::HashMap as FastMap;` cannot evade D001.
 //!
 //! Findings are suppressible only via an inline pragma
 //!
@@ -39,6 +56,9 @@ pub mod analyze;
 pub mod lex;
 pub mod report;
 pub mod rules;
+pub mod schema;
+pub mod scope;
+pub mod symbols;
 pub mod workspace;
 
 pub use analyze::{analyze_source, analyze_source_with_stats, SIM_FACING_CRATES};

@@ -1,12 +1,16 @@
 //! `decent-lint` CLI.
 //!
 //! ```text
-//! cargo run -p decent-lint -- --workspace [--root DIR] [--json PATH] [--quiet]
+//! cargo run -p decent-lint -- --workspace [--root DIR] [--json PATH] [--md PATH] [--quiet]
 //! cargo run -p decent-lint -- --rules
+//! cargo run -p decent-lint -- --explain D007
+//! cargo run -p decent-lint -- --schema-check lint-report.json
 //! ```
 //!
 //! Exit status: 0 when clean, 1 when any finding (including unused or
 //! malformed pragmas) survives, 2 on usage or I/O errors.
+//! `--schema-check` exits 0 on a valid report regardless of how many
+//! findings it records — it validates the document, not the tree.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -14,14 +18,21 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use decent_lint::{lint_workspace, report, rules::ALL_RULES};
+use decent_lint::{
+    lint_workspace, report,
+    rules::{Rule, ALL_RULES},
+    schema,
+};
 
 struct Cli {
     workspace: bool,
     root: PathBuf,
     json: Option<PathBuf>,
+    md: Option<PathBuf>,
     quiet: bool,
     rules: bool,
+    explain: Option<String>,
+    schema_check: Option<PathBuf>,
 }
 
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
@@ -29,8 +40,11 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
         workspace: false,
         root: PathBuf::from("."),
         json: None,
+        md: None,
         quiet: false,
         rules: false,
+        explain: None,
+        schema_check: None,
     };
     let mut args = args.peekable();
     while let Some(a) = args.next() {
@@ -44,13 +58,40 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
             "--json" => {
                 cli.json = Some(PathBuf::from(args.next().ok_or("--json needs a path")?));
             }
+            "--md" => {
+                cli.md = Some(PathBuf::from(args.next().ok_or("--md needs a path")?));
+            }
+            "--explain" => {
+                cli.explain = Some(args.next().ok_or("--explain needs a rule id (e.g. D007)")?);
+            }
+            "--schema-check" => {
+                cli.schema_check = Some(PathBuf::from(
+                    args.next().ok_or("--schema-check needs a report path")?,
+                ));
+            }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    if !cli.workspace && !cli.rules {
+    if !cli.workspace && !cli.rules && cli.explain.is_none() && cli.schema_check.is_none() {
         return Err("nothing to do: pass --workspace (and optionally --json PATH)".to_string());
     }
     Ok(cli)
+}
+
+/// Renders the `--explain` page for one rule.
+fn explain(rule: Rule) -> String {
+    format!(
+        "{} — {}\n\n{}\n\nExample (violates {}):\n\n{}\n",
+        rule.code(),
+        rule.summary(),
+        rule.rationale(),
+        rule.code(),
+        rule.example()
+            .lines()
+            .map(|l| format!("    {l}"))
+            .collect::<Vec<_>>()
+            .join("\n"),
+    )
 }
 
 fn main() -> ExitCode {
@@ -59,11 +100,45 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("decent-lint: {e}");
             eprintln!(
-                "usage: decent-lint --workspace [--root DIR] [--json PATH] [--quiet] | --rules"
+                "usage: decent-lint --workspace [--root DIR] [--json PATH] [--md PATH] [--quiet] \
+                 | --rules | --explain CODE | --schema-check PATH"
             );
             return ExitCode::from(2);
         }
     };
+    if let Some(id) = &cli.explain {
+        let Some(rule) = Rule::parse_any(id) else {
+            eprintln!("decent-lint: unknown rule id `{id}` (try --rules for the list)");
+            return ExitCode::from(2);
+        };
+        print!("{}", explain(rule));
+        return ExitCode::SUCCESS;
+    }
+    if let Some(path) = &cli.schema_check {
+        let doc = match std::fs::read_to_string(path) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("decent-lint: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        return match schema::check_report(&doc) {
+            Ok(summary) => {
+                println!(
+                    "decent-lint: {} is a valid {} report ({} finding(s), {} file(s) scanned)",
+                    path.display(),
+                    report::LINT_REPORT_SCHEMA,
+                    summary.findings,
+                    summary.files_scanned
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("decent-lint: {}: {e}", path.display());
+                ExitCode::FAILURE
+            }
+        };
+    }
     if cli.rules {
         for r in ALL_RULES {
             println!("{}  {}", r.code(), r.summary());
@@ -82,6 +157,13 @@ fn main() -> ExitCode {
     if let Some(path) = &cli.json {
         let doc = report::to_json(&ws.findings, ws.files_scanned, ws.pragmas_used);
         if let Err(e) = std::fs::write(path, doc + "\n") {
+            eprintln!("decent-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = &cli.md {
+        let doc = report::to_markdown(&ws.findings, ws.files_scanned, ws.pragmas_used);
+        if let Err(e) = std::fs::write(path, doc) {
             eprintln!("decent-lint: cannot write {}: {e}", path.display());
             return ExitCode::from(2);
         }

@@ -1,5 +1,6 @@
-//! Findings output: human-readable text and a deterministic JSON
-//! document (`decent.lint-report/1`).
+//! Findings output: human-readable text, a deterministic JSON document
+//! (`decent.lint-report/2`), and a markdown per-rule table for CI step
+//! summaries.
 //!
 //! The JSON is produced by a local writer in the same spirit as
 //! `decent_sim::json` — insertion-ordered keys, one canonical string
@@ -8,8 +9,10 @@
 
 use crate::rules::{Finding, ALL_RULES};
 
-/// Schema identifier embedded in the JSON report.
-pub const LINT_REPORT_SCHEMA: &str = "decent.lint-report/1";
+/// Schema identifier embedded in the JSON report. Version 2 grew the
+/// rule set to D001–D010 (the `rule_totals` object gained keys; the
+/// field shapes are unchanged from version 1).
+pub const LINT_REPORT_SCHEMA: &str = "decent.lint-report/2";
 
 /// Renders findings as human-readable lines plus a summary tail.
 pub fn to_text(findings: &[Finding], files_scanned: usize, pragmas_used: usize) -> String {
@@ -68,6 +71,33 @@ pub fn to_json(findings: &[Finding], files_scanned: usize, pragmas_used: usize) 
     s
 }
 
+/// Renders the per-rule finding table as GitHub-flavored markdown, for
+/// `$GITHUB_STEP_SUMMARY`. Deterministic: rules in report order, then
+/// the findings (if any) as `file:line` detail lines.
+pub fn to_markdown(findings: &[Finding], files_scanned: usize, pragmas_used: usize) -> String {
+    let mut s = String::new();
+    s.push_str("## decent-lint\n\n");
+    s.push_str(&format!(
+        "{} finding(s) across {files_scanned} file(s); {pragmas_used} pragma(s) in use.\n\n",
+        findings.len()
+    ));
+    s.push_str("| rule | summary | findings |\n|---|---|---:|\n");
+    for rule in ALL_RULES {
+        let n = findings.iter().filter(|f| f.rule == rule).count();
+        s.push_str(&format!("| {} | {} | {n} |\n", rule.code(), rule.summary()));
+    }
+    if !findings.is_empty() {
+        s.push_str("\n### Findings\n\n");
+        for f in findings {
+            s.push_str(&format!(
+                "- `{}:{}` **{}** — {}\n",
+                f.file, f.line, f.rule, f.message
+            ));
+        }
+    }
+    s
+}
+
 /// Writes a JSON string literal with the canonical escapes.
 fn write_str(out: &mut String, s: &str) {
     out.push('"');
@@ -105,14 +135,27 @@ mod tests {
         let a = to_json(&f, 3, 1);
         let b = to_json(&f, 3, 1);
         assert_eq!(a, b);
-        assert!(a.starts_with("{\"schema\":\"decent.lint-report/1\""));
+        assert!(a.starts_with("{\"schema\":\"decent.lint-report/2\""));
         assert!(a.contains("\"rule\":\"D002\""));
         assert!(a.contains("\"rule_totals\":{\"D001\":0,\"D002\":1"));
+        assert!(a.contains("\"D010\":0"));
     }
 
     #[test]
     fn text_summarizes() {
         assert!(to_text(&[], 10, 2).contains("clean"));
         assert!(to_text(&[finding()], 10, 0).contains("1 finding(s)"));
+    }
+
+    #[test]
+    fn markdown_has_a_row_per_rule() {
+        let md = to_markdown(&[finding()], 10, 1);
+        for rule in ALL_RULES {
+            assert!(md.contains(&format!("| {} |", rule.code())), "{rule:?}");
+        }
+        assert!(md.contains("| D002 |"));
+        assert!(md.contains("`crates/x/src/a.rs:7`"));
+        // Clean reports omit the findings section.
+        assert!(!to_markdown(&[], 10, 0).contains("### Findings"));
     }
 }

@@ -1,0 +1,379 @@
+//! Schema validation for `decent.lint-report/2` JSON documents.
+//!
+//! CI writes the lint report with `--json` and then re-reads it with
+//! `--schema-check` before publishing, so a malformed writer (or a
+//! hand-edited artifact) fails the job instead of shipping a report
+//! downstream tooling cannot parse. The validator carries its own
+//! minimal JSON reader — same dependency-free discipline as the rest of
+//! the crate — and checks structure, not just well-formedness: the
+//! schema tag, the field types, one `rule_totals` key per rule in
+//! report order, and totals consistent with the findings list.
+
+use crate::report::LINT_REPORT_SCHEMA;
+use crate::rules::{Rule, ALL_RULES};
+
+/// A parsed JSON value. Object keys keep their document order so the
+/// validator can check `rule_totals` ordering determinism.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (reports only use non-negative integers).
+    Num(f64),
+    /// String
+    Str(String),
+    /// Array
+    Arr(Vec<Value>),
+    /// Object, in document key order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// What a validated report contains, for the CLI's confirmation line.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ReportSummary {
+    /// Number of findings in the document.
+    pub findings: usize,
+    /// `files_scanned` field.
+    pub files_scanned: u64,
+}
+
+/// Parses a JSON document (strict enough for lint reports: no trailing
+/// garbage, standard escapes).
+///
+/// # Errors
+///
+/// Returns a position-annotated message on malformed input.
+pub fn parse(src: &str) -> Result<Value, String> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
+
+/// Validates a `decent.lint-report/2` document.
+///
+/// # Errors
+///
+/// Returns the first structural problem found, as a human-readable
+/// message.
+pub fn check_report(src: &str) -> Result<ReportSummary, String> {
+    let doc = parse(src)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing string field `schema`")?;
+    if schema != LINT_REPORT_SCHEMA {
+        return Err(format!(
+            "schema mismatch: expected `{LINT_REPORT_SCHEMA}`, found `{schema}`"
+        ));
+    }
+    let files_scanned = doc
+        .get("files_scanned")
+        .and_then(Value::as_u64)
+        .ok_or("missing integer field `files_scanned`")?;
+    doc.get("pragmas_used")
+        .and_then(Value::as_u64)
+        .ok_or("missing integer field `pragmas_used`")?;
+
+    let Some(Value::Obj(totals)) = doc.get("rule_totals") else {
+        return Err("missing object field `rule_totals`".to_string());
+    };
+    let expected: Vec<&str> = ALL_RULES.iter().map(|r| r.code()).collect();
+    let got: Vec<&str> = totals.iter().map(|(k, _)| k.as_str()).collect();
+    if got != expected {
+        return Err(format!(
+            "rule_totals keys must be exactly {expected:?} in order, found {got:?}"
+        ));
+    }
+
+    let Some(Value::Arr(findings)) = doc.get("findings") else {
+        return Err("missing array field `findings`".to_string());
+    };
+    for (i, f) in findings.iter().enumerate() {
+        f.get("file")
+            .and_then(Value::as_str)
+            .ok_or(format!("finding {i}: missing string field `file`"))?;
+        f.get("line")
+            .and_then(Value::as_u64)
+            .ok_or(format!("finding {i}: missing integer field `line`"))?;
+        let rule = f
+            .get("rule")
+            .and_then(Value::as_str)
+            .ok_or(format!("finding {i}: missing string field `rule`"))?;
+        if Rule::parse_any(rule).is_none() {
+            return Err(format!("finding {i}: unknown rule id `{rule}`"));
+        }
+        f.get("message")
+            .and_then(Value::as_str)
+            .ok_or(format!("finding {i}: missing string field `message`"))?;
+    }
+
+    // Totals must agree with the findings list.
+    for rule in ALL_RULES {
+        let total = totals
+            .iter()
+            .find(|(k, _)| k == rule.code())
+            .and_then(|(_, v)| v.as_u64())
+            .ok_or(format!("rule_totals.{rule} is not an integer"))?;
+        let counted = findings
+            .iter()
+            .filter(|f| f.get("rule").and_then(Value::as_str) == Some(rule.code()))
+            .count() as u64;
+        if total != counted {
+            return Err(format!(
+                "rule_totals.{rule} = {total}, but the findings list holds {counted}"
+            ));
+        }
+    }
+
+    Ok(ReportSummary {
+        findings: findings.len(),
+        files_scanned,
+    })
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(members));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Value::Str(s) => s,
+                    _ => return Err(format!("object key at byte {pos} is not a string")),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected `:` at byte {pos}"));
+                }
+                *pos += 1;
+                let val = parse_value(b, pos)?;
+                members.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(members));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(b, pos).map(Value::Str),
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Value::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Value::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Value::Null)
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(b.get(*pos), Some(&b'"'));
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape".to_string())?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                        let cp = u32::from_str_radix(hex, 16)
+                            .map_err(|e| format!("bad \\u escape `{hex}`: {e}"))?;
+                        // Reports only escape control characters, so
+                        // surrogate pairs never occur; reject them
+                        // rather than mis-decode.
+                        let ch =
+                            char::from_u32(cp).ok_or(format!("\\u{hex} is not a scalar value"))?;
+                        out.push(ch);
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Copy the full UTF-8 sequence starting here.
+                let s = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let ch = s.chars().next().ok_or("empty string tail".to_string())?;
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    while let Some(&c) = b.get(*pos) {
+        if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+    if start == *pos {
+        return Err(format!("unexpected byte at {start}"));
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Value::Num)
+        .map_err(|e| format!("bad number `{text}`: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::to_json;
+    use crate::rules::Finding;
+
+    fn sample() -> String {
+        let findings = vec![Finding {
+            file: "crates/x/src/a.rs".to_string(),
+            line: 7,
+            rule: Rule::D002,
+            message: "`Instant::now()`".to_string(),
+        }];
+        to_json(&findings, 3, 1)
+    }
+
+    #[test]
+    fn real_reports_validate() {
+        let summary = check_report(&sample()).expect("valid");
+        assert_eq!(
+            summary,
+            ReportSummary {
+                findings: 1,
+                files_scanned: 3
+            }
+        );
+        // The empty report validates too.
+        assert!(check_report(&to_json(&[], 0, 0)).is_ok());
+    }
+
+    #[test]
+    fn schema_tag_is_enforced() {
+        let doc = sample().replace("decent.lint-report/2", "decent.lint-report/1");
+        let err = check_report(&doc).unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+    }
+
+    #[test]
+    fn inconsistent_totals_are_rejected() {
+        let doc = sample().replace("\"D002\":1", "\"D002\":2");
+        let err = check_report(&doc).unwrap_err();
+        assert!(err.contains("rule_totals.D002"), "{err}");
+    }
+
+    #[test]
+    fn missing_and_reordered_total_keys_are_rejected() {
+        let doc = sample().replace("\"D001\":0,\"D002\":1", "\"D002\":1,\"D001\":0");
+        assert!(check_report(&doc).unwrap_err().contains("in order"));
+    }
+
+    #[test]
+    fn unknown_rule_ids_are_rejected() {
+        let doc = sample().replace("\"rule\":\"D002\"", "\"rule\":\"D099\"");
+        assert!(check_report(&doc).unwrap_err().contains("unknown rule id"));
+    }
+
+    #[test]
+    fn parser_round_trips_escapes_and_rejects_garbage() {
+        let v = parse("{\"a\":\"x\\n\\\"y\\u0007\",\"b\":[1,2.5,true,null]}").expect("parses");
+        assert_eq!(v.get("a").unwrap(), &Value::Str("x\n\"y\u{7}".to_string()));
+        assert!(parse("{\"a\":1} trailing").is_err());
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("").is_err());
+    }
+}

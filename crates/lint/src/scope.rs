@@ -1,0 +1,236 @@
+//! Brace-matched scope tracking over the token stream.
+//!
+//! The lexer ([`crate::lex`]) deliberately knows nothing about nesting;
+//! this layer adds just enough structure for scope-sensitive analysis:
+//! every `{ ... }` region becomes a [`Scope`] with a classified
+//! [`ScopeKind`] (function, impl/trait block, module, or plain block)
+//! and parent links, so the symbol table ([`crate::symbols`]) can bound
+//! the visibility of `use`-tree aliases and `type` aliases to the
+//! region that declares them — a file-level `use x as y` is visible
+//! everywhere, a function-local one only inside that function, and an
+//! inner alias shadows an outer one.
+//!
+//! Indices throughout are *code-token* indices (comments filtered out),
+//! matching what the rule engine iterates over.
+
+use crate::lex::{Tok, TokKind};
+
+/// What introduced a brace scope.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScopeKind {
+    /// The whole file (the implicit root scope).
+    File,
+    /// A `fn` body (including closures' enclosing fn — closures do not
+    /// open item scopes of their own, their braces classify as
+    /// [`ScopeKind::Block`]).
+    Fn,
+    /// An `impl` or `trait` block.
+    Impl,
+    /// An inline `mod name { ... }` body.
+    Mod,
+    /// Any other brace region: plain blocks, match bodies, struct
+    /// literals, loop bodies.
+    Block,
+}
+
+/// One brace-delimited region of the file.
+#[derive(Clone, Copy, Debug)]
+pub struct Scope {
+    /// What kind of item (if any) owns the braces.
+    pub kind: ScopeKind,
+    /// Code-token index of the opening `{` (0 for the file root).
+    pub open: usize,
+    /// Code-token index just past the closing `}` (i.e. exclusive end;
+    /// `code.len()` for the file root or an unterminated scope).
+    pub close: usize,
+    /// Index of the enclosing scope in [`ScopeTree::scopes`] (the file
+    /// root is its own parent).
+    pub parent: usize,
+}
+
+/// All scopes of one file, root first, in opening order.
+#[derive(Debug)]
+pub struct ScopeTree {
+    scopes: Vec<Scope>,
+}
+
+impl ScopeTree {
+    /// Builds the scope tree for a code-token stream (comments already
+    /// filtered out). Never fails: unbalanced braces are closed at end
+    /// of file, which is all a linter running on rustc-accepted code
+    /// needs.
+    pub fn build(code: &[&Tok]) -> ScopeTree {
+        let mut scopes = vec![Scope {
+            kind: ScopeKind::File,
+            open: 0,
+            close: code.len(),
+            parent: 0,
+        }];
+        let mut stack: Vec<usize> = vec![0];
+        for (i, t) in code.iter().enumerate() {
+            if t.is_punct("{") {
+                let parent = *stack.last().expect("root never pops");
+                let kind = classify_open(code, i);
+                scopes.push(Scope {
+                    kind,
+                    open: i,
+                    close: code.len(),
+                    parent,
+                });
+                stack.push(scopes.len() - 1);
+            } else if t.is_punct("}") && stack.len() > 1 {
+                let id = stack.pop().expect("checked");
+                scopes[id].close = i + 1;
+            }
+        }
+        ScopeTree { scopes }
+    }
+
+    /// The innermost scope containing code-token index `idx`.
+    pub fn innermost(&self, idx: usize) -> usize {
+        // Scopes are recorded in opening order, so the *last* scope
+        // whose span contains idx is the innermost one.
+        let mut best = 0;
+        for (id, s) in self.scopes.iter().enumerate() {
+            if s.open <= idx && idx < s.close {
+                best = id;
+            }
+        }
+        best
+    }
+
+    /// Exclusive end (code-token index) of the innermost scope
+    /// containing `idx` — the horizon up to which a declaration at
+    /// `idx` stays visible.
+    pub fn visibility_end(&self, idx: usize) -> usize {
+        self.scopes[self.innermost(idx)].close
+    }
+
+    /// All scopes, root first.
+    pub fn scopes(&self) -> &[Scope] {
+        &self.scopes
+    }
+
+    /// Whether `idx` sits (transitively) inside a scope of `kind`.
+    pub fn within(&self, idx: usize, kind: ScopeKind) -> bool {
+        let mut id = self.innermost(idx);
+        loop {
+            if self.scopes[id].kind == kind {
+                return true;
+            }
+            if id == 0 {
+                return false;
+            }
+            id = self.scopes[id].parent;
+        }
+    }
+}
+
+/// Classifies the brace at code index `open` by scanning back to the
+/// start of the introducing item: the nearest earlier `;`, `{`, `}` (or
+/// the file start) bounds the header, and the first item keyword inside
+/// the header decides the kind. `fn` wins over `impl` so that a method
+/// body inside an `impl` block classifies as [`ScopeKind::Fn`] (its
+/// header starts after the impl's own `{`).
+fn classify_open(code: &[&Tok], open: usize) -> ScopeKind {
+    let mut j = open;
+    let mut depth = 0i32; // paren/bracket nesting inside the header
+    while j > 0 {
+        j -= 1;
+        let t = code[j];
+        if t.is_punct(")") || t.is_punct("]") {
+            depth += 1;
+        } else if t.is_punct("(") || t.is_punct("[") {
+            depth -= 1;
+        } else if depth == 0 && (t.is_punct(";") || t.is_punct("{") || t.is_punct("}")) {
+            j += 1;
+            break;
+        }
+    }
+    let header = &code[j..open];
+    for t in header {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "fn" => return ScopeKind::Fn,
+            "impl" | "trait" => return ScopeKind::Impl,
+            "mod" => return ScopeKind::Mod,
+            // `match x { ... }`, `if let ... { }` etc. are expression
+            // blocks; `struct`/`enum`/`union` bodies hold no `use`
+            // declarations but classify as Block harmlessly.
+            _ => {}
+        }
+    }
+    ScopeKind::Block
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    fn code(src: &str) -> Vec<crate::lex::Tok> {
+        lex(src)
+            .into_iter()
+            .filter(|t| {
+                !matches!(
+                    t.kind,
+                    crate::lex::TokKind::LineComment | crate::lex::TokKind::BlockComment
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn classifies_fn_impl_mod_block() {
+        let toks = code("mod m { impl S { fn f(&self) { let x = { 1 }; } } }");
+        let refs: Vec<&crate::lex::Tok> = toks.iter().collect();
+        let tree = ScopeTree::build(&refs);
+        let kinds: Vec<ScopeKind> = tree.scopes().iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                ScopeKind::File,
+                ScopeKind::Mod,
+                ScopeKind::Impl,
+                ScopeKind::Fn,
+                ScopeKind::Block
+            ]
+        );
+    }
+
+    #[test]
+    fn innermost_and_visibility() {
+        let toks = code("fn f() { use a::b; } fn g() {}");
+        let refs: Vec<&crate::lex::Tok> = toks.iter().collect();
+        let tree = ScopeTree::build(&refs);
+        // Find the `use` token.
+        let use_at = refs.iter().position(|t| t.is_ident("use")).unwrap();
+        let inner = tree.innermost(use_at);
+        assert_eq!(tree.scopes()[inner].kind, ScopeKind::Fn);
+        // Visibility of the use ends before `fn g` starts.
+        let g_at = refs.iter().position(|t| t.is_ident("g")).unwrap();
+        assert!(tree.visibility_end(use_at) <= g_at);
+        assert!(tree.within(use_at, ScopeKind::Fn));
+        assert!(!tree.within(use_at, ScopeKind::Impl));
+    }
+
+    #[test]
+    fn unbalanced_braces_close_at_eof() {
+        let toks = code("fn f() { if x { ");
+        let refs: Vec<&crate::lex::Tok> = toks.iter().collect();
+        let tree = ScopeTree::build(&refs);
+        assert!(tree.scopes().iter().all(|s| s.close <= refs.len()));
+        assert_eq!(tree.innermost(refs.len() - 1), tree.scopes().len() - 1);
+    }
+
+    #[test]
+    fn struct_literal_is_a_block_not_an_item() {
+        let toks = code("fn f() { let s = S { a: 1 }; }");
+        let refs: Vec<&crate::lex::Tok> = toks.iter().collect();
+        let tree = ScopeTree::build(&refs);
+        let kinds: Vec<ScopeKind> = tree.scopes().iter().map(|s| s.kind).collect();
+        assert_eq!(kinds, [ScopeKind::File, ScopeKind::Fn, ScopeKind::Block]);
+    }
+}

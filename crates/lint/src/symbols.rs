@@ -1,0 +1,410 @@
+//! Per-file symbol resolution: `use`-tree aliases and `type` aliases.
+//!
+//! This is the layer that closes the import-alias soundness hole the
+//! flat token scanner shipped with (PR 5–9): under
+//!
+//! ```text
+//! use std::collections::HashMap as FastMap;
+//! ```
+//!
+//! every later `FastMap<..>` / `FastMap::new()` evaded D001 because the
+//! rules matched the literal identifier `HashMap`. The symbol table
+//! records every name a `use` declaration (including nested trees like
+//! `use std::{collections::HashMap as FastMap, rc::Rc as Shared}`) or a
+//! `type Alias = Path<..>;` alias binds, together with the *canonical
+//! path* it denotes and the scope span in which the binding is visible
+//! (via [`crate::scope::ScopeTree`]). Rules then resolve identifiers
+//! through [`SymbolTable::resolve`] before matching, so the canonical
+//! name is what gets checked no matter what the file calls it.
+//!
+//! Deliberate limits, in the spirit of the rest of the crate: `use
+//! path::*` globs bind nothing (a glob cannot *rename*, so the literal
+//! matcher still sees the canonical identifier); re-exports across
+//! files are not chased (each file is analyzed standalone); and macro
+//! expansion does not exist here. Suppressions exist precisely for what
+//! a file-local analysis cannot prove.
+
+use crate::lex::{Tok, TokKind};
+use crate::scope::ScopeTree;
+
+/// One name binding: `name` denotes the canonical path `canon` for code
+/// tokens in `[start, end)`.
+#[derive(Clone, Debug)]
+pub struct Binding {
+    /// The locally visible identifier.
+    pub name: String,
+    /// Canonical path segments, e.g. `["std", "collections", "HashMap"]`.
+    pub canon: Vec<String>,
+    /// First code-token index at which the binding is visible.
+    pub start: usize,
+    /// Exclusive end of visibility (close of the declaring scope).
+    pub end: usize,
+}
+
+/// All bindings of one file, in declaration order.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    bindings: Vec<Binding>,
+}
+
+impl SymbolTable {
+    /// Builds the table from the code-token stream and its scope tree.
+    pub fn build(code: &[&Tok], scopes: &ScopeTree) -> SymbolTable {
+        let mut table = SymbolTable::default();
+        let mut i = 0usize;
+        while i < code.len() {
+            let t = code[i];
+            if t.kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            match t.text.as_str() {
+                "use" if at_statement_start(code, i) => {
+                    let end = scopes.visibility_end(i);
+                    i = parse_use_tree(code, i + 1, &[], i, end, &mut table.bindings);
+                }
+                "type" if at_statement_start(code, i) => {
+                    i = parse_type_alias(code, i, scopes, &mut table);
+                }
+                _ => i += 1,
+            }
+        }
+        table
+    }
+
+    /// Resolves `name` at code-token index `idx` to its canonical path,
+    /// if any visible binding matches. The latest matching binding wins,
+    /// so a function-local alias shadows a file-level one.
+    pub fn resolve(&self, name: &str, idx: usize) -> Option<&[String]> {
+        self.bindings
+            .iter()
+            .rev()
+            .find(|b| b.name == name && b.start <= idx && idx < b.end)
+            .map(|b| b.canon.as_slice())
+    }
+
+    /// The canonical *final segment* for the identifier token at `idx`:
+    /// the last segment of the resolved path when a binding is visible,
+    /// the literal token text otherwise. This is what rules match
+    /// against for type-name triggers (`HashMap`, `Rc`, `Instant`, ...).
+    pub fn canonical_last<'a>(&'a self, tok: &'a Tok, idx: usize) -> &'a str {
+        if tok.kind != TokKind::Ident {
+            return "";
+        }
+        match self.resolve(&tok.text, idx) {
+            Some(segs) => segs.last().map(String::as_str).unwrap_or(&tok.text),
+            None => &tok.text,
+        }
+    }
+
+    /// All bindings (for reporting/tests).
+    pub fn bindings(&self) -> &[Binding] {
+        &self.bindings
+    }
+}
+
+/// Whether the ident at `i` begins a statement/item, so that a raw
+/// identifier or field merely *named* `use`/`type` in expression
+/// position binds nothing. `)` admits `pub(crate) use`, `]` admits an
+/// attribute line right above the declaration.
+fn at_statement_start(code: &[&Tok], i: usize) -> bool {
+    if i == 0 {
+        return true;
+    }
+    let prev = code[i - 1];
+    prev.is_punct(";")
+        || prev.is_punct("{")
+        || prev.is_punct("}")
+        || prev.is_punct(")")
+        || prev.is_punct("]")
+        || prev.is_ident("pub")
+}
+
+/// Parses one use-(sub)tree starting at code index `i`, under the fixed
+/// path `prefix`, appending bindings. Returns the index of the token
+/// that terminated the subtree (`;`, `,` or `}` — left for the caller),
+/// or just past a parsed group.
+fn parse_use_tree(
+    code: &[&Tok],
+    mut i: usize,
+    prefix: &[String],
+    decl_at: usize,
+    vis_end: usize,
+    out: &mut Vec<Binding>,
+) -> usize {
+    let mut path: Vec<String> = prefix.to_vec();
+    let mut bind_on_end = true;
+    while let Some(t) = code.get(i) {
+        if t.is_punct(";") || t.is_punct(",") || t.is_punct("}") {
+            break;
+        }
+        if t.is_punct("{") {
+            // Group: each comma-separated subtree extends the path
+            // accumulated so far. The group is the subtree's tail, so
+            // nothing binds at this level.
+            i += 1;
+            loop {
+                i = parse_use_tree(code, i, &path, decl_at, vis_end, out);
+                match code.get(i) {
+                    Some(t) if t.is_punct(",") => i += 1,
+                    Some(t) if t.is_punct("}") => return i + 1,
+                    _ => return i,
+                }
+            }
+        }
+        if t.is_punct("*") {
+            // Glob: binds nothing (a glob cannot rename, so the literal
+            // matcher still sees canonical identifiers).
+            bind_on_end = false;
+            i += 1;
+            continue;
+        }
+        if t.is_ident("as") {
+            if let Some(name) = code.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                if !path.is_empty() {
+                    out.push(Binding {
+                        name: name.text.clone(),
+                        canon: path.clone(),
+                        start: decl_at,
+                        end: vis_end,
+                    });
+                }
+            }
+            bind_on_end = false;
+            i += 2;
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            if t.text == "self" && path.len() == prefix.len() && path.len() >= 2 {
+                // `use a::b::{self, ..}`: binds `b` to the prefix.
+                out.push(Binding {
+                    name: path.last().expect("len >= 2").clone(),
+                    canon: path.clone(),
+                    start: decl_at,
+                    end: vis_end,
+                });
+                bind_on_end = false;
+            } else {
+                path.push(t.text.clone());
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_punct("::") {
+            i += 1;
+            continue;
+        }
+        break; // stray token ends the tree
+    }
+    // A path tail without `as`/glob binds its own last segment —
+    // provided it grew beyond the group prefix and is a real path
+    // (single-segment `use foo;` renames nothing observable).
+    if bind_on_end && path.len() > prefix.len() && path.len() >= 2 {
+        let name = path.last().expect("len >= 2").clone();
+        if name != "self" && name != "crate" && name != "super" {
+            out.push(Binding {
+                name,
+                canon: path,
+                start: decl_at,
+                end: vis_end,
+            });
+        }
+    }
+    i
+}
+
+/// Parses `type Alias = Head<..>;`, binding `Alias` to the canonical
+/// path of `Head` (itself resolved through earlier bindings, so `use
+/// std::collections::HashMap as FM; type T = FM<..>;` canonicalizes `T`
+/// all the way to `std::collections::HashMap`). Returns the index to
+/// continue scanning from.
+fn parse_type_alias(code: &[&Tok], i: usize, scopes: &ScopeTree, table: &mut SymbolTable) -> usize {
+    let Some(name) = code.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+        return i + 1;
+    };
+    // Skip generics on the alias itself: `type T<K> = ...`.
+    let mut j = i + 2;
+    if matches!(code.get(j), Some(t) if t.is_punct("<")) {
+        let mut depth = 0i32;
+        while j < code.len() {
+            if code[j].is_punct("<") {
+                depth += 1;
+            } else if code[j].is_punct(">") {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    if !matches!(code.get(j), Some(t) if t.is_punct("=")) {
+        return i + 1; // associated type declaration, not an alias
+    }
+    j += 1;
+    // Read the RHS head path: `a::b::Head` up to `<`, `;` or `(`.
+    let mut segs: Vec<String> = Vec::new();
+    while let Some(t) = code.get(j) {
+        if t.kind == TokKind::Ident {
+            segs.push(t.text.clone());
+            j += 1;
+        } else if t.is_punct("::") {
+            j += 1;
+        } else {
+            break;
+        }
+    }
+    if segs.is_empty() {
+        return j;
+    }
+    // Canonicalize the head through existing bindings.
+    let canon: Vec<String> = match table.resolve(&segs[0], i) {
+        Some(base) => {
+            let mut c = base.to_vec();
+            c.extend(segs[1..].iter().cloned());
+            c
+        }
+        None => segs,
+    };
+    table.bindings.push(Binding {
+        name: name.text.clone(),
+        canon,
+        start: i,
+        end: scopes.visibility_end(i),
+    });
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    fn build(src: &str) -> Vec<Binding> {
+        let toks: Vec<crate::lex::Tok> = lex(src)
+            .into_iter()
+            .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .collect();
+        let refs: Vec<&crate::lex::Tok> = toks.iter().collect();
+        let scopes = ScopeTree::build(&refs);
+        SymbolTable::build(&refs, &scopes).bindings().to_vec()
+    }
+
+    fn canon(bindings: &[Binding], name: &str) -> Option<String> {
+        bindings
+            .iter()
+            .rev()
+            .find(|b| b.name == name)
+            .map(|b| b.canon.join("::"))
+    }
+
+    #[test]
+    fn plain_use_binds_last_segment() {
+        let b = build("use std::collections::HashMap;");
+        assert_eq!(
+            canon(&b, "HashMap").as_deref(),
+            Some("std::collections::HashMap")
+        );
+    }
+
+    #[test]
+    fn renamed_use_binds_alias() {
+        let b = build("use std::collections::HashMap as FastMap;");
+        assert_eq!(
+            canon(&b, "FastMap").as_deref(),
+            Some("std::collections::HashMap")
+        );
+        assert!(canon(&b, "HashMap").is_none());
+    }
+
+    #[test]
+    fn nested_groups_self_and_siblings() {
+        let b = build(
+            "use std::{collections::{HashMap as FM, HashSet}, sync::{self, Arc}, rc::Rc as Shared};",
+        );
+        assert_eq!(
+            canon(&b, "FM").as_deref(),
+            Some("std::collections::HashMap")
+        );
+        assert_eq!(
+            canon(&b, "HashSet").as_deref(),
+            Some("std::collections::HashSet")
+        );
+        assert_eq!(canon(&b, "sync").as_deref(), Some("std::sync"));
+        assert_eq!(canon(&b, "Arc").as_deref(), Some("std::sync::Arc"));
+        assert_eq!(canon(&b, "Shared").as_deref(), Some("std::rc::Rc"));
+    }
+
+    #[test]
+    fn globs_bind_nothing() {
+        let b = build("use std::collections::*; use x::{a::*, b::C};");
+        assert_eq!(b.len(), 1);
+        assert_eq!(canon(&b, "C").as_deref(), Some("x::b::C"));
+    }
+
+    #[test]
+    fn crate_rename_binds_single_segment() {
+        let b = build("use rand as r;");
+        assert_eq!(canon(&b, "r").as_deref(), Some("rand"));
+    }
+
+    #[test]
+    fn type_alias_canonicalizes_through_uses() {
+        let b = build(
+            "use std::collections::HashMap as FM;\n\
+             type Table = FM<u64, u32>;\n\
+             type Direct = std::collections::HashSet<u64>;",
+        );
+        assert_eq!(
+            canon(&b, "Table").as_deref(),
+            Some("std::collections::HashMap")
+        );
+        assert_eq!(
+            canon(&b, "Direct").as_deref(),
+            Some("std::collections::HashSet")
+        );
+    }
+
+    #[test]
+    fn fn_local_use_shadows_and_expires() {
+        let src = "use std::collections::HashMap as M;\n\
+                   fn f() { use std::collections::BTreeMap as M; let m: M<u8,u8> = M::new(); }\n\
+                   fn g() { let m: M<u8,u8> = M::new(); }";
+        let toks: Vec<crate::lex::Tok> = lex(src)
+            .into_iter()
+            .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .collect();
+        let refs: Vec<&crate::lex::Tok> = toks.iter().collect();
+        let scopes = ScopeTree::build(&refs);
+        let table = SymbolTable::build(&refs, &scopes);
+        let m_sites: Vec<usize> = refs
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("M"))
+            .map(|(i, _)| i)
+            .collect();
+        // Sites: [file use, f's use, f annotation, f ctor, g annotation, g ctor]
+        assert_eq!(m_sites.len(), 6);
+        for &s in &m_sites[2..4] {
+            assert_eq!(
+                table.resolve("M", s).unwrap().join("::"),
+                "std::collections::BTreeMap",
+                "inside f the local alias shadows"
+            );
+        }
+        for &s in &m_sites[4..6] {
+            assert_eq!(
+                table.resolve("M", s).unwrap().join("::"),
+                "std::collections::HashMap",
+                "f's alias must expire at its closing brace"
+            );
+        }
+    }
+
+    #[test]
+    fn expression_position_use_is_not_a_declaration() {
+        let b = build("fn f(u: U) -> u32 { let used = u.r#use; used.x }");
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! Fixture: import-alias evasion. Under the flat scanner (PR 5–9)
+//! every site below passed, because the rules matched literal
+//! identifiers and these names are all renamed at import. The symbol
+//! layer resolves each alias to its canonical path before matching.
+use std::collections::HashMap as FastMap;
+use std::rc::Rc as Shared;
+use std::sync::Mutex as Lock;
+use std::time::Instant as Clock;
+
+type Table = FastMap<u64, u32>;
+
+fn d001_via_alias(m: &FastMap<u64, u32>) -> Vec<u64> {
+    m.keys().copied().collect()
+}
+
+fn d001_via_type_alias() -> usize {
+    let t: Table = Table::new();
+    let mut n = 0;
+    for _ in t.iter() {
+        n += 1;
+    }
+    n
+}
+
+fn d002_via_alias() {
+    let _t0 = Clock::now();
+}
+
+fn d006_via_alias() -> Shared<u64> {
+    Shared::new(1)
+}
+
+fn d010_via_alias() -> Lock<u64> {
+    Lock::new(0)
+}
+
+fn scoped_alias_expires() {
+    {
+        use std::collections::HashSet as Probe;
+        let s: Probe<u64> = Probe::new();
+        let _n = s.len();
+    }
+    // Outside the block the alias is gone; this Probe is a local type
+    // and must not register as a hash collection.
+    struct Probe;
+    let _p = Probe;
+}

@@ -1,0 +1,20 @@
+//! Fixture: D007 — shared-atomic mutation in sim-facing code.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn violations(counter: &AtomicU64) {
+    counter.store(7, Ordering::Relaxed);
+    counter.swap(1, Ordering::Relaxed);
+    let _ = counter.compare_exchange(0, 1, Ordering::SeqCst, Ordering::Relaxed);
+    let _old = counter.fetch_add(1, Ordering::Relaxed);
+    counter.fetch_max(9, Ordering::Relaxed);
+    let _v = counter.load(Ordering::Acquire);
+}
+
+fn legal(counter: &AtomicU64, v: &mut Vec<u32>) -> u64 {
+    // A Relaxed load is not a mutation; slice::swap has no Ordering
+    // argument and must not be mistaken for an atomic.
+    v.swap(0, 1);
+    // decent-lint: allow(D007) reason="merge-only counter read after the window barrier"
+    counter.fetch_add(1, Ordering::Relaxed);
+    counter.load(Ordering::Relaxed)
+}

@@ -1,0 +1,27 @@
+//! Fixture: D008 — `partial_cmp` comparators over floats.
+
+fn violations(xs: &mut Vec<f64>, pairs: &mut [(f64, u64)]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("no NaN"));
+    let _rank = xs.binary_search_by(|p| p.partial_cmp(&0.5).unwrap());
+}
+
+fn legal(xs: &mut Vec<f64>) {
+    // total_cmp is a total order over every bit pattern.
+    xs.sort_by(|a, b| a.total_cmp(b));
+}
+
+struct Wrapper(f64);
+
+impl PartialEq for Wrapper {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.to_bits() == other.0.to_bits()
+    }
+}
+
+impl PartialOrd for Wrapper {
+    // Defining partial_cmp is not calling it.
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.0.total_cmp(&other.0))
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: D009 — keyed unstable sorts without an injectivity pragma.
+
+fn violations(entries: &mut Vec<(u64, String)>) {
+    entries.sort_unstable_by_key(|e| e.0);
+    entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+}
+
+fn legal(ids: &mut Vec<u64>, entries: &mut Vec<(u64, u64)>) {
+    // Plain sort_unstable is exempt: equal elements are
+    // indistinguishable, so every output permutation is identical.
+    ids.sort_unstable();
+    // decent-lint: allow(D009) reason="(key, node) is injective: node ids are unique in this slice"
+    entries.sort_unstable_by_key(|e| (e.0, e.1));
+    // The stable sort needs no argument at all.
+    entries.sort_by_key(|e| e.0);
+}

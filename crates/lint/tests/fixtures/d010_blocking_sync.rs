@@ -1,0 +1,21 @@
+//! Fixture: D010 — blocking synchronization in sim-facing code.
+use std::sync::mpsc;
+use std::sync::Mutex as Lock;
+use std::sync::{Condvar, RwLock};
+
+struct Shared {
+    slots: Lock<Vec<u64>>,
+    readers: RwLock<u64>,
+    wakeup: Condvar,
+}
+
+fn violations(s: &Shared) {
+    let _guard = s.slots.lock().unwrap();
+    let _r = s.readers.read().unwrap();
+    let (_tx, _rx) = mpsc::channel::<u64>();
+}
+
+fn legal() {
+    // Arc alone is fine: sharing immutable data is not blocking.
+    let _shared = std::sync::Arc::new(7u64);
+}

@@ -18,6 +18,11 @@ const FIXTURES: &[(&str, bool)] = &[
     ("d004_ambient_env.rs", true),
     ("d005_unsafe.rs", true),
     ("d006_rc.rs", true),
+    ("d007_atomics.rs", true),
+    ("d008_float_sort.rs", true),
+    ("d009_sort_unstable.rs", true),
+    ("d010_blocking_sync.rs", true),
+    ("alias_evasion.rs", true),
     ("unused_pragma.rs", true),
     ("clean.rs", true),
 ];
@@ -86,7 +91,8 @@ fn fixtures_cover_every_rule() {
         }
     }
     for code in [
-        "D001", "D002", "D003", "D004", "D005", "D006", "P000", "P001",
+        "D001", "D002", "D003", "D004", "D005", "D006", "D007", "D008", "D009", "D010", "P000",
+        "P001",
     ] {
         assert!(seen.contains(code), "no fixture exercises {code}");
     }

@@ -220,11 +220,7 @@ impl CanNode {
         let next = self
             .neighbors
             .iter()
-            .min_by(|(_, a), (_, b)| {
-                a.distance(&target)
-                    .partial_cmp(&b.distance(&target))
-                    .expect("finite distances")
-            })
+            .min_by(|(_, a), (_, b)| a.distance(&target).total_cmp(&b.distance(&target)))
             .map(|&(id, _)| id);
         if let Some(next) = next {
             ctx.send(

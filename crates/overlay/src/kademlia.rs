@@ -260,6 +260,7 @@ impl KadNode {
             self.scratch.extend_from_slice(dir);
         }
         self.scratch
+            // decent-lint: allow(D009) reason="(xor_distance, node) is injective: node ids are unique per entry"
             .sort_unstable_by_key(|a| (a.key.xor_distance(target), a.node));
         self.scratch.truncate(self.cfg.k);
         Interned::from_slice(&self.scratch)
@@ -398,6 +399,7 @@ impl KadNode {
     fn closest_into(buckets: &[Vec<BucketEntry>], target: &Key, n: usize, out: &mut Vec<Contact>) {
         out.clear();
         out.extend(buckets.iter().flatten().map(|e| e.contact));
+        // decent-lint: allow(D009) reason="(xor_distance, node) is injective: one entry per node id across buckets"
         out.sort_unstable_by_key(|c| (c.key.xor_distance(target), c.node));
         out.truncate(n);
     }
@@ -583,11 +585,10 @@ impl KadNode {
                 state: EntryState::Candidate,
             });
         }
-        // Unstable sort: `(dist, node)` is a total order over distinct
-        // shortlist entries (the list is deduplicated by node above),
-        // and the in-place sort skips the stable sort's temp buffer.
+        // The in-place sort skips the stable sort's temp buffer.
         lookup
             .shortlist
+            // decent-lint: allow(D009) reason="(dist, node) is injective: the shortlist is deduplicated by node above"
             .sort_unstable_by_key(|a| (a.dist, a.contact.node));
     }
 

@@ -232,7 +232,7 @@ impl Zipf {
     /// Draws a rank in `0..n` (zero-based; rank 0 is the most popular).
     pub fn sample_rank(&self, rng: &mut SimRng) -> usize {
         let u = rng.gen::<f64>();
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+        match self.cdf.binary_search_by(|p| p.total_cmp(&u)) {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }

@@ -66,6 +66,7 @@ pub mod report;
 pub mod rng;
 pub mod sched;
 mod shard;
+pub mod stress;
 pub mod sweep;
 pub mod time;
 pub mod topology;

@@ -134,8 +134,7 @@ impl Histogram {
             return 0.0;
         }
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+            self.samples.sort_by(|a, b| a.total_cmp(b));
             self.sorted = true;
         }
         let rank = ((q * self.samples.len() as f64).ceil() as usize).max(1) - 1;
@@ -668,7 +667,7 @@ pub fn gini(values: &[f64]) -> f64 {
     if v.is_empty() {
         return 0.0;
     }
-    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    v.sort_by(|a, b| a.total_cmp(b));
     let n = v.len() as f64;
     let total: f64 = v.iter().sum();
     if total == 0.0 {
@@ -691,7 +690,7 @@ pub fn top_k_share(values: &[f64], k: usize) -> f64 {
         return 0.0;
     }
     let mut v = values.to_vec();
-    v.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+    v.sort_by(|a, b| b.total_cmp(a));
     v.iter().take(k).sum::<f64>() / total
 }
 

@@ -39,6 +39,7 @@
 //! end of time) fall back to serial-equivalent stepping rather than
 //! deadlock or reorder.
 
+// decent-lint: allow(D010) reason="the executor's own window-barrier plumbing: workers park here deterministically (DESIGN.md §4i)"
 use std::sync::mpsc::{Receiver, Sender};
 
 use crate::arena::SlotView;
@@ -241,11 +242,14 @@ where
         let mut cmd_txs: Vec<Sender<Cmd<N::Msg>>> = Vec::with_capacity(shards);
         let mut out_rxs: Vec<Receiver<WindowOut<N::Msg>>> = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
-        for (part, queue) in parts.into_iter().zip(queues) {
+        for (i, (part, queue)) in parts.into_iter().zip(queues).enumerate() {
+            // decent-lint: allow(D010) reason="window-barrier command channel: send/recv pairs are fully ordered by the merge loop"
             let (cmd_tx, cmd_rx) = std::sync::mpsc::channel::<Cmd<N::Msg>>();
+            // decent-lint: allow(D010) reason="window-barrier result channel: one message per window, joined before commit"
             let (out_tx, out_rx) = std::sync::mpsc::channel::<WindowOut<N::Msg>>();
-            handles
-                .push(sc.spawn(move || worker_main::<N, S>(shards, part, queue, cmd_rx, out_tx)));
+            handles.push(
+                sc.spawn(move || worker_main::<N, S>(i, shards, part, queue, cmd_rx, out_tx)),
+            );
             cmd_txs.push(cmd_tx);
             out_rxs.push(out_rx);
         }
@@ -457,6 +461,7 @@ fn push_feed<M>(
 /// head, so the per-event dispatch log — and therefore the committed
 /// order — is byte-identical to the unbatched drain.
 fn worker_main<N, S>(
+    shard: usize,
     shards: usize,
     mut part: Vec<SlotView<'_, N>>,
     mut queue: S,
@@ -468,6 +473,7 @@ where
     S: SchedulerFor<N>,
 {
     let mut scratch: Vec<Action<N::Msg>> = Vec::new();
+    let mut ticks: u64 = 0;
     while let Ok(cmd) = rx.recv() {
         let Cmd::Run { end, feed } = cmd else { break };
         let mut out = WindowOut::new();
@@ -478,6 +484,12 @@ where
             if t >= end {
                 break;
             }
+            // Interleaving stress hook: a no-op unless a test set a
+            // perturbation seed (crate::stress). Placed on the
+            // activation path so perturbed schedules shift *between*
+            // dispatches, where cross-shard races would hide.
+            crate::stress::perturb(shard, ticks);
+            ticks += 1;
             let (time, seq, ev) = queue.pop().expect("peeked");
             let node = ev.node;
             out.processed += 1;
